@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the primitives every SimRank algorithm in
+//! this workspace is built from: the transition-matrix kernels, the ℓ-hop
+//! PPR computation, √c-walk sampling, the diagonal estimators and one
+//! end-to-end ExactSim query on a small stand-in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use exactsim::diagonal::{
+    estimate_bernoulli, estimate_local_deterministic, LocalExploreCaps,
+};
+use exactsim::exactsim::{ExactSim, ExactSimConfig, ExactSimVariant};
+use exactsim::ppr::{dense_hop_vectors, sparse_hop_vectors};
+use exactsim::walks;
+use exactsim_graph::generators::barabasi_albert;
+use exactsim_graph::linalg::{p_multiply, pt_multiply, unit_vector, SparseVec, Workspace};
+use exactsim_graph::DiGraph;
+
+const SQRT_C: f64 = 0.774_596_669_241_483_4;
+
+fn bench_graph(n: usize) -> DiGraph {
+    barabasi_albert(n, 4, true, 7).expect("generator parameters are valid")
+}
+
+fn bench_transition_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition_kernels");
+    for &n in &[1_000usize, 10_000] {
+        let graph = bench_graph(n);
+        let x = unit_vector(n, 0);
+        let mut y = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("p_multiply_dense", n), &n, |b, _| {
+            b.iter(|| p_multiply(&graph, black_box(&x), &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("pt_multiply_dense", n), &n, |b, _| {
+            b.iter(|| pt_multiply(&graph, black_box(&x), &mut y));
+        });
+        let mut ws = Workspace::new(n);
+        let sparse = SparseVec::unit(0, 1.0);
+        group.bench_with_input(BenchmarkId::new("p_multiply_sparse_onehot", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(exactsim_graph::linalg::p_multiply_sparse(
+                    &graph,
+                    black_box(&sparse),
+                    &mut ws,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hop_vectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hop_vectors");
+    let graph = bench_graph(10_000);
+    group.bench_function("dense_hop_vectors_L15", |b| {
+        b.iter(|| black_box(dense_hop_vectors(&graph, 3, SQRT_C, 15)));
+    });
+    let mut ws = Workspace::new(graph.num_nodes());
+    group.bench_function("sparse_hop_vectors_L15_pruned_1e-5", |b| {
+        b.iter(|| black_box(sparse_hop_vectors(&graph, 3, SQRT_C, 15, 1e-5, &mut ws)));
+    });
+    group.finish();
+}
+
+fn bench_walk_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walk_sampling");
+    let graph = bench_graph(10_000);
+    group.bench_function("sample_1000_meeting_pairs", |b| {
+        let mut rng = walks::make_rng(1);
+        b.iter(|| {
+            let mut met = 0usize;
+            for _ in 0..1000 {
+                if matches!(
+                    walks::sample_meeting_pair(&graph, 5, SQRT_C, 40, &mut rng),
+                    walks::PairOutcome::Met { .. }
+                ) {
+                    met += 1;
+                }
+            }
+            black_box(met)
+        });
+    });
+    group.finish();
+}
+
+fn bench_diagonal_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagonal_estimators");
+    let graph = bench_graph(5_000);
+    group.bench_function("algorithm2_bernoulli_5000_pairs", |b| {
+        let mut rng = walks::make_rng(2);
+        b.iter(|| black_box(estimate_bernoulli(&graph, 3, 5_000, SQRT_C, 60, &mut rng)));
+    });
+    group.bench_function("algorithm3_local_deterministic", |b| {
+        let mut ws = Workspace::new(graph.num_nodes());
+        let mut rng = walks::make_rng(3);
+        b.iter(|| {
+            black_box(estimate_local_deterministic(
+                &graph,
+                3,
+                100_000,
+                SQRT_C,
+                1e-4,
+                LocalExploreCaps {
+                    max_edges: 20_000,
+                    ..Default::default()
+                },
+                &mut ws,
+                &mut rng,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    let graph = bench_graph(5_000);
+    for (label, variant) in [
+        ("exactsim_basic_eps1e-3", ExactSimVariant::Basic),
+        ("exactsim_optimized_eps1e-3", ExactSimVariant::Optimized),
+    ] {
+        let config = ExactSimConfig {
+            epsilon: 1e-3,
+            variant,
+            walk_budget: Some(200_000),
+            ..Default::default()
+        };
+        let solver = ExactSim::new(&graph, config).expect("valid config");
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(solver.query(11).expect("query succeeds")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transition_kernels,
+    bench_hop_vectors,
+    bench_walk_sampling,
+    bench_diagonal_estimators,
+    bench_end_to_end_query
+);
+criterion_main!(benches);

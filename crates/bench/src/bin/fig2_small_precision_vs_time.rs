@@ -1,0 +1,12 @@
+//! Figure 2: Precision@500 vs. query time for all five algorithms on the four
+//! small datasets (GQ, HT, WV, HP), with Power-Method ground truth.
+
+use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
+
+fn main() {
+    let rows = run_figure(DatasetGroup::Small, AlgorithmFamily::All);
+    print_rows(
+        "Figure 2: Precision@500 vs query time on small graphs (columns query_seconds / precision_at_500)",
+        &rows,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 3: MaxError vs. preprocessing time for the index-based methods
+//! (MC, PRSim, Linearization) on the four small datasets.
+
+use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
+
+fn main() {
+    let rows = run_figure(DatasetGroup::Small, AlgorithmFamily::IndexBasedOnly);
+    print_rows(
+        "Figure 3: MaxError vs preprocessing time on small graphs (columns preprocessing_seconds / max_error)",
+        &rows,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 4: MaxError vs. index size for the index-based methods
+//! (MC, PRSim, Linearization) on the four small datasets.
+
+use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
+
+fn main() {
+    let rows = run_figure(DatasetGroup::Small, AlgorithmFamily::IndexBasedOnly);
+    print_rows(
+        "Figure 4: MaxError vs index size on small graphs (columns index_bytes / max_error)",
+        &rows,
+    );
+}

@@ -1,0 +1,13 @@
+//! Figure 5: MaxError vs. query time for all five algorithms on the four
+//! large dataset stand-ins (DB, IC, IT, TW), with ExactSim(1e-7) as the
+//! reference — exactly the convention of the paper's §4.2.
+
+use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
+
+fn main() {
+    let rows = run_figure(DatasetGroup::Large, AlgorithmFamily::All);
+    print_rows(
+        "Figure 5: MaxError vs query time on large graphs (columns query_seconds / max_error)",
+        &rows,
+    );
+}

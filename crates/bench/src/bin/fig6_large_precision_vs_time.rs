@@ -1,0 +1,12 @@
+//! Figure 6: Precision@500 vs. query time for all five algorithms on the four
+//! large dataset stand-ins (DB, IC, IT, TW).
+
+use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
+
+fn main() {
+    let rows = run_figure(DatasetGroup::Large, AlgorithmFamily::All);
+    print_rows(
+        "Figure 6: Precision@500 vs query time on large graphs (columns query_seconds / precision_at_500)",
+        &rows,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 7: MaxError vs. preprocessing time for the index-based methods on
+//! the four large dataset stand-ins.
+
+use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
+
+fn main() {
+    let rows = run_figure(DatasetGroup::Large, AlgorithmFamily::IndexBasedOnly);
+    print_rows(
+        "Figure 7: MaxError vs preprocessing time on large graphs (columns preprocessing_seconds / max_error)",
+        &rows,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 8: MaxError vs. index size for the index-based methods on the four
+//! large dataset stand-ins.
+
+use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
+
+fn main() {
+    let rows = run_figure(DatasetGroup::Large, AlgorithmFamily::IndexBasedOnly);
+    print_rows(
+        "Figure 8: MaxError vs index size on large graphs (columns index_bytes / max_error)",
+        &rows,
+    );
+}

@@ -1,0 +1,30 @@
+//! Figure 9: time/error trade-off of basic vs. optimized ExactSim on the HP
+//! and DB stand-ins (the paper's ablation of the §3.2 optimisations).
+
+use exactsim_bench::runner::{generate_dataset, group_ground_truth, DatasetGroup};
+use exactsim_bench::{print_rows, run_quality_sweep, AlgorithmFamily, HarnessParams};
+use exactsim_datasets::{dataset_by_key, query_sources};
+
+fn main() {
+    let params = HarnessParams::from_env();
+    let mut rows = Vec::new();
+    for (key, group) in [("HP", DatasetGroup::Small), ("DB", DatasetGroup::Large)] {
+        let spec = dataset_by_key(key).expect("registry key");
+        eprintln!("[dataset {key}] generating stand-in …");
+        let dataset = generate_dataset(spec, &params);
+        let sources = query_sources(&dataset.graph, params.queries, params.seed);
+        eprintln!("[dataset {key}] computing ground truth …");
+        let truth = group_ground_truth(group, &dataset, &sources, &params);
+        rows.extend(run_quality_sweep(
+            key,
+            &dataset.graph,
+            &truth,
+            &params,
+            AlgorithmFamily::ExactSimVariantsOnly,
+        ));
+    }
+    print_rows(
+        "Figure 9: Basic vs Optimized ExactSim (columns query_seconds / max_error)",
+        &rows,
+    );
+}

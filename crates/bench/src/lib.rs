@@ -1,0 +1,35 @@
+//! # exactsim-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! ExactSim paper's evaluation (§4) on the synthetic stand-in datasets.
+//!
+//! Each figure/table has a dedicated binary in `src/bin/`; they are thin
+//! wrappers around the sweep machinery in this library. Every binary prints
+//! CSV rows to stdout (one row per measured configuration — the same series
+//! the paper plots) and a human-readable summary to stderr.
+//!
+//! ## Environment variables
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `EXACTSIM_SCALE_SMALL` | `0.3` | scale factor applied to the small datasets (GQ/HT/WV/HP) so the `O(n²)` Power-Method ground truth stays feasible |
+//! | `EXACTSIM_SCALE_LARGE` | dataset default | scale factor for the large datasets (DB/IC/IT/TW) |
+//! | `EXACTSIM_QUERIES` | `5` | number of single-source queries averaged per dataset (the paper uses 50) |
+//! | `EXACTSIM_WALK_BUDGET` | `20000000` | per-query walk-pair budget for the sampled methods |
+//! | `EXACTSIM_FULL` | unset | set to `1` to use the paper-sized sweeps (slower) |
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod ground_truth;
+pub mod output;
+pub mod params;
+pub mod runner;
+pub mod sweep;
+
+pub use ground_truth::{ground_truth_exactsim, ground_truth_power_method, GroundTruth};
+pub use output::{print_rows, SweepRow};
+pub use params::{HarnessParams, SweepSizes};
+pub use runner::{run_figure, DatasetGroup};
+pub use sweep::{run_quality_sweep, AlgorithmFamily};

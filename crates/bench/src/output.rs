@@ -1,0 +1,119 @@
+//! CSV output for the figure/table binaries.
+
+use std::io::Write;
+
+/// One measured configuration: a single point of one of the paper's figures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepRow {
+    /// Dataset key ("GQ", "DB", …).
+    pub dataset: String,
+    /// Algorithm name ("ExactSim", "MC", …).
+    pub algorithm: String,
+    /// Human-readable parameter description ("eps=1e-3", "r=800,L=15", …).
+    pub parameter: String,
+    /// Preprocessing / index-construction time in seconds (0 for index-free
+    /// methods).
+    pub preprocessing_seconds: f64,
+    /// Index size in bytes (0 for index-free methods).
+    pub index_bytes: usize,
+    /// Average single-source query time in seconds.
+    pub query_seconds: f64,
+    /// Average MaxError against the ground truth.
+    pub max_error: f64,
+    /// Average Precision@500 against the ground truth.
+    pub precision_at_500: f64,
+}
+
+impl SweepRow {
+    /// The CSV header matching [`SweepRow::to_csv`].
+    pub fn csv_header() -> &'static str {
+        "dataset,algorithm,parameter,preprocessing_seconds,index_bytes,query_seconds,max_error,precision_at_500"
+    }
+
+    /// Serialises the row as one CSV line.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{:.6},{},{:.6},{:.3e},{:.4}",
+            self.dataset,
+            self.algorithm,
+            self.parameter.replace(',', ";"),
+            self.preprocessing_seconds,
+            self.index_bytes,
+            self.query_seconds,
+            self.max_error,
+            self.precision_at_500
+        )
+    }
+}
+
+/// Prints the header plus every row to stdout and a short summary to stderr.
+pub fn print_rows(title: &str, rows: &[SweepRow]) {
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "{}", SweepRow::csv_header());
+    for row in rows {
+        let _ = writeln!(out, "{}", row.to_csv());
+    }
+    let _ = out.flush();
+    eprintln!("[{title}] {} rows", rows.len());
+    for row in rows {
+        eprintln!(
+            "  {:>3} {:<14} {:<18} query {:>9.4}s  preproc {:>9.3}s  maxerr {:>9.3e}  p@500 {:>6.3}",
+            row.dataset,
+            row.algorithm,
+            row.parameter,
+            row.query_seconds,
+            row.preprocessing_seconds,
+            row.max_error,
+            row.precision_at_500
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepRow {
+        SweepRow {
+            dataset: "GQ".into(),
+            algorithm: "ExactSim".into(),
+            parameter: "eps=1e-3".into(),
+            preprocessing_seconds: 0.0,
+            index_bytes: 0,
+            query_seconds: 1.25,
+            max_error: 3.2e-4,
+            precision_at_500: 0.998,
+        }
+    }
+
+    #[test]
+    fn csv_row_has_as_many_fields_as_the_header() {
+        let row = sample();
+        let header_fields = SweepRow::csv_header().split(',').count();
+        let row_fields = row.to_csv().split(',').count();
+        assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn commas_in_parameters_are_escaped() {
+        let mut row = sample();
+        row.parameter = "r=50,L=10".into();
+        assert!(!row.to_csv().contains("r=50,L"));
+        assert!(row.to_csv().contains("r=50;L=10"));
+    }
+
+    #[test]
+    fn csv_contains_the_values() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("GQ,ExactSim,"));
+        assert!(csv.contains("3.200e-4"));
+    }
+
+    #[test]
+    fn print_rows_does_not_panic() {
+        print_rows("unit-test", &[sample()]);
+        print_rows("empty", &[]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for the SimRank algorithms.
+
+use std::fmt;
+
+/// Errors produced by SimRank computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimRankError {
+    /// A configuration parameter is outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The requested source node does not exist in the graph.
+    SourceOutOfRange {
+        /// The requested node id.
+        source: u32,
+        /// The graph's node count.
+        num_nodes: usize,
+    },
+    /// The operation needs a non-empty graph.
+    EmptyGraph,
+    /// The graph is too large for this algorithm (e.g. the `O(n²)` Power
+    /// Method asked to allocate more than its configured memory limit).
+    GraphTooLarge {
+        /// Name of the algorithm that refused to run.
+        algorithm: &'static str,
+        /// Explanation of the limit that would be exceeded.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimRankError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            SimRankError::SourceOutOfRange { source, num_nodes } => write!(
+                f,
+                "source node {source} out of range for graph with {num_nodes} nodes"
+            ),
+            SimRankError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            SimRankError::GraphTooLarge { algorithm, message } => {
+                write!(f, "{algorithm}: graph too large: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimRankError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimRankError::InvalidParameter {
+            name: "epsilon",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("epsilon"));
+
+        let e = SimRankError::SourceOutOfRange {
+            source: 9,
+            num_nodes: 3,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+
+        assert!(SimRankError::EmptyGraph.to_string().contains("non-empty"));
+
+        let e = SimRankError::GraphTooLarge {
+            algorithm: "PowerMethod",
+            message: "needs 4TB".into(),
+        };
+        assert!(e.to_string().contains("PowerMethod"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SimRankError::EmptyGraph, SimRankError::EmptyGraph);
+        assert_ne!(
+            SimRankError::EmptyGraph,
+            SimRankError::SourceOutOfRange {
+                source: 0,
+                num_nodes: 0
+            }
+        );
+    }
+}

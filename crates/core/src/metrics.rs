@@ -1,0 +1,141 @@
+//! Evaluation metrics: MaxError, average error and Precision@k.
+//!
+//! These are the two quality measures of the paper's §4: *MaxError* is the
+//! largest absolute difference between an estimated single-source vector and
+//! the ground truth, and *Precision@k* is the fraction of a method's top-k
+//! answer that coincides with the true top-k set.
+
+use crate::topk::top_k;
+
+/// `max_j |estimate(j) − truth(j)|` over the whole single-source vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn max_error(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "estimate and truth must have equal length"
+    );
+    estimate
+        .iter()
+        .zip(truth.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Mean absolute error over the whole single-source vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths or are empty.
+pub fn average_error(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "estimate and truth must have equal length"
+    );
+    assert!(!truth.is_empty(), "vectors must be non-empty");
+    let total: f64 = estimate
+        .iter()
+        .zip(truth.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    total / truth.len() as f64
+}
+
+/// Precision@k of an estimated single-source vector against the ground truth.
+///
+/// Both vectors are interpreted as similarity scores of every node to the same
+/// source `source`; the source itself is excluded from both top-k sets (its
+/// similarity is trivially 1). Ties are broken by node id, matching
+/// [`top_k`]. Returns a value in `[0, 1]`; if the graph has fewer than `k`
+/// other nodes, the denominator is the achievable set size.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn precision_at_k(estimate: &[f64], truth: &[f64], source: u32, k: usize) -> f64 {
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "estimate and truth must have equal length"
+    );
+    if k == 0 || truth.len() <= 1 {
+        return 1.0;
+    }
+    let truth_top = top_k(truth, source, k);
+    let est_top = top_k(estimate, source, k);
+    if truth_top.is_empty() {
+        return 1.0;
+    }
+    let truth_set: std::collections::HashSet<u32> =
+        truth_top.iter().map(|e| e.node).collect();
+    let hits = est_top
+        .iter()
+        .filter(|e| truth_set.contains(&e.node))
+        .count();
+    hits as f64 / truth_top.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_error_basic() {
+        let truth = vec![0.0, 0.5, 1.0];
+        let est = vec![0.1, 0.5, 0.7];
+        assert!((max_error(&est, &truth) - 0.3).abs() < 1e-15);
+        assert_eq!(max_error(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn average_error_basic() {
+        let truth = vec![0.0, 1.0];
+        let est = vec![0.2, 0.6];
+        assert!((average_error(&est, &truth) - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        max_error(&[0.0], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn perfect_precision_for_identical_vectors() {
+        let truth = vec![1.0, 0.9, 0.8, 0.7, 0.6];
+        assert_eq!(precision_at_k(&truth, &truth, 0, 3), 1.0);
+    }
+
+    #[test]
+    fn precision_counts_overlap() {
+        // Source 0. Truth top-2 (excluding source): nodes 1, 2.
+        let truth = vec![1.0, 0.9, 0.8, 0.1, 0.0];
+        // Estimate ranks node 3 above node 2: top-2 = {1, 3} → 1 hit of 2.
+        let est = vec![1.0, 0.9, 0.1, 0.8, 0.0];
+        assert!((precision_at_k(&est, &truth, 0, 2) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn precision_excludes_the_source() {
+        // The source has score 1 in both; it must not inflate precision.
+        let truth = vec![1.0, 0.5, 0.4];
+        let est = vec![1.0, 0.1, 0.4];
+        // top-1 truth = {1}, top-1 estimate = {2} → precision 0.
+        assert_eq!(precision_at_k(&est, &truth, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn precision_with_k_larger_than_graph() {
+        let truth = vec![1.0, 0.5, 0.4];
+        let est = vec![1.0, 0.4, 0.5];
+        // Only 2 candidate nodes exist; both appear in both top sets.
+        assert_eq!(precision_at_k(&est, &truth, 0, 500), 1.0);
+    }
+
+    #[test]
+    fn precision_degenerate_cases() {
+        assert_eq!(precision_at_k(&[1.0], &[1.0], 0, 5), 1.0);
+        assert_eq!(precision_at_k(&[1.0, 0.2], &[1.0, 0.3], 0, 0), 1.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Minimal scoped-thread helpers for the embarrassingly parallel stages.
+//!
+//! The paper notes (§3.2, "Parallelization") that ExactSim only uses two
+//! primitive operations — random-walk simulation and (sparse) matrix-vector
+//! multiplication — both of which parallelise trivially. This module provides
+//! a deterministic map-reduce over index ranges built on `crossbeam::scope`,
+//! so results are bit-identical regardless of the number of worker threads
+//! (every chunk derives its own RNG seed from the chunk index, never from the
+//! thread id).
+
+/// Splits `0..len` into at most `chunks` contiguous ranges of near-equal size.
+pub fn split_ranges(len: usize, chunks: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 || chunks == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.min(len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 0..chunks {
+        let size = base + usize::from(i < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Applies `work` to every range of `0..len` split into `threads` chunks,
+/// merging the per-chunk outputs with `merge` in chunk order (so the result is
+/// deterministic). With `threads == 1` everything runs on the caller's thread.
+///
+/// `work` receives `(chunk_index, range)` and must be `Send + Sync`; the
+/// chunk index is what deterministic seeding should be based on.
+pub fn parallel_map_reduce<T, W, M, R>(
+    len: usize,
+    threads: usize,
+    work: W,
+    mut init: R,
+    mut merge: M,
+) -> R
+where
+    T: Send,
+    W: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+    M: FnMut(R, T) -> R,
+    R: Send,
+{
+    let ranges = split_ranges(len, threads.max(1));
+    if ranges.is_empty() {
+        return init;
+    }
+    if ranges.len() == 1 {
+        let out = work(0, ranges.into_iter().next().expect("one range"));
+        return merge(init, out);
+    }
+    let mut outputs: Vec<Option<T>> = Vec::new();
+    outputs.resize_with(ranges.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let work = &work;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for (chunk_index, range) in ranges.into_iter().enumerate() {
+            handles.push(scope.spawn(move |_| (chunk_index, work(chunk_index, range))));
+        }
+        for handle in handles {
+            let (chunk_index, out) = handle.join().expect("worker thread panicked");
+            outputs[chunk_index] = Some(out);
+        }
+    })
+    .expect("crossbeam scope failed");
+    for out in outputs.into_iter().flatten() {
+        init = merge(init, out);
+    }
+    init
+}
+
+/// Element-wise sum of per-chunk dense vectors — the common reduction for
+/// parallel walk sampling, where each chunk accumulates into its own buffer.
+pub fn merge_sum(mut acc: Vec<f64>, part: Vec<f64>) -> Vec<f64> {
+    if acc.is_empty() {
+        return part;
+    }
+    assert_eq!(acc.len(), part.len(), "mismatched partial result lengths");
+    for (a, p) in acc.iter_mut().zip(part) {
+        *a += p;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_everything_without_overlap() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(len, chunks);
+                let mut covered = vec![false; len];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!covered[i], "overlap at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "gap for len={len} chunks={chunks}");
+                if len > 0 {
+                    assert!(ranges.len() <= chunks.min(len));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_reduce_sums_identically_for_any_thread_count() {
+        let work = |chunk: usize, range: std::ops::Range<usize>| -> u64 {
+            // Depend on chunk index deterministically (mimics seeded RNG use).
+            range.map(|i| i as u64).sum::<u64>() + chunk as u64 * 0
+        };
+        let expected: u64 = (0..1000u64).sum();
+        for threads in [1usize, 2, 3, 7] {
+            let total = parallel_map_reduce(1000, threads, work, 0u64, |acc, x| acc + x);
+            assert_eq!(total, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_on_empty_input_returns_init() {
+        let out = parallel_map_reduce(0, 4, |_, _| 1u32, 7u32, |a, b| a + b);
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn merge_sum_adds_elementwise_and_accepts_empty_acc() {
+        let a = merge_sum(Vec::new(), vec![1.0, 2.0]);
+        assert_eq!(a, vec![1.0, 2.0]);
+        let b = merge_sum(a, vec![0.5, 0.5]);
+        assert_eq!(b, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn chunk_order_is_preserved_in_merge() {
+        let parts = parallel_map_reduce(
+            10,
+            4,
+            |chunk, _range| vec![chunk],
+            Vec::new(),
+            |mut acc: Vec<usize>, part| {
+                acc.extend(part);
+                acc
+            },
+        );
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Pooling: relative evaluation of top-k algorithms without ground truth.
+//!
+//! Pooling (Liu et al., PVLDB 2017; §2 "Pooling" of the ExactSim paper) is how
+//! top-k SimRank algorithms were compared before exact single-source results
+//! existed: collect the top-k answers of all participating algorithms into a
+//! pool, estimate the SimRank of every pooled node with a high-accuracy
+//! Monte-Carlo run (`O(ℓ·k·log n/ε²)` — affordable because the pool holds at
+//! most `ℓ·k` nodes), and rank the pool by those estimates to obtain a
+//! *relative* ground truth. The ExactSim paper discusses pooling's drawbacks
+//! (precision values are only meaningful inside the pool; infeasible for
+//! whole single-source evaluation), which this module lets the benchmark
+//! harness demonstrate against the true exact results.
+
+use exactsim_graph::{DiGraph, NodeId};
+
+use crate::config::SimRankConfig;
+use crate::error::SimRankError;
+use crate::walks;
+
+/// Result of a pooling evaluation.
+#[derive(Clone, Debug)]
+pub struct PoolingResult {
+    /// The pooled candidate nodes (deduplicated union of all submitted top-k
+    /// lists), with their Monte-Carlo estimated similarity to the source.
+    pub pool: Vec<(NodeId, f64)>,
+    /// The pool-derived "ground truth" top-k node set.
+    pub reference_top_k: Vec<NodeId>,
+    /// `precision[a]` is the fraction of algorithm `a`'s submitted top-k that
+    /// appears in [`PoolingResult::reference_top_k`].
+    pub precision: Vec<f64>,
+    /// Walk pairs spent estimating the pool.
+    pub walk_pairs: u64,
+}
+
+/// Configuration for [`evaluate_pool`].
+#[derive(Clone, Copy, Debug)]
+pub struct PoolingConfig {
+    /// Shared SimRank parameters.
+    pub simrank: SimRankConfig,
+    /// Walk pairs simulated per pooled candidate.
+    pub walks_per_candidate: u64,
+    /// Maximum walk length.
+    pub walk_length: usize,
+}
+
+impl Default for PoolingConfig {
+    fn default() -> Self {
+        PoolingConfig {
+            simrank: SimRankConfig::default(),
+            walks_per_candidate: 10_000,
+            walk_length: 40,
+        }
+    }
+}
+
+/// Pools the submitted top-k lists, estimates each pooled candidate's
+/// similarity to `source` by pairing fresh √c-walks, and scores every
+/// submission against the pool-derived top-k.
+///
+/// `submissions[a]` is algorithm `a`'s claimed top-k node list (all lists
+/// should have the same length `k`, but shorter lists are tolerated).
+pub fn evaluate_pool(
+    graph: &DiGraph,
+    source: NodeId,
+    submissions: &[Vec<NodeId>],
+    k: usize,
+    config: PoolingConfig,
+) -> Result<PoolingResult, SimRankError> {
+    config.simrank.validate()?;
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(SimRankError::EmptyGraph);
+    }
+    if source as usize >= n {
+        return Err(SimRankError::SourceOutOfRange {
+            source,
+            num_nodes: n,
+        });
+    }
+    if config.walks_per_candidate == 0 {
+        return Err(SimRankError::InvalidParameter {
+            name: "walks_per_candidate",
+            message: "at least one walk pair per candidate is required".into(),
+        });
+    }
+
+    // Union of all submissions, excluding the source, deduplicated.
+    let mut pool_nodes: Vec<NodeId> = submissions
+        .iter()
+        .flat_map(|s| s.iter().copied())
+        .filter(|&v| v != source && (v as usize) < n)
+        .collect();
+    pool_nodes.sort_unstable();
+    pool_nodes.dedup();
+
+    let sqrt_c = config.simrank.sqrt_decay();
+    let mut walk_pairs = 0u64;
+    let mut pool: Vec<(NodeId, f64)> = Vec::with_capacity(pool_nodes.len());
+    for &candidate in &pool_nodes {
+        let mut rng = walks::make_rng(walks::derive_seed(
+            config.simrank.seed ^ source as u64,
+            candidate as u64,
+        ));
+        let mut meets = 0u64;
+        for _ in 0..config.walks_per_candidate {
+            if pair_meets(graph, source, candidate, sqrt_c, config.walk_length, &mut rng) {
+                meets += 1;
+            }
+        }
+        walk_pairs += config.walks_per_candidate;
+        pool.push((candidate, meets as f64 / config.walks_per_candidate as f64));
+    }
+
+    // Pool-derived reference top-k: by estimated similarity, ties by node id.
+    let mut ranked = pool.clone();
+    ranked.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    let reference_top_k: Vec<NodeId> = ranked.iter().take(k).map(|&(v, _)| v).collect();
+    let reference_set: std::collections::HashSet<NodeId> =
+        reference_top_k.iter().copied().collect();
+
+    let precision = submissions
+        .iter()
+        .map(|submission| {
+            if reference_top_k.is_empty() {
+                return 1.0;
+            }
+            let hits = submission
+                .iter()
+                .filter(|v| reference_set.contains(v))
+                .count();
+            hits as f64 / reference_top_k.len() as f64
+        })
+        .collect();
+
+    Ok(PoolingResult {
+        pool,
+        reference_top_k,
+        precision,
+        walk_pairs,
+    })
+}
+
+/// One Monte-Carlo trial for `S(source, candidate)`: do fresh √c-walks from
+/// the two nodes meet?
+fn pair_meets(
+    graph: &DiGraph,
+    a: NodeId,
+    b: NodeId,
+    sqrt_c: f64,
+    max_steps: usize,
+    rng: &mut rand::rngs::SmallRng,
+) -> bool {
+    let mut x = a;
+    let mut y = b;
+    for _ in 0..max_steps {
+        let nx = walks::step(graph, x, sqrt_c, rng);
+        let ny = walks::step(graph, y, sqrt_c, rng);
+        match (nx, ny) {
+            (Some(px), Some(py)) => {
+                if px == py {
+                    return true;
+                }
+                x = px;
+                y = py;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Convenience wrapper matching the paper's usage: returns only the per-
+/// algorithm precision values.
+pub fn pool_precisions(
+    graph: &DiGraph,
+    source: NodeId,
+    submissions: &[Vec<NodeId>],
+    k: usize,
+    config: PoolingConfig,
+) -> Result<Vec<f64>, SimRankError> {
+    Ok(evaluate_pool(graph, source, submissions, k, config)?.precision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power_method::{PowerMethod, PowerMethodConfig};
+    use crate::topk::top_k_nodes;
+    use exactsim_graph::generators::{barabasi_albert, star};
+
+    #[test]
+    fn perfect_submission_gets_full_precision() {
+        let g = barabasi_albert(40, 2, true, 3).unwrap();
+        let truth = PowerMethod::compute(&g, PowerMethodConfig::default()).unwrap();
+        let exact_top = top_k_nodes(&truth.single_source(0), 0, 5);
+        let garbage: Vec<NodeId> = (30..35).collect();
+        let result = evaluate_pool(
+            &g,
+            0,
+            &[exact_top.clone(), garbage],
+            5,
+            PoolingConfig {
+                walks_per_candidate: 20_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(result.precision[0] >= 0.8, "exact submission scored {}", result.precision[0]);
+        assert!(
+            result.precision[0] >= result.precision[1],
+            "exact submission must not lose to garbage"
+        );
+        assert_eq!(result.pool.len(), result.pool.iter().map(|&(v, _)| v).collect::<std::collections::HashSet<_>>().len());
+    }
+
+    #[test]
+    fn pooled_estimates_are_probabilities() {
+        let g = barabasi_albert(30, 2, true, 7).unwrap();
+        let result = evaluate_pool(
+            &g,
+            1,
+            &[vec![2, 3, 4], vec![5, 6, 7]],
+            3,
+            PoolingConfig {
+                walks_per_candidate: 500,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.pool.len(), 6);
+        for &(_, s) in &result.pool {
+            assert!((0.0..=1.0).contains(&s));
+        }
+        assert_eq!(result.walk_pairs, 6 * 500);
+        assert_eq!(result.reference_top_k.len(), 3);
+    }
+
+    #[test]
+    fn source_and_out_of_range_nodes_are_excluded_from_the_pool() {
+        let g = star(6, true);
+        let result = evaluate_pool(
+            &g,
+            0,
+            &[vec![0, 1, 99], vec![2]],
+            2,
+            PoolingConfig {
+                walks_per_candidate: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pooled: Vec<NodeId> = result.pool.iter().map(|&(v, _)| v).collect();
+        assert!(!pooled.contains(&0));
+        assert!(!pooled.contains(&99));
+        assert_eq!(pooled, vec![1, 2]);
+    }
+
+    #[test]
+    fn pooling_blind_spot_is_observable() {
+        // The paper's §2 criticism: an algorithm can reach 100% pool precision
+        // while missing the real top-k, because the pool only contains what
+        // the participants submitted. Submit two copies of the same wrong
+        // list and watch them both score 1.0.
+        let g = barabasi_albert(40, 2, true, 11).unwrap();
+        let wrong: Vec<NodeId> = vec![30, 31, 32];
+        let result = evaluate_pool(
+            &g,
+            0,
+            &[wrong.clone(), wrong],
+            3,
+            PoolingConfig {
+                walks_per_candidate: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(result.precision, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = star(4, true);
+        assert!(evaluate_pool(&g, 9, &[], 3, PoolingConfig::default()).is_err());
+        let empty = exactsim_graph::GraphBuilder::new(0).build();
+        assert!(evaluate_pool(&empty, 0, &[], 3, PoolingConfig::default()).is_err());
+        let bad = PoolingConfig {
+            walks_per_candidate: 0,
+            ..Default::default()
+        };
+        assert!(evaluate_pool(&g, 0, &[vec![1]], 1, bad).is_err());
+    }
+}

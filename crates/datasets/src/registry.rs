@@ -1,0 +1,352 @@
+//! The Table 2 dataset registry.
+
+use std::path::{Path, PathBuf};
+
+use exactsim_graph::generators::{barabasi_albert, power_law_digraph, PowerLawConfig};
+use exactsim_graph::io::{read_edge_list, EdgeListOptions};
+use exactsim_graph::{DiGraph, GraphError};
+
+/// Whether the original dataset is an undirected or a directed graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Undirected (both edge directions are materialised).
+    Undirected,
+    /// Directed.
+    Directed,
+}
+
+/// One row of the paper's Table 2, together with the recipe for its synthetic
+/// stand-in.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Short key used throughout the paper's figures ("GQ", "HT", …).
+    pub key: &'static str,
+    /// Full dataset name as listed in Table 2.
+    pub name: &'static str,
+    /// Directed or undirected.
+    pub kind: DatasetKind,
+    /// Node count reported in the paper.
+    pub paper_nodes: usize,
+    /// Edge count reported in the paper (undirected edges counted once, as in
+    /// Table 2).
+    pub paper_edges: usize,
+    /// `true` for the four "large" datasets (DB, IC, IT, TW), whose stand-ins
+    /// are scaled down by default.
+    pub large: bool,
+    /// Default scale-down factor applied to the node count when generating
+    /// the stand-in (1.0 for the small datasets).
+    pub default_scale: f64,
+    /// Seed used by the stand-in generator (fixed per dataset so every run of
+    /// the harness sees the same graph).
+    pub seed: u64,
+}
+
+/// A generated (or loaded) dataset instance.
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// The spec this instance came from.
+    pub spec: &'static DatasetSpec,
+    /// The graph.
+    pub graph: DiGraph,
+    /// `true` if the graph was loaded from a real edge list rather than
+    /// generated.
+    pub loaded_from_file: bool,
+    /// The scale factor that was applied to the paper's node count.
+    pub scale: f64,
+}
+
+/// The eight datasets of Table 2.
+static DATASETS: [DatasetSpec; 8] = [
+    DatasetSpec {
+        key: "GQ",
+        name: "ca-GrQc",
+        kind: DatasetKind::Undirected,
+        paper_nodes: 5_242,
+        paper_edges: 28_968,
+        large: false,
+        default_scale: 1.0,
+        seed: 0xD5_01,
+    },
+    DatasetSpec {
+        key: "HT",
+        name: "CA-HepTh",
+        kind: DatasetKind::Undirected,
+        paper_nodes: 9_877,
+        paper_edges: 51_946,
+        large: false,
+        default_scale: 1.0,
+        seed: 0xD5_02,
+    },
+    DatasetSpec {
+        key: "WV",
+        name: "Wikivote",
+        kind: DatasetKind::Directed,
+        paper_nodes: 7_115,
+        paper_edges: 103_689,
+        large: false,
+        default_scale: 1.0,
+        seed: 0xD5_03,
+    },
+    DatasetSpec {
+        key: "HP",
+        name: "CA-HepPh",
+        kind: DatasetKind::Undirected,
+        paper_nodes: 12_008,
+        paper_edges: 236_978,
+        large: false,
+        default_scale: 1.0,
+        seed: 0xD5_04,
+    },
+    DatasetSpec {
+        key: "DB",
+        name: "DBLP-Author",
+        kind: DatasetKind::Undirected,
+        paper_nodes: 5_425_963,
+        paper_edges: 17_298_032,
+        large: true,
+        default_scale: 0.02,
+        seed: 0xD5_05,
+    },
+    DatasetSpec {
+        key: "IC",
+        name: "IndoChina",
+        kind: DatasetKind::Directed,
+        paper_nodes: 7_414_768,
+        paper_edges: 191_606_827,
+        large: true,
+        default_scale: 0.01,
+        seed: 0xD5_06,
+    },
+    DatasetSpec {
+        key: "IT",
+        name: "It-2004",
+        kind: DatasetKind::Directed,
+        paper_nodes: 41_290_682,
+        paper_edges: 1_135_718_909,
+        large: true,
+        default_scale: 0.002,
+        seed: 0xD5_07,
+    },
+    DatasetSpec {
+        key: "TW",
+        name: "Twitter",
+        kind: DatasetKind::Directed,
+        paper_nodes: 41_652_230,
+        paper_edges: 1_468_364_884,
+        large: true,
+        default_scale: 0.002,
+        seed: 0xD5_08,
+    },
+];
+
+/// All eight Table 2 datasets, in the paper's order.
+pub fn all_datasets() -> &'static [DatasetSpec] {
+    &DATASETS
+}
+
+/// The four small datasets (GQ, HT, WV, HP).
+pub fn small_datasets() -> Vec<&'static DatasetSpec> {
+    DATASETS.iter().filter(|d| !d.large).collect()
+}
+
+/// The four large datasets (DB, IC, IT, TW).
+pub fn large_datasets() -> Vec<&'static DatasetSpec> {
+    DATASETS.iter().filter(|d| d.large).collect()
+}
+
+/// Looks a dataset up by its short key (case-insensitive).
+pub fn dataset_by_key(key: &str) -> Option<&'static DatasetSpec> {
+    DATASETS
+        .iter()
+        .find(|d| d.key.eq_ignore_ascii_case(key))
+}
+
+impl DatasetSpec {
+    /// Average (directed) degree implied by Table 2. For undirected datasets
+    /// each edge contributes two directed edges.
+    pub fn paper_average_degree(&self) -> f64 {
+        let m = match self.kind {
+            DatasetKind::Undirected => 2 * self.paper_edges,
+            DatasetKind::Directed => self.paper_edges,
+        };
+        m as f64 / self.paper_nodes as f64
+    }
+
+    /// Number of nodes of the stand-in at a given scale factor.
+    pub fn scaled_nodes(&self, scale: f64) -> usize {
+        ((self.paper_nodes as f64 * scale).round() as usize).max(16)
+    }
+
+    /// Generates the synthetic stand-in at the default scale.
+    pub fn generate(&'static self) -> Result<GeneratedDataset, GraphError> {
+        self.generate_scaled(self.default_scale)
+    }
+
+    /// Generates the synthetic stand-in at an explicit scale factor.
+    ///
+    /// * Undirected datasets use Barabási–Albert preferential attachment with
+    ///   the attachment degree chosen to match the paper's average degree.
+    /// * Directed datasets use the power-law configuration model
+    ///   ([`power_law_digraph`]) with the paper's average degree and a heavy
+    ///   in-degree tail, which is the property the SimRank algorithms'
+    ///   behaviour depends on.
+    pub fn generate_scaled(&'static self, scale: f64) -> Result<GeneratedDataset, GraphError> {
+        let nodes = self.scaled_nodes(scale);
+        let graph = match self.kind {
+            DatasetKind::Undirected => {
+                // Match the undirected average degree m/n; each new node
+                // attaches with that many undirected edges.
+                let attach = (self.paper_edges as f64 / self.paper_nodes as f64)
+                    .round()
+                    .max(1.0) as usize;
+                barabasi_albert(nodes.max(attach + 2), attach, true, self.seed)?
+            }
+            DatasetKind::Directed => {
+                let avg_degree = self.paper_edges as f64 / self.paper_nodes as f64;
+                let edges = (avg_degree * nodes as f64).round() as usize;
+                let max_possible = nodes.saturating_mul(nodes.saturating_sub(1));
+                power_law_digraph(PowerLawConfig {
+                    nodes,
+                    edges: edges.min(max_possible / 2),
+                    gamma_in: 2.1,
+                    gamma_out: 2.4,
+                    seed: self.seed,
+                })?
+            }
+        };
+        Ok(GeneratedDataset {
+            spec: self,
+            graph,
+            loaded_from_file: false,
+            scale,
+        })
+    }
+
+    /// The conventional on-disk path of the real edge list for this dataset,
+    /// relative to a data directory: `<dir>/<key>.edges`.
+    pub fn edge_list_path(&self, data_dir: &Path) -> PathBuf {
+        data_dir.join(format!("{}.edges", self.key.to_ascii_lowercase()))
+    }
+
+    /// Loads the real edge list if present under `data_dir`, otherwise
+    /// generates the synthetic stand-in at the default scale.
+    pub fn load_or_generate(&'static self, data_dir: &Path) -> Result<GeneratedDataset, GraphError> {
+        let path = self.edge_list_path(data_dir);
+        if path.exists() {
+            let options = EdgeListOptions {
+                undirected: self.kind == DatasetKind::Undirected,
+                ..Default::default()
+            };
+            let loaded = read_edge_list(&path, options)?;
+            return Ok(GeneratedDataset {
+                spec: self,
+                graph: loaded.graph,
+                loaded_from_file: true,
+                scale: 1.0,
+            });
+        }
+        self.generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table_2() {
+        assert_eq!(all_datasets().len(), 8);
+        assert_eq!(small_datasets().len(), 4);
+        assert_eq!(large_datasets().len(), 4);
+        let gq = dataset_by_key("gq").unwrap();
+        assert_eq!(gq.name, "ca-GrQc");
+        assert_eq!(gq.paper_nodes, 5_242);
+        let tw = dataset_by_key("TW").unwrap();
+        assert!(tw.large);
+        assert_eq!(tw.paper_edges, 1_468_364_884);
+        assert!(dataset_by_key("nope").is_none());
+    }
+
+    #[test]
+    fn keys_are_unique() {
+        let mut keys: Vec<_> = all_datasets().iter().map(|d| d.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 8);
+    }
+
+    #[test]
+    fn small_stand_ins_match_paper_scale() {
+        let gq = dataset_by_key("GQ").unwrap().generate().unwrap();
+        assert!(!gq.loaded_from_file);
+        assert_eq!(gq.graph.num_nodes(), 5_242);
+        // Average directed degree within 2x of the paper's (the generator
+        // matches it only approximately).
+        let paper_avg = gq.spec.paper_average_degree();
+        let actual_avg = gq.graph.average_degree();
+        assert!(
+            actual_avg > paper_avg / 2.0 && actual_avg < paper_avg * 2.0,
+            "avg degree {actual_avg} vs paper {paper_avg}"
+        );
+    }
+
+    #[test]
+    fn directed_stand_in_is_directed_and_scaled() {
+        let wv = dataset_by_key("WV").unwrap().generate().unwrap();
+        assert_eq!(wv.graph.num_nodes(), 7_115);
+        // A directed stand-in should have plenty of asymmetric edges.
+        let asymmetric = wv
+            .graph
+            .iter_edges()
+            .take(2000)
+            .filter(|&(u, v)| !wv.graph.has_edge(v, u))
+            .count();
+        assert!(asymmetric > 100, "stand-in looks undirected");
+    }
+
+    #[test]
+    fn large_stand_ins_are_scaled_down() {
+        let db = dataset_by_key("DB").unwrap().generate().unwrap();
+        assert!(db.graph.num_nodes() < db.spec.paper_nodes / 10);
+        assert!(db.graph.num_nodes() > 10_000);
+        let it = dataset_by_key("IT").unwrap().generate_scaled(0.0005).unwrap();
+        assert!(it.graph.num_nodes() < 50_000);
+        assert!(it.graph.num_edges() > it.graph.num_nodes());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = dataset_by_key("HT").unwrap().generate_scaled(0.1).unwrap();
+        let b = dataset_by_key("HT").unwrap().generate_scaled(0.1).unwrap();
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(
+            a.graph.iter_edges().take(100).collect::<Vec<_>>(),
+            b.graph.iter_edges().take(100).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn load_or_generate_prefers_real_files() {
+        let dir = std::env::temp_dir().join("exactsim_dataset_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dataset_by_key("GQ").unwrap();
+        let path = spec.edge_list_path(&dir);
+        std::fs::write(&path, "0 1\n1 2\n2 0\n").unwrap();
+        let loaded = spec.load_or_generate(&dir).unwrap();
+        assert!(loaded.loaded_from_file);
+        assert_eq!(loaded.graph.num_nodes(), 3);
+        // Undirected dataset: the file is symmetrised on load.
+        assert_eq!(loaded.graph.num_edges(), 6);
+        std::fs::remove_file(&path).ok();
+
+        let generated = spec.load_or_generate(&dir).unwrap();
+        assert!(!generated.loaded_from_file);
+        assert_eq!(generated.graph.num_nodes(), 5_242);
+    }
+
+    #[test]
+    fn scaled_nodes_has_a_floor() {
+        let spec = dataset_by_key("GQ").unwrap();
+        assert!(spec.scaled_nodes(0.000001) >= 16);
+    }
+}

@@ -1,0 +1,219 @@
+//! Weakly and strongly connected components.
+
+use crate::digraph::DiGraph;
+use crate::NodeId;
+
+/// A labelling of every node with a component id `0..num_components`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// `labels[v]` is the component id of node `v`.
+    pub labels: Vec<usize>,
+    /// Number of distinct components.
+    pub num_components: usize,
+}
+
+impl ComponentLabels {
+    /// Size of each component, indexed by component id.
+    pub fn component_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_components];
+        for &c in &self.labels {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest_component_size(&self) -> usize {
+        self.component_sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// `true` iff nodes `u` and `v` share a component.
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u as usize] == self.labels[v as usize]
+    }
+}
+
+/// Weakly connected components: edge direction is ignored. Iterative BFS.
+pub fn weakly_connected_components(graph: &DiGraph) -> ComponentLabels {
+    let n = graph.num_nodes();
+    const UNVISITED: usize = usize::MAX;
+    let mut labels = vec![UNVISITED; n];
+    let mut num_components = 0usize;
+    let mut queue: Vec<NodeId> = Vec::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != UNVISITED {
+            continue;
+        }
+        labels[start as usize] = num_components;
+        queue.clear();
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &w in graph.out_neighbors(v).iter().chain(graph.in_neighbors(v)) {
+                if labels[w as usize] == UNVISITED {
+                    labels[w as usize] = num_components;
+                    queue.push(w);
+                }
+            }
+        }
+        num_components += 1;
+    }
+    ComponentLabels {
+        labels,
+        num_components,
+    }
+}
+
+/// Strongly connected components via an iterative Tarjan algorithm
+/// (explicit stack, so deep graphs cannot overflow the call stack).
+pub fn strongly_connected_components(graph: &DiGraph) -> ComponentLabels {
+    let n = graph.num_nodes();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut labels = vec![UNSET; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut num_components = 0usize;
+
+    // Each frame is (node, position in its out-neighbor list).
+    let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            let neighbors = graph.out_neighbors(v);
+            if *child_pos < neighbors.len() {
+                let w = neighbors[*child_pos];
+                *child_pos += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v is the root of an SCC: pop the stack down to v.
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        labels[w as usize] = num_components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_components += 1;
+                }
+            }
+        }
+    }
+    ComponentLabels {
+        labels,
+        num_components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path, star};
+    use crate::DiGraph;
+
+    #[test]
+    fn wcc_on_disconnected_graph() {
+        // Two separate edges and one isolated node: 3 weak components.
+        let g = DiGraph::from_edges(5, &[(0, 1), (2, 3)]);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.num_components, 3);
+        assert!(wcc.same_component(0, 1));
+        assert!(wcc.same_component(2, 3));
+        assert!(!wcc.same_component(0, 2));
+        assert_eq!(wcc.component_sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn wcc_ignores_direction() {
+        let g = path(6);
+        let wcc = weakly_connected_components(&g);
+        assert_eq!(wcc.num_components, 1);
+        assert_eq!(wcc.largest_component_size(), 6);
+    }
+
+    #[test]
+    fn scc_on_cycle_is_single_component() {
+        let g = cycle(8);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 1);
+    }
+
+    #[test]
+    fn scc_on_path_is_singletons() {
+        let g = path(5);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 5);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                if u != v {
+                    assert!(!scc.same_component(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scc_mixed_structure() {
+        // A 3-cycle {0,1,2}, plus 3 -> 0 and 2 -> 4: SCCs are {0,1,2}, {3}, {4}.
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (3, 0), (2, 4)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.num_components, 3);
+        assert!(scc.same_component(0, 1));
+        assert!(scc.same_component(1, 2));
+        assert!(!scc.same_component(0, 3));
+        assert!(!scc.same_component(0, 4));
+        assert_eq!(scc.largest_component_size(), 3);
+    }
+
+    #[test]
+    fn scc_on_star_is_singletons_wcc_is_one() {
+        let g = star(7, false);
+        assert_eq!(strongly_connected_components(&g).num_components, 7);
+        assert_eq!(weakly_connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn empty_graph_has_zero_components() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert_eq!(weakly_connected_components(&g).num_components, 0);
+        assert_eq!(strongly_connected_components(&g).num_components, 0);
+        assert_eq!(
+            weakly_connected_components(&g).largest_component_size(),
+            0
+        );
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 50k-node path exercises the iterative implementations.
+        let g = path(50_000);
+        assert_eq!(weakly_connected_components(&g).num_components, 1);
+        assert_eq!(strongly_connected_components(&g).num_components, 50_000);
+    }
+}

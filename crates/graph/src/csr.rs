@@ -1,0 +1,205 @@
+//! Compressed-sparse-row adjacency storage.
+
+use crate::NodeId;
+
+/// One orientation of a graph's adjacency in compressed-sparse-row form.
+///
+/// For a graph with `n` nodes, `offsets` has length `n + 1` and the neighbors
+/// of node `v` are `targets[offsets[v] .. offsets[v + 1]]`. Neighbor lists are
+/// sorted ascending, which makes membership tests `O(log deg)` and keeps
+/// iteration cache-friendly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Builds a CSR structure from per-source neighbor lists.
+    ///
+    /// `edges` is an iterator of `(source, target)` pairs; `num_nodes` fixes
+    /// the node-id space. Neighbor lists are sorted; duplicates are *kept*
+    /// (deduplication is the builder's responsibility).
+    pub fn from_edges<I>(num_nodes: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut degrees = vec![0usize; num_nodes];
+        let edges: Vec<(NodeId, NodeId)> = edges.into_iter().collect();
+        for &(u, _) in &edges {
+            degrees[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; acc];
+        for (u, v) in edges {
+            let slot = cursor[u as usize];
+            targets[slot] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort each adjacency list for deterministic iteration order.
+        for v in 0..num_nodes {
+            targets[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Builds a CSR structure directly from already-counted, already-sorted parts.
+    ///
+    /// `offsets.len()` must be `num_nodes + 1`, `offsets[0] == 0`, offsets must
+    /// be non-decreasing and `offsets[num_nodes] == targets.len()`.
+    /// Panics (debug assertions) if the invariants do not hold.
+    pub fn from_raw_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(offsets[0], 0);
+        debug_assert_eq!(*offsets.last().unwrap(), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// Number of nodes covered by this adjacency.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v` in this orientation.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Neighbor slice of `v` in this orientation (sorted ascending).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// `true` iff the directed edge `u → v` is stored.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all stored `(source, target)` pairs in source order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes()).flat_map(move |u| {
+            self.neighbors(u as NodeId)
+                .iter()
+                .map(move |&v| (u as NodeId, v))
+        })
+    }
+
+    /// Approximate heap footprint of this structure in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+
+    /// The raw offsets array (length `num_nodes + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw targets array (length `num_edges`).
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrAdjacency {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        CsrAdjacency::from_edges(4, vec![(0, 2), (0, 1), (1, 2), (3, 0)])
+    }
+
+    #[test]
+    fn builds_and_sorts_neighbor_lists() {
+        let csr = sample();
+        assert_eq!(csr.num_nodes(), 4);
+        assert_eq!(csr.num_edges(), 4);
+        assert_eq!(csr.neighbors(0), &[1, 2]);
+        assert_eq!(csr.neighbors(1), &[2]);
+        assert_eq!(csr.neighbors(2), &[] as &[NodeId]);
+        assert_eq!(csr.neighbors(3), &[0]);
+    }
+
+    #[test]
+    fn degree_matches_neighbor_length() {
+        let csr = sample();
+        for v in 0..4u32 {
+            assert_eq!(csr.degree(v), csr.neighbors(v).len());
+        }
+    }
+
+    #[test]
+    fn has_edge_uses_binary_search() {
+        let csr = sample();
+        assert!(csr.has_edge(0, 1));
+        assert!(csr.has_edge(0, 2));
+        assert!(!csr.has_edge(2, 0));
+        assert!(!csr.has_edge(0, 3));
+    }
+
+    #[test]
+    fn iter_edges_round_trips() {
+        let csr = sample();
+        let edges: Vec<_> = csr.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (3, 0)]);
+        let rebuilt = CsrAdjacency::from_edges(4, edges);
+        assert_eq!(rebuilt, csr);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let csr = CsrAdjacency::from_edges(0, Vec::new());
+        assert_eq!(csr.num_nodes(), 0);
+        assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn nodes_without_edges_have_zero_degree() {
+        let csr = CsrAdjacency::from_edges(5, vec![(0, 1)]);
+        assert_eq!(csr.degree(4), 0);
+        assert_eq!(csr.neighbors(4), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_kept() {
+        let csr = CsrAdjacency::from_edges(2, vec![(0, 1), (0, 1)]);
+        assert_eq!(csr.num_edges(), 2);
+        assert_eq!(csr.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn from_raw_parts_round_trip() {
+        let csr = sample();
+        let rebuilt =
+            CsrAdjacency::from_raw_parts(csr.offsets().to_vec(), csr.targets().to_vec());
+        assert_eq!(rebuilt, csr);
+    }
+
+    #[test]
+    fn memory_bytes_is_positive_for_nonempty() {
+        let csr = sample();
+        assert!(csr.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! The directed graph type used by every SimRank algorithm.
+
+use crate::csr::CsrAdjacency;
+use crate::NodeId;
+
+/// A directed graph with both orientations materialised in CSR form.
+///
+/// SimRank's random-walk interpretation walks *backwards* along edges (to a
+/// uniformly random in-neighbor), while the Linearization family of algorithms
+/// needs both `P·x` (mass flowing from a node to its in-neighbors) and `Pᵀ·x`
+/// (averaging over in-neighbors). Storing the out-CSR and the in-CSR side by
+/// side makes both directions `O(deg)` with contiguous memory access.
+///
+/// The structure is immutable after construction; build it with
+/// [`crate::GraphBuilder`] or one of the [`crate::generators`].
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    num_nodes: usize,
+    num_edges: usize,
+    out_adj: CsrAdjacency,
+    in_adj: CsrAdjacency,
+}
+
+impl DiGraph {
+    /// Assembles a graph from pre-built CSR orientations.
+    ///
+    /// `out_adj` stores edges as `u → v` under source `u`; `in_adj` stores the
+    /// same edges under target `v`. Both must cover the same node count and
+    /// edge count (checked by debug assertions).
+    pub fn from_csr(out_adj: CsrAdjacency, in_adj: CsrAdjacency) -> Self {
+        debug_assert_eq!(out_adj.num_nodes(), in_adj.num_nodes());
+        debug_assert_eq!(out_adj.num_edges(), in_adj.num_edges());
+        DiGraph {
+            num_nodes: out_adj.num_nodes(),
+            num_edges: out_adj.num_edges(),
+            out_adj,
+            in_adj,
+        }
+    }
+
+    /// Convenience constructor from an explicit edge list.
+    ///
+    /// Node ids must be `< num_nodes`. Duplicate edges are kept as-is; use
+    /// [`crate::GraphBuilder`] for deduplication and validation.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let out_adj = CsrAdjacency::from_edges(num_nodes, edges.iter().copied());
+        let in_adj = CsrAdjacency::from_edges(num_nodes, edges.iter().map(|&(u, v)| (v, u)));
+        DiGraph::from_csr(out_adj, in_adj)
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// `true` iff the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes == 0
+    }
+
+    /// In-degree `din(v)`: the number of edges `u → v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_adj.degree(v)
+    }
+
+    /// Out-degree `dout(v)`: the number of edges `v → w`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_adj.degree(v)
+    }
+
+    /// In-neighbors `I(v)` — the sources of edges pointing at `v` (sorted).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.in_adj.neighbors(v)
+    }
+
+    /// Out-neighbors `O(v)` — the targets of edges leaving `v` (sorted).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.out_adj.neighbors(v)
+    }
+
+    /// `true` iff the directed edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        // Use the smaller adjacency list for the binary search.
+        if self.out_degree(u) <= self.in_degree(v) {
+            self.out_adj.has_edge(u, v)
+        } else {
+            self.in_adj.has_edge(v, u)
+        }
+    }
+
+    /// Iterates over all edges `(u, v)` meaning `u → v`, grouped by source.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out_adj.iter_edges()
+    }
+
+    /// Iterates over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.num_nodes as NodeId
+    }
+
+    /// The out-orientation CSR (edges keyed by source).
+    #[inline]
+    pub fn out_csr(&self) -> &CsrAdjacency {
+        &self.out_adj
+    }
+
+    /// The in-orientation CSR (edges keyed by target).
+    #[inline]
+    pub fn in_csr(&self) -> &CsrAdjacency {
+        &self.in_adj
+    }
+
+    /// Returns the transposed graph (every edge reversed).
+    pub fn transpose(&self) -> DiGraph {
+        DiGraph {
+            num_nodes: self.num_nodes,
+            num_edges: self.num_edges,
+            out_adj: self.in_adj.clone(),
+            in_adj: self.out_adj.clone(),
+        }
+    }
+
+    /// Number of nodes with `din(v) = 0` ("dangling" for the backward walk).
+    pub fn count_sources(&self) -> usize {
+        self.nodes().filter(|&v| self.in_degree(v) == 0).count()
+    }
+
+    /// Number of nodes with `dout(v) = 0` (sinks).
+    pub fn count_sinks(&self) -> usize {
+        self.nodes().filter(|&v| self.out_degree(v) == 0).count()
+    }
+
+    /// Average in-degree `m / n` (0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_edges as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Maximum in-degree over all nodes (0 for the empty graph).
+    pub fn max_in_degree(&self) -> usize {
+        self.nodes().map(|v| self.in_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Maximum out-degree over all nodes (0 for the empty graph).
+    pub fn max_out_degree(&self) -> usize {
+        self.nodes().map(|v| self.out_degree(v)).max().unwrap_or(0)
+    }
+
+    /// Approximate heap footprint of the graph structure in bytes.
+    ///
+    /// This is what the paper's Table 3 calls the "graph size": the memory
+    /// needed to hold both CSR orientations.
+    pub fn memory_bytes(&self) -> usize {
+        self.out_adj.memory_bytes() + self.in_adj.memory_bytes()
+    }
+
+    /// Validates internal consistency (both orientations describe the same
+    /// edge multiset). Intended for tests and debugging; `O(m log m)`.
+    pub fn validate(&self) -> bool {
+        if self.out_adj.num_edges() != self.in_adj.num_edges() {
+            return false;
+        }
+        let mut fwd: Vec<(NodeId, NodeId)> = self.out_adj.iter_edges().collect();
+        let mut bwd: Vec<(NodeId, NodeId)> =
+            self.in_adj.iter_edges().map(|(v, u)| (u, v)).collect();
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        fwd == bwd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 4-node "paper" example: 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0.
+    fn sample() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(!g.is_empty());
+        assert!((g.average_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_and_neighbors_are_consistent() {
+        let g = sample();
+        assert_eq!(g.in_degree(2), 2);
+        assert_eq!(g.in_neighbors(2), &[0, 1]);
+        assert_eq!(g.out_degree(2), 1);
+        assert_eq!(g.out_neighbors(2), &[3]);
+        assert_eq!(g.in_degree(1), 0);
+        assert_eq!(g.in_neighbors(1), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn has_edge_checks_direction() {
+        let g = sample();
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(2, 0));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn transpose_reverses_all_edges() {
+        let g = sample();
+        let t = g.transpose();
+        assert_eq!(t.num_edges(), g.num_edges());
+        for (u, v) in g.iter_edges() {
+            assert!(t.has_edge(v, u));
+        }
+        assert!(t.validate());
+    }
+
+    #[test]
+    fn source_and_sink_counts() {
+        let g = sample();
+        assert_eq!(g.count_sources(), 1); // node 1 has no in-edges
+        assert_eq!(g.count_sinks(), 0); // every node has at least one out-edge
+        let with_sink = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(with_sink.count_sinks(), 1); // node 2 has no out-edges
+        assert_eq!(with_sink.count_sources(), 1); // node 0 has no in-edges
+    }
+
+    #[test]
+    fn max_degrees() {
+        let g = sample();
+        assert_eq!(g.max_in_degree(), 2);
+        assert_eq!(g.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn validate_detects_consistency() {
+        let g = sample();
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert!(g.is_empty());
+        assert_eq!(g.count_sources(), 0);
+        assert_eq!(g.max_in_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert!(g.validate());
+    }
+
+    #[test]
+    fn isolated_nodes_are_allowed() {
+        let g = DiGraph::from_edges(10, &[(0, 1)]);
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.in_degree(9), 0);
+        assert_eq!(g.out_degree(9), 0);
+    }
+
+    #[test]
+    fn nodes_iterator_covers_all() {
+        let g = sample();
+        let nodes: Vec<_> = g.nodes().collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn memory_accounting_scales_with_edges() {
+        let small = DiGraph::from_edges(4, &[(0, 1)]);
+        let big = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3)]);
+        assert!(big.memory_bytes() > small.memory_bytes());
+    }
+}

@@ -1,0 +1,99 @@
+//! Error types for graph construction and IO.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, loading or validating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge referenced a node id `>= n` for a graph declared with `n` nodes.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The declared number of nodes.
+        num_nodes: u64,
+    },
+    /// The edge-list input could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An underlying IO failure (file not found, permission, …).
+    Io(io::Error),
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more edges than node pairs, zero nodes for a model that needs a seed clique).
+    InvalidGeneratorParams(String),
+    /// The graph is empty but the operation requires at least one node.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => write!(
+                f,
+                "node id {node} out of range for graph with {num_nodes} nodes"
+            ),
+            GraphError::Parse { line, message } => {
+                write!(f, "edge-list parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+            GraphError::InvalidGeneratorParams(msg) => {
+                write!(f, "invalid generator parameters: {msg}")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange {
+            node: 10,
+            num_nodes: 5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains('5'));
+
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected two fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+
+        let e = GraphError::InvalidGeneratorParams("m > n".into());
+        assert!(e.to_string().contains("m > n"));
+
+        assert!(GraphError::EmptyGraph.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_and_sourced() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io_err.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,174 @@
+//! Small regular graph families with hand-checkable SimRank values.
+//!
+//! These are used throughout the test suites: on a star, a complete graph or a
+//! cycle, the SimRank matrix can be derived in closed form (or at least
+//! reasoned about), which provides ground truth independent of any of the
+//! algorithms under test.
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::NodeId;
+
+/// Complete directed graph on `n` nodes (every ordered pair except self-loops).
+pub fn complete(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(n.saturating_sub(1)));
+    for u in 0..n as NodeId {
+        for v in 0..n as NodeId {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Star graph: leaves `1..n` all point at the hub `0`.
+///
+/// If `bidirectional` is true the hub also points back at every leaf (the
+/// undirected star). In the directed star all leaves have identical
+/// in-neighborhood structure, so `S(i, j) = c` for distinct leaves `i, j`
+/// after one SimRank iteration... in fact exactly `c` because both walk
+/// straight to the hub and meet at step 1 with probability `c`.
+pub fn star(n: usize, bidirectional: bool) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    for leaf in 1..n as NodeId {
+        b.add_edge(leaf, 0);
+        if bidirectional {
+            b.add_edge(0, leaf);
+        }
+    }
+    b.build()
+}
+
+/// Directed cycle `0 → 1 → … → n-1 → 0`.
+pub fn cycle(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    if n > 1 {
+        for u in 0..n as NodeId {
+            b.add_edge(u, (u + 1) % n as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// Directed path `0 → 1 → … → n-1`.
+pub fn path(n: usize) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for u in 0..n.saturating_sub(1) as NodeId {
+        b.add_edge(u, u + 1);
+    }
+    b.build()
+}
+
+/// Undirected `rows × cols` grid (4-neighborhood), both edge directions
+/// materialised. Node `(r, c)` has index `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> DiGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 4 * n).symmetric(true);
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = (r * cols + c) as NodeId;
+            if c + 1 < cols {
+                b.add_edge(v, v + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(v, v + cols as NodeId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 20);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 4);
+            assert_eq!(g.out_degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn complete_trivial_sizes() {
+        assert_eq!(complete(0).num_nodes(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn directed_star_structure() {
+        let g = star(5, false);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.in_degree(0), 4);
+        assert_eq!(g.out_degree(0), 0);
+        for leaf in 1..5u32 {
+            assert_eq!(g.in_degree(leaf), 0);
+            assert_eq!(g.out_degree(leaf), 1);
+        }
+    }
+
+    #[test]
+    fn bidirectional_star_structure() {
+        let g = star(4, true);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.in_degree(0), 3);
+        assert_eq!(g.out_degree(0), 3);
+        for leaf in 1..4u32 {
+            assert_eq!(g.in_degree(leaf), 1);
+        }
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.in_degree(v), 1);
+            assert_eq!(g.out_degree(v), 1);
+        }
+        assert!(g.has_edge(5, 0));
+        assert_eq!(cycle(1).num_edges(), 0);
+        assert_eq!(cycle(0).num_nodes(), 0);
+    }
+
+    #[test]
+    fn path_structure() {
+        let g = path(4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.out_degree(3), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(0).num_nodes(), 0);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_nodes(), 12);
+        // Undirected edges: horizontal 3*3 + vertical 2*4 = 17, doubled = 34.
+        assert_eq!(g.num_edges(), 34);
+        // Corner has degree 2, interior node degree 4.
+        assert_eq!(g.in_degree(0), 2);
+        let interior = (1 * 4 + 1) as NodeId;
+        assert_eq!(g.in_degree(interior), 4);
+        // Symmetric.
+        for (u, v) in g.iter_edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn grid_degenerate_shapes() {
+        assert_eq!(grid(1, 1).num_edges(), 0);
+        let line = grid(1, 5);
+        assert_eq!(line.num_edges(), 8);
+        assert_eq!(grid(0, 7).num_nodes(), 0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Stochastic block model generator.
+//!
+//! SimRank is a *structural similarity*: nodes in the same densely connected
+//! community should score higher against each other than against nodes in
+//! other communities. The stochastic block model produces exactly that
+//! structure with a controllable signal strength, which makes it the workload
+//! for the "top-k recommendation" example and for sanity tests that top-k
+//! results respect community boundaries.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::digraph::DiGraph;
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// Parameters for [`stochastic_block_model`].
+#[derive(Clone, Debug)]
+pub struct SbmConfig {
+    /// Size of each community (block); the graph has `block_sizes.sum()` nodes.
+    pub block_sizes: Vec<usize>,
+    /// Probability of an (undirected) edge within a community.
+    pub p_within: f64,
+    /// Probability of an (undirected) edge across communities.
+    pub p_between: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SbmConfig {
+    fn default() -> Self {
+        SbmConfig {
+            block_sizes: vec![50, 50, 50],
+            p_within: 0.2,
+            p_between: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated graph plus the community assignment of every node.
+#[derive(Clone, Debug)]
+pub struct SbmGraph {
+    /// The undirected (symmetrised) graph.
+    pub graph: DiGraph,
+    /// `community[v]` is the block index of node `v`.
+    pub community: Vec<usize>,
+}
+
+/// Generates an undirected stochastic block model graph (both edge directions
+/// materialised).
+pub fn stochastic_block_model(config: SbmConfig) -> Result<SbmGraph, GraphError> {
+    for &p in &[config.p_within, config.p_between] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(GraphError::InvalidGeneratorParams(format!(
+                "probabilities must be in [0,1], got {p}"
+            )));
+        }
+    }
+    let n: usize = config.block_sizes.iter().sum();
+    let mut community = Vec::with_capacity(n);
+    for (block, &size) in config.block_sizes.iter().enumerate() {
+        community.extend(std::iter::repeat_n(block, size));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::new(n).symmetric(true);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if community[u] == community[v] {
+                config.p_within
+            } else {
+                config.p_between
+            };
+            if rng.gen::<f64>() < p {
+                builder.add_edge(u as NodeId, v as NodeId);
+            }
+        }
+    }
+    Ok(SbmGraph {
+        graph: builder.build(),
+        community,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_sizes_and_assignment() {
+        let cfg = SbmConfig {
+            block_sizes: vec![10, 20, 30],
+            ..Default::default()
+        };
+        let sbm = stochastic_block_model(cfg).unwrap();
+        assert_eq!(sbm.graph.num_nodes(), 60);
+        assert_eq!(sbm.community.len(), 60);
+        assert_eq!(sbm.community[0], 0);
+        assert_eq!(sbm.community[15], 1);
+        assert_eq!(sbm.community[59], 2);
+    }
+
+    #[test]
+    fn within_block_density_exceeds_between_block_density() {
+        let cfg = SbmConfig {
+            block_sizes: vec![40, 40],
+            p_within: 0.3,
+            p_between: 0.02,
+            seed: 7,
+        };
+        let sbm = stochastic_block_model(cfg).unwrap();
+        let g = &sbm.graph;
+        let mut within = 0usize;
+        let mut between = 0usize;
+        for (u, v) in g.iter_edges() {
+            if sbm.community[u as usize] == sbm.community[v as usize] {
+                within += 1;
+            } else {
+                between += 1;
+            }
+        }
+        // Within pairs: 2 * C(40,2) = 1560 ordered symmetric edges expected ~ 0.3.
+        // Between pairs: 40*40 = 1600 with ~0.02.
+        assert!(
+            within > 4 * between,
+            "within={within} between={between} should be strongly separated"
+        );
+    }
+
+    #[test]
+    fn graph_is_symmetric() {
+        let sbm = stochastic_block_model(SbmConfig::default()).unwrap();
+        for (u, v) in sbm.graph.iter_edges() {
+            assert!(sbm.graph.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = stochastic_block_model(SbmConfig::default()).unwrap();
+        let b = stochastic_block_model(SbmConfig::default()).unwrap();
+        assert_eq!(
+            a.graph.iter_edges().collect::<Vec<_>>(),
+            b.graph.iter_edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_probabilities() {
+        let cfg = SbmConfig {
+            p_within: 1.2,
+            ..Default::default()
+        };
+        assert!(stochastic_block_model(cfg).is_err());
+    }
+
+    #[test]
+    fn empty_model() {
+        let cfg = SbmConfig {
+            block_sizes: vec![],
+            ..Default::default()
+        };
+        let sbm = stochastic_block_model(cfg).unwrap();
+        assert!(sbm.graph.is_empty());
+        assert!(sbm.community.is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Dense vector helpers (`Vec<f64>` indexed by node id).
+
+/// Returns the all-zero vector of length `n`.
+pub fn zero_vector(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}
+
+/// Returns the one-hot vector `e_i` of length `n`.
+///
+/// # Panics
+/// Panics if `i >= n`.
+pub fn unit_vector(n: usize, i: u32) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    v[i as usize] = 1.0;
+    v
+}
+
+/// The L1 norm `Σ |x_k|`.
+pub fn l1_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// The squared L2 norm `Σ x_k²` (the `‖π_i‖²` quantity of Lemma 3).
+pub fn l2_norm_sq(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// The dot product `Σ x_k·y_k`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot product of mismatched lengths");
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// In-place scaling `x ← a·x`.
+pub fn scale(x: &mut [f64], a: f64) {
+    for v in x.iter_mut() {
+        *v *= a;
+    }
+}
+
+/// In-place addition `y ← y + x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn add_assign(y: &mut [f64], x: &[f64]) {
+    assert_eq!(x.len(), y.len(), "add_assign of mismatched lengths");
+    for (yk, xk) in y.iter_mut().zip(x.iter()) {
+        *yk += xk;
+    }
+}
+
+/// In-place `y ← y + a·x`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn axpy(y: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
+    for (yk, xk) in y.iter_mut().zip(x.iter()) {
+        *yk += a * xk;
+    }
+}
+
+/// The L∞ distance `max_k |x_k − y_k|` — the paper's *MaxError* when `x` is an
+/// estimate and `y` the ground truth.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn linf_distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "linf_distance of mismatched lengths");
+    x.iter()
+        .zip(y.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_vector_has_single_one() {
+        let e = unit_vector(4, 2);
+        assert_eq!(e, vec![0.0, 0.0, 1.0, 0.0]);
+        assert!((l1_norm(&e) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unit_vector_out_of_range_panics() {
+        let _ = unit_vector(2, 5);
+    }
+
+    #[test]
+    fn norms_and_dot() {
+        let x = vec![3.0, -4.0];
+        assert!((l1_norm(&x) - 7.0).abs() < 1e-15);
+        assert!((l2_norm_sq(&x) - 25.0).abs() < 1e-15);
+        let y = vec![1.0, 2.0];
+        assert!((dot(&x, &y) - (3.0 - 8.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_add_axpy() {
+        let mut x = vec![1.0, 2.0];
+        scale(&mut x, 2.0);
+        assert_eq!(x, vec![2.0, 4.0]);
+        let mut y = vec![1.0, 1.0];
+        add_assign(&mut y, &x);
+        assert_eq!(y, vec![3.0, 5.0]);
+        axpy(&mut y, 0.5, &x);
+        assert_eq!(y, vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn linf_distance_is_max_abs_diff() {
+        let x = vec![0.0, 1.0, 2.0];
+        let y = vec![0.5, 1.0, -1.0];
+        assert!((linf_distance(&x, &y) - 3.0).abs() < 1e-15);
+        assert_eq!(linf_distance(&x, &x), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_vector_is_zero() {
+        let z = zero_vector(3);
+        assert_eq!(z, vec![0.0; 3]);
+    }
+}

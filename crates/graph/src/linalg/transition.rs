@@ -1,0 +1,288 @@
+//! The reverse transition operator `P` and its transpose.
+//!
+//! With `P(i, j) = 1/din(j)` for `i ∈ I(j)` (edge `i → j` exists):
+//!
+//! * `(P·x)(i) = Σ_{j ∈ O(i)} x(j) / din(j)` — node `i` *receives* from every
+//!   node `j` it points at, i.e. mass flows backwards along edges. Applying
+//!   `√c·P` repeatedly to `e_i` yields the ℓ-hop walk distributions of the
+//!   √c-walk started at `i` (up to the `(1-√c)` stop factor).
+//! * `(Pᵀ·x)(i) = (1/din(i)) Σ_{j ∈ I(i)} x(j)` — averaging over in-neighbors,
+//!   the accumulation step of the Linearization recurrence (eq. 6/9).
+//!
+//! Nodes with `din = 0` contribute nothing under `P` and receive nothing under
+//! `Pᵀ`, matching the convention that a √c-walk stuck at such a node simply
+//! stops (the paper's Algorithm 3 handles this case explicitly with
+//! `D(k,k) = 1`).
+
+use crate::digraph::DiGraph;
+use crate::linalg::sparse_vec::SparseVec;
+use crate::NodeId;
+
+/// Dense `y ← P·x`. `x` and `y` must have length `n`; `y` is overwritten.
+///
+/// # Panics
+/// Panics if `x` or `y` has length different from `graph.num_nodes()`.
+pub fn p_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
+    let n = graph.num_nodes();
+    assert_eq!(x.len(), n, "input vector length must equal num_nodes");
+    assert_eq!(y.len(), n, "output vector length must equal num_nodes");
+    // (P·x)(i) = Σ_{j ∈ O(i)} x(j)/din(j). Precomputing x(j)/din(j) once per j
+    // and gathering over out-neighbors keeps the inner loop to one multiply-add.
+    // We instead scatter from each j to its in-neighbors, which touches each
+    // edge exactly once and avoids recomputing 1/din(j) per edge.
+    for v in y.iter_mut() {
+        *v = 0.0;
+    }
+    for j in 0..n as NodeId {
+        let xj = x[j as usize];
+        if xj == 0.0 {
+            continue;
+        }
+        let din = graph.in_degree(j);
+        if din == 0 {
+            continue;
+        }
+        let share = xj / din as f64;
+        for &i in graph.in_neighbors(j) {
+            y[i as usize] += share;
+        }
+    }
+}
+
+/// Dense `y ← Pᵀ·x`. `x` and `y` must have length `n`; `y` is overwritten.
+///
+/// # Panics
+/// Panics if `x` or `y` has length different from `graph.num_nodes()`.
+pub fn pt_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
+    let n = graph.num_nodes();
+    assert_eq!(x.len(), n, "input vector length must equal num_nodes");
+    assert_eq!(y.len(), n, "output vector length must equal num_nodes");
+    for i in 0..n as NodeId {
+        let din = graph.in_degree(i);
+        if din == 0 {
+            y[i as usize] = 0.0;
+            continue;
+        }
+        let mut acc = 0.0;
+        for &j in graph.in_neighbors(i) {
+            acc += x[j as usize];
+        }
+        y[i as usize] = acc / din as f64;
+    }
+}
+
+/// Reusable dense scratch space for the sparse kernels.
+///
+/// The sparse kernels accumulate into a dense `f64` buffer plus a "touched"
+/// list (the classic sparse-accumulator pattern), so a sequence of
+/// sparse-matrix × sparse-vector products performs no per-call allocation
+/// beyond the output vector.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    accum: Vec<f64>,
+    touched: Vec<NodeId>,
+}
+
+impl Workspace {
+    /// Creates a workspace for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Workspace {
+            accum: vec![0.0; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Number of nodes this workspace supports.
+    pub fn len(&self) -> usize {
+        self.accum.len()
+    }
+
+    /// `true` iff the workspace covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.accum.is_empty()
+    }
+
+    fn add(&mut self, i: NodeId, v: f64) {
+        let slot = &mut self.accum[i as usize];
+        if *slot == 0.0 {
+            self.touched.push(i);
+        }
+        *slot += v;
+    }
+
+    /// Drains the accumulated entries into a sorted [`SparseVec`] and resets
+    /// the workspace for reuse. Entries that cancelled to exactly 0.0 are kept
+    /// out of the result.
+    fn drain_sparse(&mut self) -> SparseVec {
+        self.touched.sort_unstable();
+        let mut out = SparseVec::with_capacity(self.touched.len());
+        for &i in &self.touched {
+            let v = self.accum[i as usize];
+            self.accum[i as usize] = 0.0;
+            if v != 0.0 {
+                out.push_sorted(i, v);
+            }
+        }
+        self.touched.clear();
+        out
+    }
+}
+
+/// Sparse `P·x` using a reusable [`Workspace`]; returns a sorted [`SparseVec`].
+///
+/// Cost is `O(Σ_{j ∈ supp(x)} din(j) + |out| log |out|)` — independent of `n`,
+/// which is what makes the sparse Linearization of §3.2 scale.
+pub fn p_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> SparseVec {
+    debug_assert_eq!(ws.len(), graph.num_nodes());
+    for (j, xj) in x.iter() {
+        let din = graph.in_degree(j);
+        if din == 0 || xj == 0.0 {
+            continue;
+        }
+        let share = xj / din as f64;
+        for &i in graph.in_neighbors(j) {
+            ws.add(i, share);
+        }
+    }
+    ws.drain_sparse()
+}
+
+/// Sparse `Pᵀ·x` using a reusable [`Workspace`]; returns a sorted [`SparseVec`].
+///
+/// For every node `j` in the support of `x`, its contribution `x(j)` is spread
+/// to each out-neighbor `i` of `j` with weight `1/din(i)`.
+pub fn pt_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> SparseVec {
+    debug_assert_eq!(ws.len(), graph.num_nodes());
+    for (j, xj) in x.iter() {
+        if xj == 0.0 {
+            continue;
+        }
+        for &i in graph.out_neighbors(j) {
+            let din = graph.in_degree(i);
+            debug_assert!(din > 0, "out-neighbor must have at least one in-edge");
+            ws.add(i, xj / din as f64);
+        }
+    }
+    ws.drain_sparse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::dense::{l1_norm, unit_vector};
+
+    /// 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0 (same sample as digraph tests).
+    fn sample() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn p_multiply_matches_manual_computation() {
+        let g = sample();
+        // Walk from node 2: in-neighbors of 2 are {0, 1}, so P·e_2 puts 1/2 on each.
+        let e2 = unit_vector(4, 2);
+        let mut y = vec![0.0; 4];
+        p_multiply(&g, &e2, &mut y);
+        assert!((y[0] - 0.5).abs() < 1e-15);
+        assert!((y[1] - 0.5).abs() < 1e-15);
+        assert_eq!(y[2], 0.0);
+        assert_eq!(y[3], 0.0);
+    }
+
+    #[test]
+    fn p_multiply_loses_mass_only_at_sources() {
+        let g = sample();
+        // Node 1 has no in-neighbors, so mass on node 1 disappears under P.
+        let e1 = unit_vector(4, 1);
+        let mut y = vec![0.0; 4];
+        p_multiply(&g, &e1, &mut y);
+        assert!(l1_norm(&y) < 1e-15);
+
+        // A distribution avoiding node 1 is preserved.
+        let x = vec![0.25, 0.0, 0.5, 0.25];
+        p_multiply(&g, &x, &mut y);
+        assert!((l1_norm(&y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pt_multiply_matches_manual_computation() {
+        let g = sample();
+        // (Pᵀ·x)(2) = (x(0) + x(1)) / 2
+        let x = vec![1.0, 3.0, 5.0, 7.0];
+        let mut y = vec![0.0; 4];
+        pt_multiply(&g, &x, &mut y);
+        assert!((y[2] - 2.0).abs() < 1e-15);
+        // (Pᵀ·x)(0) = x(3)/1 = 7, (Pᵀ·x)(3) = x(2)/1 = 5, node 1 has din=0 → 0.
+        assert!((y[0] - 7.0).abs() < 1e-15);
+        assert!((y[3] - 5.0).abs() < 1e-15);
+        assert_eq!(y[1], 0.0);
+    }
+
+    #[test]
+    fn transpose_relationship_holds() {
+        // <P·x, y> == <x, Pᵀ·y> for arbitrary vectors.
+        let g = sample();
+        let x = vec![0.3, 0.1, 0.4, 0.2];
+        let y = vec![1.0, -2.0, 0.5, 3.0];
+        let mut px = vec![0.0; 4];
+        let mut pty = vec![0.0; 4];
+        p_multiply(&g, &x, &mut px);
+        pt_multiply(&g, &y, &mut pty);
+        let lhs: f64 = px.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = x.iter().zip(&pty).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_kernels_agree_with_dense() {
+        let g = sample();
+        let mut ws = Workspace::new(4);
+        for start in 0..4u32 {
+            let dense = unit_vector(4, start);
+            let sparse = SparseVec::unit(start, 1.0);
+
+            let mut dense_out = vec![0.0; 4];
+            p_multiply(&g, &dense, &mut dense_out);
+            let sparse_out = p_multiply_sparse(&g, &sparse, &mut ws);
+            assert_eq!(sparse_out.to_dense(4), dense_out, "P·e_{start}");
+
+            let mut dense_out_t = vec![0.0; 4];
+            pt_multiply(&g, &dense, &mut dense_out_t);
+            let sparse_out_t = pt_multiply_sparse(&g, &sparse, &mut ws);
+            assert_eq!(sparse_out_t.to_dense(4), dense_out_t, "Pᵀ·e_{start}");
+        }
+    }
+
+    #[test]
+    fn workspace_is_reusable_without_leftover_state() {
+        let g = sample();
+        let mut ws = Workspace::new(4);
+        let a = p_multiply_sparse(&g, &SparseVec::unit(2, 1.0), &mut ws);
+        let b = p_multiply_sparse(&g, &SparseVec::unit(2, 1.0), &mut ws);
+        assert_eq!(a, b);
+        assert!(ws.touched.is_empty());
+        assert!(ws.accum.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn multi_step_walk_distribution_sums_correctly() {
+        // On the cycle part of the sample graph mass circulates forever.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut x = unit_vector(3, 0);
+        let mut y = vec![0.0; 3];
+        for _ in 0..10 {
+            p_multiply(&g, &x, &mut y);
+            std::mem::swap(&mut x, &mut y);
+            assert!((l1_norm(&x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_nodes")]
+    fn dense_kernel_checks_lengths() {
+        let g = sample();
+        let x = vec![0.0; 3];
+        let mut y = vec![0.0; 4];
+        p_multiply(&g, &x, &mut y);
+    }
+}

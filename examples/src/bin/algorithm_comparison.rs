@@ -1,0 +1,116 @@
+//! All five single-source algorithms, head to head, on one small graph.
+//!
+//! A miniature of the paper's Figure 1: run MC, ParSim, Linearization, PRSim
+//! and ExactSim on the ca-GrQc stand-in, score each against the Power-Method
+//! ground truth, and print a comparison table.
+
+use exactsim::exactsim::{ExactSimConfig, ExactSimVariant};
+use exactsim::linearization::LinearizationConfig;
+use exactsim::mc::MonteCarloConfig;
+use exactsim::metrics::{max_error, precision_at_k};
+use exactsim::parsim::ParSimConfig;
+use exactsim::power_method::{PowerMethod, PowerMethodConfig};
+use exactsim::prsim::PrSimConfig;
+use exactsim::suite::{
+    ExactSimAlgorithm, LinearizationAlgorithm, MonteCarloAlgorithm, ParSimAlgorithm,
+    PrSimAlgorithm, SingleSourceAlgorithm,
+};
+use exactsim_datasets::{dataset_by_key, query_sources};
+use exactsim_examples::{human_bytes, human_seconds};
+
+fn main() {
+    let spec = dataset_by_key("GQ").expect("GQ is in the registry");
+    let dataset = spec
+        .generate_scaled(0.15)
+        .expect("stand-in generation succeeds");
+    let graph = &dataset.graph;
+    println!(
+        "dataset {} stand-in: {} nodes, {} edges",
+        spec.name,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    println!("computing the Power-Method ground truth …");
+    let truth = PowerMethod::compute(graph, PowerMethodConfig::default())
+        .expect("the stand-in is small enough for the power method");
+    let sources = query_sources(graph, 3, 7);
+
+    // One representative configuration per algorithm.
+    let exactsim = ExactSimAlgorithm::new(
+        graph,
+        ExactSimConfig {
+            epsilon: 1e-4,
+            variant: ExactSimVariant::Optimized,
+            walk_budget: Some(2_000_000),
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let parsim = ParSimAlgorithm::new(
+        graph,
+        ParSimConfig {
+            iterations: 50,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let mc = MonteCarloAlgorithm::build(
+        graph,
+        MonteCarloConfig {
+            walks_per_node: 800,
+            walk_length: 15,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let lin = LinearizationAlgorithm::build(
+        graph,
+        LinearizationConfig {
+            epsilon: 0.01,
+            walk_budget: Some(2_000_000),
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let prsim = PrSimAlgorithm::build(
+        graph,
+        PrSimConfig {
+            epsilon: 0.01,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+
+    let algorithms: Vec<&dyn SingleSourceAlgorithm> = vec![&exactsim, &parsim, &mc, &lin, &prsim];
+
+    println!(
+        "\n{:<14} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "algorithm", "preproc", "index", "query", "max error", "P@50"
+    );
+    for algo in algorithms {
+        let mut query_time = 0.0;
+        let mut err = 0.0;
+        let mut precision = 0.0;
+        for &source in &sources {
+            let output = algo.query(source).expect("query succeeds");
+            query_time += output.query_time.as_secs_f64();
+            let exact = truth.single_source(source);
+            err = f64::max(err, max_error(&output.scores, &exact));
+            precision += precision_at_k(&output.scores, &exact, source, 50);
+        }
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>12.3e} {:>8.3}",
+            algo.name(),
+            human_seconds(algo.preprocessing_time().as_secs_f64()),
+            human_bytes(algo.index_bytes()),
+            human_seconds(query_time / sources.len() as f64),
+            err,
+            precision / sources.len() as f64
+        );
+    }
+    println!(
+        "\nExactSim is the only method whose error keeps shrinking as ε does — rerun with a\n\
+         smaller ε (and a larger walk budget) to watch the others hit their accuracy floor."
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: exact single-source SimRank in a dozen lines.
+//!
+//! Builds a small scale-free graph, runs an ExactSim single-source query, and
+//! prints the ten nodes most similar to the query node.
+
+use exactsim::prelude::*;
+use exactsim_examples::human_seconds;
+use exactsim_graph::generators::barabasi_albert;
+
+fn main() {
+    // 1. A graph. Any `exactsim_graph::DiGraph` works — here a 2 000-node
+    //    scale-free collaboration-style network.
+    let graph = barabasi_albert(2_000, 3, true, 42).expect("generator parameters are valid");
+    println!(
+        "graph: {} nodes, {} directed edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // 2. An ExactSim solver. ε is the additive error guarantee; 1e-4 is far
+    //    beyond what sampling-based methods reach at interactive speed.
+    let config = ExactSimConfig {
+        epsilon: 1e-4,
+        ..ExactSimConfig::default()
+    };
+    let solver = ExactSim::new(&graph, config).expect("configuration is valid");
+
+    // 3. One single-source query.
+    let source = 7;
+    let started = std::time::Instant::now();
+    let result = solver.query(source).expect("source node exists");
+    let elapsed = started.elapsed().as_secs_f64();
+
+    println!(
+        "single-source query for node {source} took {} ({} levels, {} walk pairs simulated)",
+        human_seconds(elapsed),
+        result.stats.levels,
+        result.stats.simulated_walk_pairs
+    );
+    println!("S({source}, {source}) = {:.6}", result.scores[source as usize]);
+
+    // 4. Top-10 most similar nodes.
+    println!("top-10 nodes most similar to node {source}:");
+    for entry in top_k(&result.scores, source, 10) {
+        println!("  node {:>5}  SimRank {:.6}", entry.node, entry.score);
+    }
+}

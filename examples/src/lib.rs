@@ -1,0 +1,62 @@
+//! Shared helpers for the runnable examples.
+//!
+//! Each example is a binary under `src/bin/`; run them with
+//! `cargo run --release -p exactsim-examples --bin <name>`:
+//!
+//! * `quickstart` — build a graph, answer one exact single-source query,
+//!   print the top-10 most similar nodes.
+//! * `ground_truth_generation` — the paper's motivating use case: produce
+//!   ground-truth single-source vectors for a dataset stand-in and save them
+//!   as CSV for evaluating other (approximate) SimRank implementations.
+//! * `topk_recommendation` — use top-k SimRank on a community-structured
+//!   collaboration graph as an item-to-item recommender and check that the
+//!   recommendations respect community boundaries.
+//! * `algorithm_comparison` — run all five single-source algorithms on the
+//!   same small graph and compare them against the Power-Method ground truth
+//!   (a miniature of the paper's Figure 1).
+
+/// Formats a byte count for human-readable example output.
+pub fn human_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0usize;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+/// Formats a duration in seconds with sensible precision for example output.
+pub fn human_seconds(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.2} s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_formats_each_magnitude() {
+        assert_eq!(human_bytes(12), "12 B");
+        assert_eq!(human_bytes(2048), "2.00 KiB");
+        assert!(human_bytes(5 * 1024 * 1024).contains("MiB"));
+    }
+
+    #[test]
+    fn human_seconds_picks_a_unit() {
+        assert!(human_seconds(0.0000005).contains("µs"));
+        assert!(human_seconds(0.25).contains("ms"));
+        assert!(human_seconds(3.5).contains('s'));
+    }
+}

@@ -1,0 +1,13 @@
+//! Workspace umbrella crate for the ExactSim reproduction.
+//!
+//! All functionality lives in the member crates:
+//!
+//! * `exactsim-graph` — the directed-graph substrate;
+//! * `exactsim` — ExactSim itself plus every baseline algorithm;
+//! * `exactsim-datasets` — Table 2 dataset stand-ins;
+//! * `exactsim-bench` — the figure/table benchmark harness;
+//! * `exactsim-examples` — runnable examples.
+//!
+//! This crate only hosts the cross-crate integration tests under `tests/`.
+
+#![deny(missing_docs)]

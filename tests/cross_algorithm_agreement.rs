@@ -1,0 +1,138 @@
+//! Cross-crate integration test: every single-source algorithm, run through
+//! the uniform suite interface, agrees with the exact ground truth to within
+//! its own accuracy regime on a dataset stand-in.
+
+use exactsim::exactsim::{ExactSimConfig, ExactSimVariant};
+use exactsim::linearization::LinearizationConfig;
+use exactsim::mc::MonteCarloConfig;
+use exactsim::metrics::max_error;
+use exactsim::parsim::ParSimConfig;
+use exactsim::power_method::{PowerMethod, PowerMethodConfig};
+use exactsim::prsim::PrSimConfig;
+use exactsim::suite::{
+    ExactSimAlgorithm, LinearizationAlgorithm, MonteCarloAlgorithm, ParSimAlgorithm,
+    PrSimAlgorithm, SingleSourceAlgorithm,
+};
+use exactsim_datasets::{dataset_by_key, query_sources};
+
+#[test]
+fn all_five_algorithms_track_the_ground_truth() {
+    let dataset = dataset_by_key("HT")
+        .expect("registry contains HT")
+        .generate_scaled(0.03)
+        .expect("stand-in generation succeeds");
+    let graph = &dataset.graph;
+    let truth =
+        PowerMethod::compute(graph, PowerMethodConfig::default()).expect("power method runs");
+    let sources = query_sources(graph, 2, 11);
+
+    let exactsim = ExactSimAlgorithm::new(
+        graph,
+        ExactSimConfig {
+            epsilon: 1e-3,
+            variant: ExactSimVariant::Optimized,
+            walk_budget: Some(300_000),
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let parsim = ParSimAlgorithm::new(
+        graph,
+        ParSimConfig {
+            iterations: 40,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let mc = MonteCarloAlgorithm::build(
+        graph,
+        MonteCarloConfig {
+            walks_per_node: 1_000,
+            walk_length: 15,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let lin = LinearizationAlgorithm::build(
+        graph,
+        LinearizationConfig {
+            epsilon: 0.03,
+            walk_budget: Some(2_000_000),
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let prsim = PrSimAlgorithm::build(
+        graph,
+        PrSimConfig {
+            epsilon: 0.01,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+
+    // (algorithm, tolerance): each method is held to the accuracy its own
+    // configuration promises — ExactSim far tighter than the sampled baselines.
+    let cases: Vec<(&dyn SingleSourceAlgorithm, f64)> = vec![
+        (&exactsim, 5e-3),
+        (&parsim, 0.2),
+        (&mc, 0.1),
+        (&lin, 0.1),
+        (&prsim, 0.1),
+    ];
+    for &source in &sources {
+        let exact = truth.single_source(source);
+        for (algo, tolerance) in &cases {
+            let output = algo.query(source).expect("query succeeds");
+            let err = max_error(&output.scores, &exact);
+            assert!(
+                err <= *tolerance,
+                "{} error {err} exceeds tolerance {tolerance} on source {source}",
+                algo.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn exactsim_is_the_most_accurate_of_the_five() {
+    let dataset = dataset_by_key("GQ")
+        .expect("registry contains GQ")
+        .generate_scaled(0.03)
+        .expect("stand-in generation succeeds");
+    let graph = &dataset.graph;
+    let truth =
+        PowerMethod::compute(graph, PowerMethodConfig::default()).expect("power method runs");
+    let source = query_sources(graph, 1, 5)[0];
+    let exact = truth.single_source(source);
+
+    let exactsim = ExactSimAlgorithm::new(
+        graph,
+        ExactSimConfig {
+            epsilon: 1e-4,
+            walk_budget: Some(1_000_000),
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let exactsim_err = max_error(&exactsim.query(source).expect("query").scores, &exact);
+
+    let parsim = ParSimAlgorithm::new(graph, ParSimConfig::default()).expect("valid config");
+    let parsim_err = max_error(&parsim.query(source).expect("query").scores, &exact);
+
+    let mc = MonteCarloAlgorithm::build(
+        graph,
+        MonteCarloConfig {
+            walks_per_node: 400,
+            walk_length: 15,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
+    let mc_err = max_error(&mc.query(source).expect("query").scores, &exact);
+
+    assert!(
+        exactsim_err < parsim_err && exactsim_err < mc_err,
+        "ExactSim ({exactsim_err}) should beat ParSim ({parsim_err}) and MC ({mc_err})"
+    );
+}

@@ -1,0 +1,93 @@
+//! Cross-crate integration test: dataset stand-in → ExactSim → top-k,
+//! validated against the Power Method.
+
+use exactsim::exactsim::{ExactSim, ExactSimConfig, ExactSimVariant};
+use exactsim::metrics::{max_error, precision_at_k};
+use exactsim::power_method::{PowerMethod, PowerMethodConfig};
+use exactsim::topk::top_k;
+use exactsim_datasets::{dataset_by_key, query_sources};
+
+#[test]
+fn exactsim_reproduces_ground_truth_on_a_dataset_standin() {
+    // A small slice of the ca-GrQc stand-in keeps the O(n²) reference cheap.
+    let dataset = dataset_by_key("GQ")
+        .expect("registry contains GQ")
+        .generate_scaled(0.05)
+        .expect("stand-in generation succeeds");
+    let graph = &dataset.graph;
+    assert!(graph.num_nodes() > 200);
+
+    let truth = PowerMethod::compute(graph, PowerMethodConfig::default())
+        .expect("power method fits in memory at this scale");
+
+    let solver = ExactSim::new(
+        graph,
+        ExactSimConfig {
+            epsilon: 1e-3,
+            variant: ExactSimVariant::Optimized,
+            walk_budget: Some(500_000),
+            ..Default::default()
+        },
+    )
+    .expect("configuration is valid");
+
+    for source in query_sources(graph, 3, 1) {
+        let result = solver.query(source).expect("query succeeds");
+        let exact = truth.single_source(source);
+        let err = max_error(&result.scores, &exact);
+        assert!(
+            err < 5e-3,
+            "source {source}: ExactSim error {err} too large on the stand-in"
+        );
+        // The top-k answer matches the exact top-k almost perfectly.
+        let precision = precision_at_k(&result.scores, &exact, source, 50);
+        assert!(
+            precision >= 0.9,
+            "source {source}: precision@50 = {precision}"
+        );
+        // Top-k extraction is consistent with the raw scores.
+        let top = top_k(&result.scores, source, 10);
+        for window in top.windows(2) {
+            assert!(window[0].score >= window[1].score);
+        }
+    }
+}
+
+#[test]
+fn exactsim_convergence_mirrors_the_papers_figure6_argument() {
+    // The paper argues ExactSim has converged because the top-500 at ε = 1e-6
+    // equals the top-500 at ε = 1e-7. Reproduce the same check (at a smaller
+    // scale and k) between two ε levels.
+    let dataset = dataset_by_key("WV")
+        .expect("registry contains WV")
+        .generate_scaled(0.05)
+        .expect("stand-in generation succeeds");
+    let graph = &dataset.graph;
+    let source = query_sources(graph, 1, 3)[0];
+
+    let run = |eps: f64| {
+        let solver = ExactSim::new(
+            graph,
+            ExactSimConfig {
+                epsilon: eps,
+                walk_budget: Some(300_000),
+                ..Default::default()
+            },
+        )
+        .expect("valid config");
+        solver.query(source).expect("query succeeds").scores
+    };
+    let coarse = run(1e-4);
+    let fine = run(1e-5);
+    let coarse_top: Vec<u32> = top_k(&coarse, source, 50).iter().map(|e| e.node).collect();
+    let fine_top: Vec<u32> = top_k(&fine, source, 50).iter().map(|e| e.node).collect();
+    let overlap = coarse_top
+        .iter()
+        .filter(|n| fine_top.contains(n))
+        .count();
+    assert!(
+        overlap as f64 >= 0.9 * fine_top.len() as f64,
+        "top-k should have converged: overlap {overlap}/{}",
+        fine_top.len()
+    );
+}

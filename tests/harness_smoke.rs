@@ -1,0 +1,89 @@
+//! Smoke test for the benchmark harness: a miniature figure run end to end.
+
+use exactsim_bench::ground_truth::{ground_truth_exactsim, ground_truth_power_method};
+use exactsim_bench::{run_quality_sweep, AlgorithmFamily, HarnessParams, SweepRow};
+use exactsim_datasets::{dataset_by_key, query_sources};
+
+fn tiny_params() -> HarnessParams {
+    HarnessParams {
+        scale_small: 0.02,
+        scale_large: Some(0.0005),
+        queries: 2,
+        walk_budget: 30_000,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn miniature_figure1_run_produces_consistent_rows() {
+    let params = tiny_params();
+    let dataset = dataset_by_key("GQ")
+        .expect("registry contains GQ")
+        .generate_scaled(params.scale_small)
+        .expect("stand-in generation succeeds");
+    let sources = query_sources(&dataset.graph, params.queries, params.seed);
+    let truth = ground_truth_power_method(&dataset.graph, &sources).expect("ground truth");
+    let rows = run_quality_sweep("GQ", &dataset.graph, &truth, &params, AlgorithmFamily::All);
+
+    assert!(rows.len() >= 10, "expected a full sweep, got {} rows", rows.len());
+    let exactsim_rows: Vec<&SweepRow> = rows
+        .iter()
+        .filter(|r| r.algorithm == "ExactSim")
+        .collect();
+    assert!(exactsim_rows.len() >= 5);
+    // Every row is internally consistent.
+    for row in &rows {
+        assert!(row.max_error.is_finite() && row.max_error >= 0.0);
+        assert!((0.0..=1.0).contains(&row.precision_at_500));
+        assert!(row.query_seconds >= 0.0);
+        assert_eq!(row.dataset, "GQ");
+        assert_eq!(
+            row.to_csv().split(',').count(),
+            SweepRow::csv_header().split(',').count()
+        );
+    }
+    // The headline qualitative claim: the best ExactSim configuration is more
+    // accurate than the best ParSim configuration (ParSim is biased).
+    let best = |name: &str| {
+        rows.iter()
+            .filter(|r| r.algorithm == name)
+            .map(|r| r.max_error)
+            .fold(f64::INFINITY, f64::min)
+    };
+    assert!(
+        best("ExactSim") < best("ParSim"),
+        "ExactSim best error {} should beat ParSim best error {}",
+        best("ExactSim"),
+        best("ParSim")
+    );
+}
+
+#[test]
+fn miniature_large_graph_run_uses_exactsim_reference() {
+    let params = tiny_params();
+    let dataset = dataset_by_key("DB")
+        .expect("registry contains DB")
+        .generate_scaled(params.scale_large.unwrap())
+        .expect("stand-in generation succeeds");
+    let sources = query_sources(&dataset.graph, 1, params.seed);
+    let truth = ground_truth_exactsim(&dataset.graph, &sources, params.walk_budget, params.seed)
+        .expect("ExactSim reference");
+    assert!(truth.method.contains("1e-7"));
+    let rows = run_quality_sweep(
+        "DB",
+        &dataset.graph,
+        &truth,
+        &params,
+        AlgorithmFamily::ExactSimVariantsOnly,
+    );
+    assert!(rows.iter().any(|r| r.algorithm == "ExactSim-Opt"));
+    assert!(rows.iter().any(|r| r.algorithm == "ExactSim-Basic"));
+    // The reference configuration itself appears in the sweep and must agree
+    // with the reference almost perfectly.
+    let tightest = rows
+        .iter()
+        .filter(|r| r.algorithm == "ExactSim-Opt")
+        .min_by(|a, b| a.max_error.partial_cmp(&b.max_error).unwrap())
+        .unwrap();
+    assert!(tightest.max_error < 1e-2);
+}

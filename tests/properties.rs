@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) for the core SimRank invariants, run on
+//! randomly generated graphs that span the crates.
+
+use proptest::prelude::*;
+
+use exactsim::config::SimRankConfig;
+use exactsim::diagonal::{estimate_local_deterministic, LocalExploreCaps};
+use exactsim::exactsim::{ExactSim, ExactSimConfig, ExactSimVariant};
+use exactsim::metrics::max_error;
+use exactsim::power_method::{PowerMethod, PowerMethodConfig};
+use exactsim::ppr::{dense_hop_vectors, sparse_hop_vectors};
+use exactsim::walks;
+use exactsim_graph::io::{parse_edge_list, to_edge_list_string, EdgeListOptions};
+use exactsim_graph::linalg::Workspace;
+use exactsim_graph::{DiGraph, GraphBuilder};
+
+const SQRT_C: f64 = 0.774_596_669_241_483_4; // sqrt(0.6)
+
+/// Strategy: a random directed graph with 2..=24 nodes and up to 80 edges
+/// (self-loops dropped, duplicates removed by the builder).
+fn arbitrary_graph() -> impl Strategy<Value = DiGraph> {
+    (2usize..=24).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..80);
+        edges.prop_map(move |edges| {
+            let mut builder = GraphBuilder::new(n);
+            for (u, v) in edges {
+                builder.add_edge(u, v);
+            }
+            builder.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn simrank_matrix_is_symmetric_bounded_and_unit_diagonal(graph in arbitrary_graph()) {
+        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
+        let n = graph.num_nodes() as u32;
+        for i in 0..n {
+            prop_assert_eq!(pm.similarity(i, i), 1.0);
+            for j in 0..n {
+                let s = pm.similarity(i, j);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "S({},{}) = {}", i, j, s);
+                prop_assert!((s - pm.similarity(j, i)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_diagonal_lies_in_its_feasible_interval(graph in arbitrary_graph()) {
+        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
+        let d = pm.exact_diagonal(&graph);
+        for (k, &dk) in d.iter().enumerate() {
+            prop_assert!(
+                (1.0 - 0.6 - 1e-9..=1.0 + 1e-9).contains(&dk),
+                "D({k}) = {dk} outside [1-c, 1]"
+            );
+            if graph.in_degree(k as u32) == 0 {
+                prop_assert!((dk - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn exactsim_with_exact_diagonal_matches_the_power_method(graph in arbitrary_graph()) {
+        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
+        let solver = ExactSim::new(
+            &graph,
+            ExactSimConfig {
+                epsilon: 1e-6,
+                variant: ExactSimVariant::Optimized,
+                diagonal: exactsim::exactsim::DiagonalMode::Exact(pm.exact_diagonal(&graph)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for source in 0..graph.num_nodes() as u32 {
+            let result = solver.query(source).unwrap();
+            let err = max_error(&result.scores, &pm.single_source(source));
+            prop_assert!(err < 1e-5, "source {}: error {}", source, err);
+        }
+    }
+
+    #[test]
+    fn hop_vector_mass_is_conserved_or_lost_never_created(graph in arbitrary_graph()) {
+        let hv = dense_hop_vectors(&graph, 0, SQRT_C, 20);
+        let mut cumulative = 0.0;
+        for (level, hop) in hv.hops.iter().enumerate() {
+            let mass: f64 = hop.iter().sum();
+            prop_assert!(mass >= -1e-12);
+            prop_assert!(
+                mass <= (1.0 - SQRT_C) * SQRT_C.powi(level as i32) + 1e-9,
+                "level {} mass {} exceeds the survival bound",
+                level,
+                mass
+            );
+            cumulative += mass;
+        }
+        prop_assert!(cumulative <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn sparse_and_dense_hop_vectors_agree_without_pruning(graph in arbitrary_graph()) {
+        let n = graph.num_nodes();
+        let mut ws = Workspace::new(n);
+        let dense = dense_hop_vectors(&graph, 1 % n as u32, SQRT_C, 10);
+        let sparse = sparse_hop_vectors(&graph, 1 % n as u32, SQRT_C, 10, 0.0, &mut ws);
+        for level in 0..=10 {
+            let expanded = sparse.hops[level].to_dense(n);
+            for k in 0..n {
+                prop_assert!((expanded[k] - dense.hops[level][k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn local_deterministic_diagonal_matches_the_exact_one(graph in arbitrary_graph()) {
+        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
+        let exact = pm.exact_diagonal(&graph);
+        let mut ws = Workspace::new(graph.num_nodes());
+        let mut rng = walks::make_rng(7);
+        for k in 0..graph.num_nodes() as u32 {
+            let (estimate, _) = estimate_local_deterministic(
+                &graph,
+                k,
+                10_000,
+                SQRT_C,
+                1e-6,
+                LocalExploreCaps {
+                    max_edges: u64::MAX,
+                    max_tail_samples: 100,
+                    ..Default::default()
+                },
+                &mut ws,
+                &mut rng,
+            );
+            prop_assert!(
+                (estimate - exact[k as usize]).abs() < 2e-3,
+                "node {}: {} vs {}",
+                k,
+                estimate,
+                exact[k as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn edge_list_round_trip_preserves_the_graph(graph in arbitrary_graph()) {
+        let text = to_edge_list_string(&graph);
+        let loaded = parse_edge_list(&text, EdgeListOptions::default()).unwrap();
+        prop_assert_eq!(loaded.graph.num_edges(), graph.num_edges());
+        for (u, v) in graph.iter_edges() {
+            // Node ids may be remapped (first-appearance order), so map back.
+            let du = loaded.dense_id_of(u as u64).unwrap();
+            let dv = loaded.dense_id_of(v as u64).unwrap();
+            prop_assert!(loaded.graph.has_edge(du, dv));
+        }
+    }
+
+    #[test]
+    fn walk_sampling_never_visits_nodes_without_in_edges_midway(graph in arbitrary_graph()) {
+        let mut rng = walks::make_rng(3);
+        let sqrt_c = SimRankConfig::default().sqrt_decay();
+        for start in 0..graph.num_nodes() as u32 {
+            let walk = walks::sample_walk(&graph, start, sqrt_c, 30, &mut rng);
+            let mut current = start;
+            for &next in &walk.positions {
+                prop_assert!(graph.in_neighbors(current).contains(&next));
+                current = next;
+            }
+        }
+    }
+}
