@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use exactsim::diagonal::{
-    estimate_bernoulli, estimate_local_deterministic, LocalExploreCaps,
-};
+use exactsim::diagonal::{estimate_bernoulli, estimate_local_deterministic, LocalExploreCaps};
 use exactsim::exactsim::{ExactSim, ExactSimConfig, ExactSimVariant};
 use exactsim::ppr::{dense_hop_vectors, sparse_hop_vectors};
 use exactsim::walks;
@@ -36,15 +34,19 @@ fn bench_transition_kernels(c: &mut Criterion) {
         });
         let mut ws = Workspace::new(n);
         let sparse = SparseVec::unit(0, 1.0);
-        group.bench_with_input(BenchmarkId::new("p_multiply_sparse_onehot", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(exactsim_graph::linalg::p_multiply_sparse(
-                    &graph,
-                    black_box(&sparse),
-                    &mut ws,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("p_multiply_sparse_onehot", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    black_box(exactsim_graph::linalg::p_multiply_sparse(
+                        &graph,
+                        black_box(&sparse),
+                        &mut ws,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }

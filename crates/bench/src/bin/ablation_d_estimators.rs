@@ -31,10 +31,26 @@ fn main() {
     let exact_d = pm.exact_diagonal(&dataset.graph);
 
     let cases: Vec<(&str, ExactSimVariant, DiagonalMode)> = vec![
-        ("exact-D", ExactSimVariant::Optimized, DiagonalMode::Exact(exact_d.clone())),
-        ("algorithm-2-bernoulli", ExactSimVariant::Basic, DiagonalMode::Estimated),
-        ("algorithm-3-local", ExactSimVariant::Optimized, DiagonalMode::Estimated),
-        ("parsim-approximation", ExactSimVariant::Optimized, DiagonalMode::ParSimApprox),
+        (
+            "exact-D",
+            ExactSimVariant::Optimized,
+            DiagonalMode::Exact(exact_d.clone()),
+        ),
+        (
+            "algorithm-2-bernoulli",
+            ExactSimVariant::Basic,
+            DiagonalMode::Estimated,
+        ),
+        (
+            "algorithm-3-local",
+            ExactSimVariant::Optimized,
+            DiagonalMode::Estimated,
+        ),
+        (
+            "parsim-approximation",
+            ExactSimVariant::Optimized,
+            DiagonalMode::ParSimApprox,
+        ),
     ];
 
     println!("# Ablation: D estimators on the GQ stand-in (eps = 1e-4, budget-capped)");
@@ -62,8 +78,6 @@ fn main() {
             edges += result.stats.explore_edges;
         }
         println!("{name},{walks},{edges},{worst:.3e}");
-        eprintln!(
-            "  {name:<24} walks {walks:>12}  explore-edges {edges:>12}  maxerr {worst:.3e}"
-        );
+        eprintln!("  {name:<24} walks {walks:>12}  explore-edges {edges:>12}  maxerr {worst:.3e}");
     }
 }

@@ -1,8 +1,8 @@
 //! Table 2: dataset statistics — the paper's numbers next to the synthetic
 //! stand-ins actually used by this harness.
 
-use exactsim_bench::HarnessParams;
 use exactsim_bench::runner::generate_dataset;
+use exactsim_bench::HarnessParams;
 use exactsim_datasets::{all_datasets, DatasetKind};
 use exactsim_graph::analysis::DegreeStats;
 

@@ -41,10 +41,7 @@ pub fn ground_truth_power_method(
         },
     )?;
     Ok(GroundTruth {
-        per_source: sources
-            .iter()
-            .map(|&s| (s, pm.single_source(s)))
-            .collect(),
+        per_source: sources.iter().map(|&s| (s, pm.single_source(s))).collect(),
         method: "PowerMethod(tol=1e-9)".to_string(),
     })
 }
@@ -95,7 +92,10 @@ mod tests {
         for ((s1, v1), (s2, v2)) in pm.per_source.iter().zip(es.per_source.iter()) {
             assert_eq!(s1, s2);
             let err = max_error(v2, v1);
-            assert!(err < 1e-3, "source {s1}: reference methods disagree by {err}");
+            assert!(
+                err < 1e-3,
+                "source {s1}: reference methods disagree by {err}"
+            );
         }
         assert!(pm.method.contains("PowerMethod"));
         assert!(es.method.contains("1e-7"));

@@ -47,7 +47,10 @@ impl HarnessParams {
         if let Some(v) = env_f64("EXACTSIM_SCALE_SMALL") {
             p.scale_small = v;
         }
-        if std::env::var("EXACTSIM_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("EXACTSIM_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             p.scale_small = 1.0;
         }
         if let Some(v) = env_f64("EXACTSIM_SCALE_LARGE") {
@@ -59,7 +62,10 @@ impl HarnessParams {
         if let Some(v) = env_u64("EXACTSIM_WALK_BUDGET") {
             p.walk_budget = v;
         }
-        if std::env::var("EXACTSIM_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("EXACTSIM_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             p.sizes = SweepSizes::Full;
             p.queries = p.queries.max(50);
         }

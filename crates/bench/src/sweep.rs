@@ -224,9 +224,7 @@ pub fn measure(
                 measured += 1;
             }
             Err(err) => {
-                eprintln!(
-                    "  [warn] {algorithm} ({parameter}) failed on source {source}: {err}"
-                );
+                eprintln!("  [warn] {algorithm} ({parameter}) failed on source {source}: {err}");
             }
         }
     }

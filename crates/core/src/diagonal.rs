@@ -23,7 +23,7 @@
 //!   [`crate::power_method::PowerMethod::exact_diagonal`]), used for
 //!   validation and ablations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use exactsim_graph::linalg::{p_multiply_sparse, SparseVec, Workspace};
 use exactsim_graph::{DiGraph, NodeId};
@@ -181,12 +181,15 @@ pub fn estimate_local_deterministic(
     let edge_budget = edge_budget.min(caps.max_edges);
 
     // Lazily grown walk distributions: dist[s][t] = P^t · e_s (no decay).
-    let mut dist: HashMap<NodeId, Vec<SparseVec>> = HashMap::new();
+    // BTreeMaps (not HashMaps) throughout: the float accumulations below sum
+    // in iteration order, and randomized hashing would make D̂ — and hence
+    // every ExactSim answer — differ at ULP level between identical calls.
+    let mut dist: BTreeMap<NodeId, Vec<SparseVec>> = BTreeMap::new();
     dist.insert(node, vec![SparseVec::unit(node, 1.0)]);
 
     let mut edges_used = 0u64;
     // Z[t] (t >= 1) as a map q -> Z_t(node, q).
-    let mut z_levels: Vec<HashMap<NodeId, f64>> = Vec::new();
+    let mut z_levels: Vec<BTreeMap<NodeId, f64>> = Vec::new();
     let mut met_probability = 0.0f64;
 
     let mut level = 0usize;
@@ -211,7 +214,7 @@ pub fn estimate_local_deterministic(
 
         // Z_{next_level}(node, q) = c^ℓ (P^ℓ e_node)(q)²
         //   − Σ_{t=1}^{ℓ-1} Σ_{q'} c^{ℓ-t} (P^{ℓ-t} e_{q'})(q)² · Z_t(node, q').
-        let mut z_next: HashMap<NodeId, f64> = HashMap::new();
+        let mut z_next: BTreeMap<NodeId, f64> = BTreeMap::new();
         {
             let node_dist = &dist[&node];
             let base = &node_dist[next_level];
@@ -463,8 +466,16 @@ mod tests {
         let cyc = cycle(6);
         assert!((estimate_bernoulli(&cyc, 0, 100, SQRT_C, 50, &mut rng) - (1.0 - C)).abs() < 1e-12);
         let mut ws = Workspace::new(6);
-        let (d, stats) =
-            estimate_local_deterministic(&cyc, 0, 100, SQRT_C, 0.0, Default::default(), &mut ws, &mut rng);
+        let (d, stats) = estimate_local_deterministic(
+            &cyc,
+            0,
+            100,
+            SQRT_C,
+            0.0,
+            Default::default(),
+            &mut ws,
+            &mut rng,
+        );
         assert!((d - (1.0 - C)).abs() < 1e-12);
         assert_eq!(stats.levels, 0);
     }
@@ -534,9 +545,8 @@ mod tests {
         };
         for k in [0u32, 10, 30] {
             let mut rng = make_rng(100 + k as u64);
-            let (est, stats) = estimate_local_deterministic(
-                &g, k, 50_000, SQRT_C, 0.0, caps, &mut ws, &mut rng,
-            );
+            let (est, stats) =
+                estimate_local_deterministic(&g, k, 50_000, SQRT_C, 0.0, caps, &mut ws, &mut rng);
             assert!(!stats.tail_skipped);
             assert!(stats.tail_pairs > 0);
             assert!(
@@ -571,7 +581,14 @@ mod tests {
         let mut allocation = vec![0u64; g.num_nodes()];
         allocation[3] = 5_000;
         allocation[40] = 5_000;
-        let est = estimate_diagonal(&g, &allocation, &DiagonalEstimator::Bernoulli, SQRT_C, 0.0, 9);
+        let est = estimate_diagonal(
+            &g,
+            &allocation,
+            &DiagonalEstimator::Bernoulli,
+            SQRT_C,
+            0.0,
+            9,
+        );
         assert_eq!(est.walk_pairs, 10_000);
         let exact = exact_d(&g);
         assert!((est.values[3] - exact[3]).abs() < 0.05);
@@ -595,7 +612,14 @@ mod tests {
         );
         assert_eq!(e.values, exact);
         assert_eq!(e.walk_pairs, 0);
-        let p = estimate_diagonal(&g, &allocation, &DiagonalEstimator::ParSimApprox, SQRT_C, 0.0, 1);
+        let p = estimate_diagonal(
+            &g,
+            &allocation,
+            &DiagonalEstimator::ParSimApprox,
+            SQRT_C,
+            0.0,
+            1,
+        );
         assert!(p.values.iter().all(|&v| (v - (1.0 - C)).abs() < 1e-15));
     }
 
@@ -612,12 +636,10 @@ mod tests {
             77,
         );
         let exact = exact_d(&g);
-        for k in 0..g.num_nodes() {
+        for (k, (est_k, exact_k)) in est.values.iter().zip(&exact).enumerate() {
             assert!(
-                (est.values[k] - exact[k]).abs() < 0.02,
-                "node {k}: {} vs {}",
-                est.values[k],
-                exact[k]
+                (est_k - exact_k).abs() < 0.02,
+                "node {k}: {est_k} vs {exact_k}"
             );
         }
     }
@@ -640,8 +662,8 @@ mod tests {
         assert_eq!(est.tails_skipped, 6);
         assert_eq!(est.walk_pairs, 0);
         let exact = exact_d(&g);
-        for k in 0..6 {
-            assert!((est.values[k] - exact[k]).abs() < 1e-3);
+        for (est_k, exact_k) in est.values.iter().zip(&exact) {
+            assert!((est_k - exact_k).abs() < 1e-3);
         }
     }
 

@@ -35,6 +35,8 @@ mod result;
 
 pub use result::{ExactSimResult, ExactSimStats};
 
+use std::borrow::Borrow;
+
 use exactsim_graph::linalg::{pt_multiply, SparseVec, Workspace};
 use exactsim_graph::{DiGraph, NodeId};
 
@@ -146,27 +148,32 @@ impl ExactSimConfig {
 /// Construction validates the configuration against the graph; every
 /// [`ExactSim::query`] call is independent (ExactSim is index-free — the
 /// paper classifies it, like ParSim, as requiring no preprocessing).
+///
+/// Generic over the graph handle `G` so the solver can either borrow the
+/// graph (`ExactSim<&DiGraph>`, the usual library usage) or share ownership
+/// of it (`ExactSim<Arc<DiGraph>>`, which is `'static + Send + Sync` and what
+/// the `exactsim-service` query engine holds behind trait objects).
 #[derive(Clone, Debug)]
-pub struct ExactSim<'g> {
-    graph: &'g DiGraph,
+pub struct ExactSim<G: Borrow<DiGraph>> {
+    graph: G,
     config: ExactSimConfig,
 }
 
-impl<'g> ExactSim<'g> {
+impl<G: Borrow<DiGraph>> ExactSim<G> {
     /// Creates a solver for `graph` with the given configuration.
-    pub fn new(graph: &'g DiGraph, config: ExactSimConfig) -> Result<Self, SimRankError> {
+    pub fn new(graph: G, config: ExactSimConfig) -> Result<Self, SimRankError> {
         config.validate()?;
-        if graph.num_nodes() == 0 {
+        if graph.borrow().num_nodes() == 0 {
             return Err(SimRankError::EmptyGraph);
         }
         if let DiagonalMode::Exact(values) = &config.diagonal {
-            if values.len() != graph.num_nodes() {
+            if values.len() != graph.borrow().num_nodes() {
                 return Err(SimRankError::InvalidParameter {
                     name: "diagonal",
                     message: format!(
                         "exact diagonal has {} entries but the graph has {} nodes",
                         values.len(),
-                        graph.num_nodes()
+                        graph.borrow().num_nodes()
                     ),
                 });
             }
@@ -181,7 +188,7 @@ impl<'g> ExactSim<'g> {
 
     /// Answers a single-source SimRank query for `source`.
     pub fn query(&self, source: NodeId) -> Result<ExactSimResult, SimRankError> {
-        let n = self.graph.num_nodes();
+        let n = self.graph.borrow().num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -198,7 +205,7 @@ impl<'g> ExactSim<'g> {
     /// `R = 6·ln n / ((1−√c)⁴·ε²)` for the configured ε (before any budget
     /// capping and before the Lemma 3 `‖π_i‖²` scaling).
     pub fn theoretical_sample_count(&self) -> f64 {
-        let n = self.graph.num_nodes().max(2) as f64;
+        let n = self.graph.borrow().num_nodes().max(2) as f64;
         let sqrt_c = self.config.simrank.sqrt_decay();
         let eps = self.effective_epsilon();
         6.0 * n.ln() / ((1.0 - sqrt_c).powi(4) * eps * eps)
@@ -248,14 +255,14 @@ impl<'g> ExactSim<'g> {
     }
 
     fn query_basic(&self, source: NodeId) -> Result<ExactSimResult, SimRankError> {
-        let n = self.graph.num_nodes();
+        let n = self.graph.borrow().num_nodes();
         let cfg = &self.config.simrank;
         let sqrt_c = cfg.sqrt_decay();
         let eps = self.effective_epsilon();
         let levels = cfg.iterations_for_epsilon(eps);
 
         // Lines 2–5: ℓ-hop PPR vectors and their aggregate.
-        let hops = dense_hop_vectors(self.graph, source, sqrt_c, levels);
+        let hops = dense_hop_vectors(self.graph.borrow(), source, sqrt_c, levels);
         let ppr_norm_sq = hops.aggregate_l2_norm_sq();
 
         // Lines 6–8: allocate R(k) = ⌈R·π_i(k)⌉ and estimate D.
@@ -274,7 +281,7 @@ impl<'g> ExactSim<'g> {
         let (allocation, requested, actual) = self.apply_budget(allocation);
         let estimator = self.diagonal_estimator();
         let diag = estimate_diagonal(
-            self.graph,
+            self.graph.borrow(),
             &allocation,
             &estimator,
             sqrt_c,
@@ -288,7 +295,7 @@ impl<'g> ExactSim<'g> {
             + 2 * n * std::mem::size_of::<f64>();
 
         // Lines 9–12: the Linearization recurrence.
-        let scores = accumulate_dense(self.graph, &hops.hops, &diag.values, sqrt_c);
+        let scores = accumulate_dense(self.graph.borrow(), &hops.hops, &diag.values, sqrt_c);
 
         Ok(ExactSimResult {
             scores,
@@ -307,7 +314,7 @@ impl<'g> ExactSim<'g> {
     }
 
     fn query_optimized(&self, source: NodeId) -> Result<ExactSimResult, SimRankError> {
-        let n = self.graph.num_nodes();
+        let n = self.graph.borrow().num_nodes();
         let cfg = &self.config.simrank;
         let sqrt_c = cfg.sqrt_decay();
         let eps = self.effective_epsilon();
@@ -320,7 +327,7 @@ impl<'g> ExactSim<'g> {
             .prune_threshold_override
             .unwrap_or((1.0 - sqrt_c).powi(2) * eps);
         let hops = sparse_hop_vectors(
-            self.graph,
+            self.graph.borrow(),
             source,
             sqrt_c,
             levels,
@@ -344,7 +351,7 @@ impl<'g> ExactSim<'g> {
         let tail_skip = (1.0 - sqrt_c).powi(2) * eps / 4.0;
         let estimator = self.diagonal_estimator();
         let diag = estimate_diagonal(
-            self.graph,
+            self.graph.borrow(),
             &allocation,
             &estimator,
             sqrt_c,
@@ -356,7 +363,7 @@ impl<'g> ExactSim<'g> {
             + diag.values.len() * std::mem::size_of::<f64>()
             + 2 * n * std::mem::size_of::<f64>();
 
-        let scores = accumulate_sparse(self.graph, &hops.hops, &diag.values, sqrt_c);
+        let scores = accumulate_sparse(self.graph.borrow(), &hops.hops, &diag.values, sqrt_c);
 
         Ok(ExactSimResult {
             scores,

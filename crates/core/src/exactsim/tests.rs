@@ -329,3 +329,28 @@ fn variants_agree_with_each_other() {
         "basic and optimized variants disagree by {diff}"
     );
 }
+
+#[test]
+fn queries_are_bit_identical_across_calls_and_instances() {
+    // Regression test: the Algorithm 3 accumulations once iterated HashMaps,
+    // whose per-instance randomized ordering made identical queries differ at
+    // ULP level within one process. Serving-layer caching relies on repeated
+    // queries being bit-identical.
+    let g = barabasi_albert(150, 3, true, 11).unwrap();
+    let cfg = ExactSimConfig {
+        epsilon: 1e-2,
+        walk_budget: Some(100_000),
+        ..Default::default()
+    };
+    for source in [0u32, 7, 42] {
+        let a = ExactSim::new(&g, cfg.clone())
+            .unwrap()
+            .query(source)
+            .unwrap();
+        let b = ExactSim::new(&g, cfg.clone())
+            .unwrap()
+            .query(source)
+            .unwrap();
+        assert_eq!(a.scores, b.scores, "source {source} not reproducible");
+    }
+}

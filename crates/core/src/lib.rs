@@ -35,6 +35,14 @@
 //! | [`walks`] | √c-walk sampling engine | shared substrate (eq. 2) |
 //! | [`topk`], [`metrics`], [`pooling`] | top-k extraction, MaxError / Precision@k, pooling | evaluation methodology |
 //!
+//! Every solver is generic over its graph handle (`&DiGraph` for borrowing
+//! library use, `Arc<DiGraph>` for `'static + Send + Sync` sharing), and
+//! [`suite`] wraps them behind the uniform [`suite::SingleSourceAlgorithm`]
+//! trait. The workspace's `exactsim-service` crate builds on exactly that: a
+//! concurrent query-serving engine (sharded LRU result cache, in-flight
+//! deduplication, worker-pool batching, latency stats) holding the solvers as
+//! `Arc<dyn SingleSourceAlgorithm + Send + Sync>`.
+//!
 //! ## Quickstart
 //!
 //! ```

@@ -12,6 +12,8 @@
 //! vertical line in the paper's index-size plots, Figure 4): queries are
 //! deterministic once `D̂` is built.
 
+use std::borrow::Borrow;
+
 use exactsim_graph::{DiGraph, NodeId};
 
 use crate::config::SimRankConfig;
@@ -46,17 +48,20 @@ impl Default for LinearizationConfig {
 
 /// The Linearization solver: `build` runs the `O(n·log n/ε²)` preprocessing,
 /// `query` answers single-source queries deterministically.
+///
+/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
+/// every solver in this crate — see [`crate::exactsim::ExactSim`].
 #[derive(Clone, Debug)]
-pub struct Linearization<'g> {
-    graph: &'g DiGraph,
+pub struct Linearization<G: Borrow<DiGraph>> {
+    graph: G,
     config: LinearizationConfig,
     diagonal: Vec<f64>,
     preprocessing_walks: u64,
 }
 
-impl<'g> Linearization<'g> {
+impl<G: Borrow<DiGraph>> Linearization<G> {
     /// Runs the preprocessing phase (Monte-Carlo estimation of `D̂`).
-    pub fn build(graph: &'g DiGraph, config: LinearizationConfig) -> Result<Self, SimRankError> {
+    pub fn build(graph: G, config: LinearizationConfig) -> Result<Self, SimRankError> {
         config.simrank.validate()?;
         if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
             return Err(SimRankError::InvalidParameter {
@@ -64,7 +69,7 @@ impl<'g> Linearization<'g> {
                 message: format!("epsilon must be in (0, 1), got {}", config.epsilon),
             });
         }
-        let n = graph.num_nodes();
+        let n = graph.borrow().num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
@@ -78,7 +83,7 @@ impl<'g> Linearization<'g> {
             }
         }
         let estimate: DiagonalEstimate = estimate_diagonal(
-            graph,
+            graph.borrow(),
             &allocation,
             &DiagonalEstimator::Bernoulli,
             config.simrank.sqrt_decay(),
@@ -116,7 +121,7 @@ impl<'g> Linearization<'g> {
 
     /// Answers a single-source query using the precomputed `D̂`.
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.num_nodes();
+        let n = self.graph.borrow().num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -124,10 +129,13 @@ impl<'g> Linearization<'g> {
             });
         }
         let sqrt_c = self.config.simrank.sqrt_decay();
-        let levels = self.config.simrank.iterations_for_epsilon(self.config.epsilon);
-        let hops = dense_hop_vectors(self.graph, source, sqrt_c, levels);
+        let levels = self
+            .config
+            .simrank
+            .iterations_for_epsilon(self.config.epsilon);
+        let hops = dense_hop_vectors(self.graph.borrow(), source, sqrt_c, levels);
         Ok(accumulate_dense(
-            self.graph,
+            self.graph.borrow(),
             &hops.hops,
             &self.diagonal,
             sqrt_c,

@@ -9,6 +9,8 @@
 //! calls out; the index (all stored walks) is also by far the largest of the
 //! compared methods (Figure 4/8).
 
+use std::borrow::Borrow;
+
 use exactsim_graph::{DiGraph, NodeId};
 
 use crate::config::SimRankConfig;
@@ -40,32 +42,44 @@ impl Default for MonteCarloConfig {
     }
 }
 
-/// The MC index: `walks_per_node` stored √c-walks from every node.
-#[derive(Clone, Debug)]
-pub struct MonteCarlo<'g> {
-    graph: &'g DiGraph,
-    config: MonteCarloConfig,
-    /// `walks[v * r + x]` is the x-th stored walk from node `v`.
-    walks: Vec<Walk>,
-}
-
-impl<'g> MonteCarlo<'g> {
-    /// Runs the preprocessing phase: samples and stores all walks.
-    pub fn build(graph: &'g DiGraph, config: MonteCarloConfig) -> Result<Self, SimRankError> {
-        config.simrank.validate()?;
-        if config.walks_per_node == 0 {
+impl MonteCarloConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), SimRankError> {
+        self.simrank.validate()?;
+        if self.walks_per_node == 0 {
             return Err(SimRankError::InvalidParameter {
                 name: "walks_per_node",
                 message: "at least one walk per node is required".into(),
             });
         }
-        if config.walk_length == 0 {
+        if self.walk_length == 0 {
             return Err(SimRankError::InvalidParameter {
                 name: "walk_length",
                 message: "walk length must be at least 1".into(),
             });
         }
-        let n = graph.num_nodes();
+        Ok(())
+    }
+}
+
+/// The MC index: `walks_per_node` stored √c-walks from every node.
+///
+/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
+/// every solver in this crate — see [`crate::exactsim::ExactSim`].
+#[derive(Clone, Debug)]
+pub struct MonteCarlo<G: Borrow<DiGraph>> {
+    graph: G,
+    config: MonteCarloConfig,
+    /// `walks[v * r + x]` is the x-th stored walk from node `v`.
+    walks: Vec<Walk>,
+}
+
+impl<G: Borrow<DiGraph>> MonteCarlo<G> {
+    /// Runs the preprocessing phase: samples and stores all walks.
+    pub fn build(graph: G, config: MonteCarloConfig) -> Result<Self, SimRankError> {
+        config.validate()?;
+        let g = graph.borrow();
+        let n = g.num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
@@ -86,7 +100,7 @@ impl<'g> MonteCarlo<'g> {
                         walks::make_rng(walks::derive_seed(config.simrank.seed, v as u64));
                     for _ in 0..r {
                         local.push(walks::sample_walk(
-                            graph,
+                            g,
                             v as NodeId,
                             sqrt_c,
                             config.walk_length,
@@ -132,7 +146,7 @@ impl<'g> MonteCarlo<'g> {
 
     /// Answers a single-source query by pairing stored walks.
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.num_nodes();
+        let n = self.graph.borrow().num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -167,7 +181,7 @@ mod tests {
     use crate::power_method::{PowerMethod, PowerMethodConfig};
     use exactsim_graph::generators::{barabasi_albert, complete, cycle, star};
 
-    fn build(graph: &DiGraph, walks_per_node: usize) -> MonteCarlo<'_> {
+    fn build(graph: &DiGraph, walks_per_node: usize) -> MonteCarlo<&DiGraph> {
         MonteCarlo::build(
             graph,
             MonteCarloConfig {

@@ -67,8 +67,7 @@ pub fn precision_at_k(estimate: &[f64], truth: &[f64], source: u32, k: usize) ->
     if truth_top.is_empty() {
         return 1.0;
     }
-    let truth_set: std::collections::HashSet<u32> =
-        truth_top.iter().map(|e| e.node).collect();
+    let truth_set: std::collections::HashSet<u32> = truth_top.iter().map(|e| e.node).collect();
     let hits = est_top
         .iter()
         .filter(|e| truth_set.contains(&e.node))

@@ -69,8 +69,8 @@ pub fn entry(matrix: &[f64], n: usize, i: NodeId, j: NodeId) -> f64 {
 mod tests {
     use super::*;
     use crate::power_method::{PowerMethod, PowerMethodConfig};
-    use exactsim_graph::generators::{complete, cycle, grid, star};
     use exactsim_graph::generators::barabasi_albert;
+    use exactsim_graph::generators::{complete, cycle, grid, star};
 
     #[test]
     fn agrees_with_power_method_on_assorted_graphs() {

@@ -9,6 +9,8 @@
 //! Figures 1 and 5 show its error flattening out. The number of iterations
 //! `L` is ParSim's only parameter.
 
+use std::borrow::Borrow;
+
 use exactsim_graph::{DiGraph, NodeId};
 
 use crate::config::SimRankConfig;
@@ -36,15 +38,18 @@ impl Default for ParSimConfig {
 }
 
 /// The ParSim single-source solver (index-free, deterministic, biased).
+///
+/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
+/// every solver in this crate — see [`crate::exactsim::ExactSim`].
 #[derive(Clone, Debug)]
-pub struct ParSim<'g> {
-    graph: &'g DiGraph,
+pub struct ParSim<G: Borrow<DiGraph>> {
+    graph: G,
     config: ParSimConfig,
 }
 
-impl<'g> ParSim<'g> {
+impl<G: Borrow<DiGraph>> ParSim<G> {
     /// Creates a solver for `graph`.
-    pub fn new(graph: &'g DiGraph, config: ParSimConfig) -> Result<Self, SimRankError> {
+    pub fn new(graph: G, config: ParSimConfig) -> Result<Self, SimRankError> {
         config.simrank.validate()?;
         if config.iterations == 0 {
             return Err(SimRankError::InvalidParameter {
@@ -52,7 +57,7 @@ impl<'g> ParSim<'g> {
                 message: "ParSim needs at least one iteration".into(),
             });
         }
-        if graph.num_nodes() == 0 {
+        if graph.borrow().num_nodes() == 0 {
             return Err(SimRankError::EmptyGraph);
         }
         Ok(ParSim { graph, config })
@@ -65,7 +70,7 @@ impl<'g> ParSim<'g> {
 
     /// Answers a single-source query; the result carries the ParSim bias.
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.num_nodes();
+        let n = self.graph.borrow().num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -74,9 +79,9 @@ impl<'g> ParSim<'g> {
         }
         let sqrt_c = self.config.simrank.sqrt_decay();
         let c = self.config.simrank.decay;
-        let hops = dense_hop_vectors(self.graph, source, sqrt_c, self.config.iterations);
+        let hops = dense_hop_vectors(self.graph.borrow(), source, sqrt_c, self.config.iterations);
         let diagonal = vec![1.0 - c; n];
-        let mut scores = accumulate_dense(self.graph, &hops.hops, &diagonal, sqrt_c);
+        let mut scores = accumulate_dense(self.graph.borrow(), &hops.hops, &diagonal, sqrt_c);
         // S(i, i) = 1 by definition; without the correct D the accumulation
         // underestimates the source's own similarity, so pin it (the standard
         // convention for D = (1-c)I implementations — the bias the paper

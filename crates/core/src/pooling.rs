@@ -103,7 +103,14 @@ pub fn evaluate_pool(
         ));
         let mut meets = 0u64;
         for _ in 0..config.walks_per_candidate {
-            if pair_meets(graph, source, candidate, sqrt_c, config.walk_length, &mut rng) {
+            if pair_meets(
+                graph,
+                source,
+                candidate,
+                sqrt_c,
+                config.walk_length,
+                &mut rng,
+            ) {
                 meets += 1;
             }
         }
@@ -209,12 +216,24 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(result.precision[0] >= 0.8, "exact submission scored {}", result.precision[0]);
+        assert!(
+            result.precision[0] >= 0.8,
+            "exact submission scored {}",
+            result.precision[0]
+        );
         assert!(
             result.precision[0] >= result.precision[1],
             "exact submission must not lose to garbage"
         );
-        assert_eq!(result.pool.len(), result.pool.iter().map(|&(v, _)| v).collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(
+            result.pool.len(),
+            result
+                .pool
+                .iter()
+                .map(|&(v, _)| v)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        );
     }
 
     #[test]

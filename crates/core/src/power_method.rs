@@ -80,7 +80,9 @@ impl PowerMethod {
         }
 
         let c = config.simrank.decay;
-        let iterations = ((1.0 / config.tolerance).ln() / (1.0 / c).ln()).ceil().max(1.0) as usize;
+        let iterations = ((1.0 / config.tolerance).ln() / (1.0 / c).ln())
+            .ceil()
+            .max(1.0) as usize;
 
         let mut current = identity(n);
         let mut scratch_sp = vec![0.0; n * n];
@@ -363,8 +365,8 @@ mod tests {
         let c: f64 = 0.6;
         let expected_hub = 1.0 - c / 5.0;
         assert!((d[0] - expected_hub).abs() < 1e-9);
-        for leaf in 1..6 {
-            assert_eq!(d[leaf], 1.0);
+        for leaf in &d[1..6] {
+            assert_eq!(*leaf, 1.0);
         }
     }
 
@@ -374,7 +376,7 @@ mod tests {
         let g = complete(8);
         let pm = compute(&g);
         for &dk in &pm.exact_diagonal(&g) {
-            assert!(dk >= 1.0 - 0.6 - 1e-9 && dk <= 1.0 + 1e-12, "D = {dk}");
+            assert!((1.0 - 0.6 - 1e-9..=1.0 + 1e-12).contains(&dk), "D = {dk}");
         }
     }
 

@@ -111,8 +111,7 @@ impl SparseHopVectors {
 
     /// Approximate heap footprint in bytes (Table 3 accounting).
     pub fn memory_bytes(&self) -> usize {
-        self.hops.iter().map(SparseVec::memory_bytes).sum::<usize>()
-            + self.aggregate.memory_bytes()
+        self.hops.iter().map(SparseVec::memory_bytes).sum::<usize>() + self.aggregate.memory_bytes()
     }
 }
 
@@ -134,7 +133,11 @@ pub fn sparse_hop_vectors(
     // Surviving walk distribution (√c·P)^ℓ·e_i, kept sparse. Pruning is done
     // on the *hop* scale (entries of π^ℓ = stop · walk_dist), so the walk
     // distribution is pruned at threshold / stop.
-    let walk_threshold = if stop > 0.0 { threshold / stop } else { threshold };
+    let walk_threshold = if stop > 0.0 {
+        threshold / stop
+    } else {
+        threshold
+    };
     let mut walk_dist = SparseVec::unit(source, 1.0);
 
     let mut aggregate_entries: Vec<(NodeId, f64)> = Vec::new();
@@ -281,13 +284,8 @@ mod tests {
         let sparse = sparse_hop_vectors(&g, 5, SQRT_C, levels, threshold, &mut ws);
         let sparse_agg = sparse.aggregate.to_dense(g.num_nodes());
         // Pruning never adds mass anywhere.
-        for k in 0..g.num_nodes() {
-            assert!(
-                sparse_agg[k] <= dense.aggregate[k] + 1e-12,
-                "node {k}: sparse {} exceeds dense {}",
-                sparse_agg[k],
-                dense.aggregate[k]
-            );
+        for (k, (s, d)) in sparse_agg.iter().zip(&dense.aggregate).enumerate() {
+            assert!(s <= &(d + 1e-12), "node {k}: sparse {s} exceeds dense {d}");
         }
         // The total mass lost by the aggregate is bounded by the dropped
         // surviving-walk mass (each dropped walk unit contributes at most one

@@ -24,6 +24,8 @@
 //! * query error tracks ε, and queries are fast because they only touch the
 //!   index entries the source's hop vectors overlap with.
 
+use std::borrow::Borrow;
+
 use exactsim_graph::linalg::Workspace;
 use exactsim_graph::{DiGraph, NodeId};
 
@@ -59,6 +61,23 @@ impl Default for PrSimConfig {
     }
 }
 
+impl PrSimConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), SimRankError> {
+        self.simrank.validate()?;
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(SimRankError::InvalidParameter {
+                name: "epsilon",
+                message: format!("epsilon must be in (0, 1), got {}", self.epsilon),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One level's inverted index: target node `k` → all `(j, π^ℓ_j(k))` entries.
+type ColumnMap = std::collections::HashMap<NodeId, Vec<IndexEntry>>;
+
 /// One stored index entry: node `j` has `π^ℓ_j(k) = value` for the `(ℓ, k)`
 /// bucket the entry is filed under.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -68,30 +87,28 @@ struct IndexEntry {
 }
 
 /// The PRSim index.
+///
+/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
+/// every solver in this crate — see [`crate::exactsim::ExactSim`].
 #[derive(Clone, Debug)]
-pub struct PrSim<'g> {
-    graph: &'g DiGraph,
+pub struct PrSim<G: Borrow<DiGraph>> {
+    graph: G,
     config: PrSimConfig,
     levels: usize,
     /// `columns[ℓ]` maps a target node `k` to the list of `(j, π^ℓ_j(k))`
     /// entries — the inverted form of all nodes' hop vectors at level ℓ.
-    columns: Vec<std::collections::HashMap<NodeId, Vec<IndexEntry>>>,
+    columns: Vec<ColumnMap>,
     diagonal: Vec<f64>,
     preprocessing_walks: u64,
     index_entries: usize,
 }
 
-impl<'g> PrSim<'g> {
+impl<G: Borrow<DiGraph>> PrSim<G> {
     /// Builds the index: inverted pruned hop columns plus the `D̂` estimate.
-    pub fn build(graph: &'g DiGraph, config: PrSimConfig) -> Result<Self, SimRankError> {
-        config.simrank.validate()?;
-        if !(config.epsilon > 0.0 && config.epsilon < 1.0) {
-            return Err(SimRankError::InvalidParameter {
-                name: "epsilon",
-                message: format!("epsilon must be in (0, 1), got {}", config.epsilon),
-            });
-        }
-        let n = graph.num_nodes();
+    pub fn build(graph: G, config: PrSimConfig) -> Result<Self, SimRankError> {
+        config.validate()?;
+        let g = graph.borrow();
+        let n = g.num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
@@ -103,7 +120,7 @@ impl<'g> PrSim<'g> {
         // index-entry cap is configured and exceeded (construction aborts as
         // soon as the cap is hit, so each retry wastes at most `cap` entries).
         let (columns, index_entries) = loop {
-            match build_columns(graph, sqrt_c, levels, prune, config.max_index_entries) {
+            match build_columns(g, sqrt_c, levels, prune, config.max_index_entries) {
                 Some(built) => break built,
                 None => prune *= 2.0,
             }
@@ -113,7 +130,7 @@ impl<'g> PrSim<'g> {
         // PageRank (PRSim couples the D estimate to the index in the same
         // spirit; the allocation by global importance is the simplification).
         let pagerank = exactsim_graph::analysis::pagerank(
-            graph,
+            g,
             exactsim_graph::analysis::PageRankConfig::default(),
         );
         let total_walks = {
@@ -126,7 +143,7 @@ impl<'g> PrSim<'g> {
             .map(|&p| ((total_walks as f64) * p).ceil() as u64)
             .collect();
         let diag = estimate_diagonal(
-            graph,
+            g,
             &allocation,
             &DiagonalEstimator::Bernoulli,
             sqrt_c,
@@ -174,7 +191,7 @@ impl<'g> PrSim<'g> {
     /// Answers a single-source query by combining the source's hop vectors
     /// with the indexed columns (eq. 7).
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.num_nodes();
+        let n = self.graph.borrow().num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -187,7 +204,7 @@ impl<'g> PrSim<'g> {
         // The source's own hop vectors are computed at query time with a finer
         // threshold than the index so the query-side truncation is negligible.
         let source_hops = sparse_hop_vectors(
-            self.graph,
+            self.graph.borrow(),
             source,
             sqrt_c,
             self.levels,
@@ -224,10 +241,9 @@ fn build_columns(
     levels: usize,
     prune: f64,
     entry_cap: Option<usize>,
-) -> Option<(Vec<std::collections::HashMap<NodeId, Vec<IndexEntry>>>, usize)> {
+) -> Option<(Vec<ColumnMap>, usize)> {
     let n = graph.num_nodes();
-    let mut columns: Vec<std::collections::HashMap<NodeId, Vec<IndexEntry>>> =
-        vec![std::collections::HashMap::new(); levels + 1];
+    let mut columns: Vec<ColumnMap> = vec![std::collections::HashMap::new(); levels + 1];
     let mut workspace = Workspace::new(n);
     let mut total = 0usize;
     let cap = entry_cap.unwrap_or(usize::MAX);

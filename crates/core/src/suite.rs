@@ -6,6 +6,7 @@
 //! algorithm behind [`SingleSourceAlgorithm`] so the harness (and the
 //! comparison example) can treat them interchangeably.
 
+use std::borrow::Borrow;
 use std::time::{Duration, Instant};
 
 use exactsim_graph::{DiGraph, NodeId};
@@ -60,20 +61,20 @@ where
 }
 
 /// [`ExactSim`] behind the uniform interface.
-pub struct ExactSimAlgorithm<'g> {
-    solver: ExactSim<'g>,
+pub struct ExactSimAlgorithm<G: Borrow<DiGraph>> {
+    solver: ExactSim<G>,
 }
 
-impl<'g> ExactSimAlgorithm<'g> {
+impl<G: Borrow<DiGraph>> ExactSimAlgorithm<G> {
     /// Wraps an ExactSim configuration (index-free, so construction is cheap).
-    pub fn new(graph: &'g DiGraph, config: ExactSimConfig) -> Result<Self, SimRankError> {
+    pub fn new(graph: G, config: ExactSimConfig) -> Result<Self, SimRankError> {
         Ok(ExactSimAlgorithm {
             solver: ExactSim::new(graph, config)?,
         })
     }
 }
 
-impl SingleSourceAlgorithm for ExactSimAlgorithm<'_> {
+impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for ExactSimAlgorithm<G> {
     fn name(&self) -> &'static str {
         "ExactSim"
     }
@@ -84,20 +85,20 @@ impl SingleSourceAlgorithm for ExactSimAlgorithm<'_> {
 }
 
 /// [`ParSim`] behind the uniform interface.
-pub struct ParSimAlgorithm<'g> {
-    solver: ParSim<'g>,
+pub struct ParSimAlgorithm<G: Borrow<DiGraph>> {
+    solver: ParSim<G>,
 }
 
-impl<'g> ParSimAlgorithm<'g> {
+impl<G: Borrow<DiGraph>> ParSimAlgorithm<G> {
     /// Wraps a ParSim configuration (index-free).
-    pub fn new(graph: &'g DiGraph, config: ParSimConfig) -> Result<Self, SimRankError> {
+    pub fn new(graph: G, config: ParSimConfig) -> Result<Self, SimRankError> {
         Ok(ParSimAlgorithm {
             solver: ParSim::new(graph, config)?,
         })
     }
 }
 
-impl SingleSourceAlgorithm for ParSimAlgorithm<'_> {
+impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for ParSimAlgorithm<G> {
     fn name(&self) -> &'static str {
         "ParSim"
     }
@@ -108,14 +109,14 @@ impl SingleSourceAlgorithm for ParSimAlgorithm<'_> {
 }
 
 /// [`MonteCarlo`] behind the uniform interface (index-based).
-pub struct MonteCarloAlgorithm<'g> {
-    index: MonteCarlo<'g>,
+pub struct MonteCarloAlgorithm<G: Borrow<DiGraph>> {
+    index: MonteCarlo<G>,
     preprocessing: Duration,
 }
 
-impl<'g> MonteCarloAlgorithm<'g> {
+impl<G: Borrow<DiGraph>> MonteCarloAlgorithm<G> {
     /// Builds the walk index, recording the preprocessing time.
-    pub fn build(graph: &'g DiGraph, config: MonteCarloConfig) -> Result<Self, SimRankError> {
+    pub fn build(graph: G, config: MonteCarloConfig) -> Result<Self, SimRankError> {
         let start = Instant::now();
         let index = MonteCarlo::build(graph, config)?;
         Ok(MonteCarloAlgorithm {
@@ -125,7 +126,7 @@ impl<'g> MonteCarloAlgorithm<'g> {
     }
 }
 
-impl SingleSourceAlgorithm for MonteCarloAlgorithm<'_> {
+impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for MonteCarloAlgorithm<G> {
     fn name(&self) -> &'static str {
         "MC"
     }
@@ -144,14 +145,14 @@ impl SingleSourceAlgorithm for MonteCarloAlgorithm<'_> {
 }
 
 /// [`Linearization`] behind the uniform interface (index-based).
-pub struct LinearizationAlgorithm<'g> {
-    solver: Linearization<'g>,
+pub struct LinearizationAlgorithm<G: Borrow<DiGraph>> {
+    solver: Linearization<G>,
     preprocessing: Duration,
 }
 
-impl<'g> LinearizationAlgorithm<'g> {
+impl<G: Borrow<DiGraph>> LinearizationAlgorithm<G> {
     /// Runs the Monte-Carlo `D` preprocessing, recording its time.
-    pub fn build(graph: &'g DiGraph, config: LinearizationConfig) -> Result<Self, SimRankError> {
+    pub fn build(graph: G, config: LinearizationConfig) -> Result<Self, SimRankError> {
         let start = Instant::now();
         let solver = Linearization::build(graph, config)?;
         Ok(LinearizationAlgorithm {
@@ -161,7 +162,7 @@ impl<'g> LinearizationAlgorithm<'g> {
     }
 }
 
-impl SingleSourceAlgorithm for LinearizationAlgorithm<'_> {
+impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for LinearizationAlgorithm<G> {
     fn name(&self) -> &'static str {
         "Linearization"
     }
@@ -180,14 +181,14 @@ impl SingleSourceAlgorithm for LinearizationAlgorithm<'_> {
 }
 
 /// [`PrSim`] behind the uniform interface (index-based).
-pub struct PrSimAlgorithm<'g> {
-    index: PrSim<'g>,
+pub struct PrSimAlgorithm<G: Borrow<DiGraph>> {
+    index: PrSim<G>,
     preprocessing: Duration,
 }
 
-impl<'g> PrSimAlgorithm<'g> {
+impl<G: Borrow<DiGraph>> PrSimAlgorithm<G> {
     /// Builds the PRSim index, recording the preprocessing time.
-    pub fn build(graph: &'g DiGraph, config: PrSimConfig) -> Result<Self, SimRankError> {
+    pub fn build(graph: G, config: PrSimConfig) -> Result<Self, SimRankError> {
         let start = Instant::now();
         let index = PrSim::build(graph, config)?;
         Ok(PrSimAlgorithm {
@@ -197,7 +198,7 @@ impl<'g> PrSimAlgorithm<'g> {
     }
 }
 
-impl SingleSourceAlgorithm for PrSimAlgorithm<'_> {
+impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for PrSimAlgorithm<G> {
     fn name(&self) -> &'static str {
         "PRSim"
     }
@@ -264,7 +265,8 @@ mod tests {
         )
         .unwrap();
 
-        let algorithms: Vec<&dyn SingleSourceAlgorithm> = vec![&exactsim, &parsim, &mc, &lin, &prsim];
+        let algorithms: Vec<&dyn SingleSourceAlgorithm> =
+            vec![&exactsim, &parsim, &mc, &lin, &prsim];
         let mut names = Vec::new();
         for algo in algorithms {
             let output = algo.query(0).unwrap();
@@ -311,8 +313,7 @@ mod tests {
         let parsim = ParSimAlgorithm::new(&g, ParSimConfig::default()).unwrap();
         assert_eq!(parsim.index_bytes(), 0);
         assert_eq!(parsim.preprocessing_time(), Duration::ZERO);
-        let exactsim =
-            ExactSimAlgorithm::new(&g, ExactSimConfig::default()).unwrap();
+        let exactsim = ExactSimAlgorithm::new(&g, ExactSimConfig::default()).unwrap();
         assert_eq!(exactsim.index_bytes(), 0);
     }
 }

@@ -49,7 +49,10 @@ fn compare(a: &TopKEntry, b: &TopKEntry) -> std::cmp::Ordering {
 
 /// Returns just the node ids of the top-k answer (ordering as [`top_k`]).
 pub fn top_k_nodes(scores: &[f64], source: u32, k: usize) -> Vec<u32> {
-    top_k(scores, source, k).into_iter().map(|e| e.node).collect()
+    top_k(scores, source, k)
+        .into_iter()
+        .map(|e| e.node)
+        .collect()
 }
 
 #[cfg(test)]

@@ -156,9 +156,7 @@ pub fn large_datasets() -> Vec<&'static DatasetSpec> {
 
 /// Looks a dataset up by its short key (case-insensitive).
 pub fn dataset_by_key(key: &str) -> Option<&'static DatasetSpec> {
-    DATASETS
-        .iter()
-        .find(|d| d.key.eq_ignore_ascii_case(key))
+    DATASETS.iter().find(|d| d.key.eq_ignore_ascii_case(key))
 }
 
 impl DatasetSpec {
@@ -230,7 +228,10 @@ impl DatasetSpec {
 
     /// Loads the real edge list if present under `data_dir`, otherwise
     /// generates the synthetic stand-in at the default scale.
-    pub fn load_or_generate(&'static self, data_dir: &Path) -> Result<GeneratedDataset, GraphError> {
+    pub fn load_or_generate(
+        &'static self,
+        data_dir: &Path,
+    ) -> Result<GeneratedDataset, GraphError> {
         let path = self.edge_list_path(data_dir);
         if path.exists() {
             let options = EdgeListOptions {
@@ -309,7 +310,10 @@ mod tests {
         let db = dataset_by_key("DB").unwrap().generate().unwrap();
         assert!(db.graph.num_nodes() < db.spec.paper_nodes / 10);
         assert!(db.graph.num_nodes() > 10_000);
-        let it = dataset_by_key("IT").unwrap().generate_scaled(0.0005).unwrap();
+        let it = dataset_by_key("IT")
+            .unwrap()
+            .generate_scaled(0.0005)
+            .unwrap();
         assert!(it.graph.num_nodes() < 50_000);
         assert!(it.graph.num_edges() > it.graph.num_nodes());
     }

@@ -203,10 +203,7 @@ mod tests {
         let g = DiGraph::from_edges(0, &[]);
         assert_eq!(weakly_connected_components(&g).num_components, 0);
         assert_eq!(strongly_connected_components(&g).num_components, 0);
-        assert_eq!(
-            weakly_connected_components(&g).largest_component_size(),
-            0
-        );
+        assert_eq!(weakly_connected_components(&g).largest_component_size(), 0);
     }
 
     #[test]

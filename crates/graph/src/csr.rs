@@ -192,8 +192,7 @@ mod tests {
     #[test]
     fn from_raw_parts_round_trip() {
         let csr = sample();
-        let rebuilt =
-            CsrAdjacency::from_raw_parts(csr.offsets().to_vec(), csr.targets().to_vec());
+        let rebuilt = CsrAdjacency::from_raw_parts(csr.offsets().to_vec(), csr.targets().to_vec());
         assert_eq!(rebuilt, csr);
     }
 

@@ -156,7 +156,8 @@ mod tests {
         assert_eq!(g.num_edges(), 34);
         // Corner has degree 2, interior node degree 4.
         assert_eq!(g.in_degree(0), 2);
-        let interior = (1 * 4 + 1) as NodeId;
+        // Node (row 1, col 1) of the 3x4 grid in row-major order.
+        let interior = (4 + 1) as NodeId;
         assert_eq!(g.in_degree(interior), 4);
         // Symmetric.
         for (u, v) in g.iter_edges() {

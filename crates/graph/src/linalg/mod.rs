@@ -22,6 +22,4 @@ pub use dense::{
     add_assign, axpy, dot, l1_norm, l2_norm_sq, linf_distance, scale, unit_vector, zero_vector,
 };
 pub use sparse_vec::SparseVec;
-pub use transition::{
-    p_multiply, p_multiply_sparse, pt_multiply, pt_multiply_sparse, Workspace,
-};
+pub use transition::{p_multiply, p_multiply_sparse, pt_multiply, pt_multiply_sparse, Workspace};

@@ -1,0 +1,290 @@
+//! `simrank-serve` — a line-protocol REPL over [`exactsim_service::SimRankService`].
+//!
+//! ```text
+//! simrank-serve [--dataset KEY | --ba N M] [--scale F] [--seed S]
+//!               [--algo exactsim|prsim|mc] [--epsilon E]
+//!               [--workers W] [--cache-capacity C] [--walk-budget B]
+//! ```
+//!
+//! Protocol: one request per stdin line. `query`/`topk` answer with exactly
+//! one JSON object per stdout line — `{"error": "..."}` for a rejected
+//! request — so scripted clients can read stdout line-by-line. Startup
+//! banners and the human-oriented `stats`/`help` output go to stderr only.
+//!
+//! ```text
+//! query <node> [algo]      full single-source column (scores truncated to 32)
+//! topk <node> <k> [algo]   top-k most similar nodes
+//! stats                    human-readable serving counters (stderr)
+//! help                     this summary (stderr)
+//! quit                     exit (EOF also exits)
+//! ```
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use exactsim::exactsim::ExactSimConfig;
+use exactsim_graph::generators::barabasi_albert;
+use exactsim_graph::DiGraph;
+use exactsim_service::{AlgorithmKind, ServiceConfig, SimRankService};
+
+struct Options {
+    dataset: Option<String>,
+    ba: Option<(usize, usize)>,
+    scale: f64,
+    seed: u64,
+    algo: AlgorithmKind,
+    epsilon: f64,
+    workers: usize,
+    cache_capacity: usize,
+    walk_budget: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            dataset: None,
+            ba: None,
+            scale: 0.01,
+            seed: 42,
+            algo: AlgorithmKind::ExactSim,
+            epsilon: 1e-2,
+            workers: 0,
+            cache_capacity: 1024,
+            walk_budget: 2_000_000,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    fn next_value(flag: &str, args: &mut dyn Iterator<Item = String>) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dataset" => opts.dataset = Some(next_value("--dataset", &mut args)?),
+            "--ba" => {
+                let n = next_value("--ba", &mut args)?;
+                let m = next_value("--ba", &mut args)?;
+                opts.ba = Some((
+                    n.parse().map_err(|_| format!("bad node count `{n}`"))?,
+                    m.parse().map_err(|_| format!("bad edges-per-node `{m}`"))?,
+                ));
+            }
+            "--scale" => {
+                let v = next_value("--scale", &mut args)?;
+                opts.scale = v.parse().map_err(|_| format!("bad scale `{v}`"))?;
+            }
+            "--seed" => {
+                let v = next_value("--seed", &mut args)?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--algo" => {
+                let v = next_value("--algo", &mut args)?;
+                opts.algo = v.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--epsilon" => {
+                let v = next_value("--epsilon", &mut args)?;
+                opts.epsilon = v.parse().map_err(|_| format!("bad epsilon `{v}`"))?;
+            }
+            "--workers" => {
+                let v = next_value("--workers", &mut args)?;
+                opts.workers = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+            }
+            "--cache-capacity" => {
+                let v = next_value("--cache-capacity", &mut args)?;
+                opts.cache_capacity = v.parse().map_err(|_| format!("bad capacity `{v}`"))?;
+            }
+            "--walk-budget" => {
+                let v = next_value("--walk-budget", &mut args)?;
+                opts.walk_budget = v.parse().map_err(|_| format!("bad walk budget `{v}`"))?;
+            }
+            "--help" | "-h" => {
+                eprintln!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if opts.dataset.is_some() && opts.ba.is_some() {
+        return Err("--dataset and --ba are mutually exclusive".to_string());
+    }
+    Ok(opts)
+}
+
+const HELP: &str = "simrank-serve: line-protocol SimRank query server\n\
+  --dataset KEY        serve a Table 2 dataset stand-in (GQ, WV, ...)\n\
+  --ba N M             serve a Barabasi-Albert graph with N nodes, M edges/node\n\
+  --scale F            dataset scale factor (default 0.01)\n\
+  --seed S             graph generation seed (default 42)\n\
+  --algo A             default algorithm: exactsim | prsim | mc\n\
+  --epsilon E          ExactSim/PRSim error target (default 1e-2)\n\
+  --workers W          batch worker threads (0 = one per core)\n\
+  --cache-capacity C   result cache entries (default 1024)\n\
+  --walk-budget B      cap on ExactSim walk pairs per query (default 2000000;\n\
+                       0 = unlimited / paper-exact — small epsilons need the\n\
+                       cap lifted or the error target will not be met)\n\
+protocol: query <node> [algo] | topk <node> <k> [algo] | stats | help | quit";
+
+fn build_graph(opts: &Options) -> Result<DiGraph, String> {
+    if let Some((n, m)) = opts.ba {
+        return barabasi_albert(n, m, true, opts.seed).map_err(|e| e.to_string());
+    }
+    let key = opts.dataset.as_deref().unwrap_or("GQ");
+    let spec =
+        exactsim_datasets::dataset_by_key(key).ok_or_else(|| format!("unknown dataset `{key}`"))?;
+    let generated = spec
+        .generate_scaled(opts.scale)
+        .map_err(|e| e.to_string())?;
+    Ok(generated.graph)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("simrank-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let graph = match build_graph(&opts) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("simrank-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServiceConfig {
+        workers: opts.workers,
+        cache_capacity: opts.cache_capacity,
+        exactsim: ExactSimConfig {
+            epsilon: opts.epsilon,
+            // The budget keeps interactive latency bounded but caps accuracy:
+            // below the epsilon the budget can satisfy, walk allocations are
+            // scaled down proportionally (see ExactSim::apply_budget). 0 lifts
+            // the cap and serves the paper-exact sample counts.
+            walk_budget: (opts.walk_budget > 0).then_some(opts.walk_budget),
+            ..ExactSimConfig::default()
+        },
+        prsim: exactsim::prsim::PrSimConfig {
+            epsilon: opts.epsilon,
+            ..Default::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = match SimRankService::new(Arc::new(graph), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("simrank-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "simrank-serve ready: {} nodes, {} edges, default algo {}, {} workers (type `help`)",
+        service.graph().num_nodes(),
+        service.graph().num_edges(),
+        opts.algo,
+        service.workers(),
+    );
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        let mut out = stdout.lock();
+        match serve_line(&service, opts.algo, line.trim()) {
+            Action::Reply(reply) => {
+                let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+            }
+            Action::Silent => {}
+            Action::Quit => break,
+        }
+    }
+    eprintln!("--- final stats ---\n{}", service.stats());
+    ExitCode::SUCCESS
+}
+
+enum Action {
+    Reply(String),
+    Silent,
+    Quit,
+}
+
+fn serve_line(service: &SimRankService, default_algo: AlgorithmKind, line: &str) -> Action {
+    if line.is_empty() || line.starts_with('#') {
+        return Action::Silent;
+    }
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let algo_arg = |idx: usize| -> Result<AlgorithmKind, String> {
+        match parts.get(idx) {
+            Some(name) => name.parse().map_err(|e| format!("{e}")),
+            None => Ok(default_algo),
+        }
+    };
+    match parts[0] {
+        "quit" | "exit" => Action::Quit,
+        "help" => {
+            eprintln!("{HELP}");
+            Action::Silent
+        }
+        "stats" => {
+            eprintln!("{}", service.stats());
+            Action::Silent
+        }
+        "query" => {
+            let result = parts
+                .get(1)
+                .ok_or_else(|| "usage: query <node> [algo]".to_string())
+                .and_then(|s| s.parse::<u32>().map_err(|_| format!("bad node id `{s}`")))
+                .and_then(|node| Ok((node, algo_arg(2)?)))
+                .and_then(|(node, algo)| service.query(algo, node).map_err(|e| e.to_string()));
+            match result {
+                Ok(response) => Action::Reply(response.to_json(Some(32))),
+                Err(msg) => error_reply(&msg),
+            }
+        }
+        "topk" => {
+            let result = match (parts.get(1), parts.get(2)) {
+                (Some(node), Some(k)) => node
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad node id `{node}`"))
+                    .and_then(|node| {
+                        let k = k.parse::<usize>().map_err(|_| format!("bad k `{k}`"))?;
+                        Ok((node, k))
+                    })
+                    .and_then(|(node, k)| Ok((node, k, algo_arg(3)?)))
+                    .and_then(|(node, k, algo)| {
+                        service.top_k(algo, node, k).map_err(|e| e.to_string())
+                    }),
+                _ => Err("usage: topk <node> <k> [algo]".to_string()),
+            };
+            match result {
+                Ok(response) => Action::Reply(response.to_json()),
+                Err(msg) => error_reply(&msg),
+            }
+        }
+        other => error_reply(&format!("unknown command `{other}` (try help)")),
+    }
+}
+
+fn error_reply(msg: &str) -> Action {
+    let mut escaped = String::with_capacity(msg.len());
+    for c in msg.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    Action::Reply(format!("{{\"error\":\"{escaped}\"}}"))
+}

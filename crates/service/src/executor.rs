@@ -1,0 +1,151 @@
+//! A fixed worker pool over std threads and channels.
+//!
+//! No external dependencies: jobs are boxed closures pushed into an `mpsc`
+//! channel whose receiver is shared by all workers behind a mutex (the
+//! classic "channel of jobs" pool). Dropping the pool closes the channel;
+//! workers drain whatever is still queued, then exit, and `Drop` joins them —
+//! so shutdown is graceful by construction.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+pub struct WorkerPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("simrank-worker-{i}"))
+                    .spawn(move || worker_loop(&receiver))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some worker will run it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender only taken in Drop")
+            .send(Box::new(job))
+            .expect("workers outlive the sender by construction");
+    }
+}
+
+fn worker_loop(receiver: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while *waiting*, never while running a job.
+        let job = match receiver.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return, // a job panicked while... impossible: lock is held only to recv
+        };
+        match job {
+            // A panicking job must not take the worker thread (and a slot of
+            // pool capacity) with it; the panic is contained to the job.
+            Ok(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            Err(_) => return, // channel closed and drained: shut down
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            // A panicked worker already unwound; don't double-panic in Drop.
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_all_jobs_across_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..100 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs_before_joining() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..50 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        } // Drop joins after the queue drains.
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = WorkerPool::new(1);
+        pool.execute(|| panic!("job panic must stay contained"));
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(1).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            1,
+            "the single worker must survive the panicking job"
+        );
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(7).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            7
+        );
+    }
+}

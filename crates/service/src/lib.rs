@@ -1,0 +1,70 @@
+//! # exactsim-service
+//!
+//! A concurrent query-serving subsystem that turns the `exactsim` algorithm
+//! library into a long-lived engine, following the preprocess-once /
+//! query-many split of incremental-view-maintenance systems: index
+//! construction happens (lazily) once per algorithm, and a serving layer
+//! answers heavy single-source / top-k SimRank traffic on top of it.
+//!
+//! The moving parts:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`service`] | [`SimRankService`]: owns the immutable `Arc<DiGraph>` plus lazily-built per-algorithm indices behind `Arc<dyn SingleSourceAlgorithm + Send + Sync>` |
+//! | [`cache`] | sharded LRU result cache keyed by `(algorithm, source, epsilon-tier)` |
+//! | [`inflight`] | in-flight query deduplication: concurrent requests for the same key block on one computation |
+//! | [`executor`] | worker-pool batch executor (std threads + channels, no external deps) |
+//! | [`stats`] | [`ServiceStats`]: queries served, cache hit rate, p50/p99 latency from a fixed-bucket histogram |
+//! | [`response`] | serializable [`QueryResponse`] / [`TopKResponse`] wire types |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use exactsim_graph::generators::barabasi_albert;
+//! use exactsim_service::{AlgorithmKind, ServiceConfig, SimRankService};
+//!
+//! let graph = Arc::new(barabasi_albert(200, 3, true, 42).unwrap());
+//! let service = SimRankService::new(graph, ServiceConfig::fast_demo()).unwrap();
+//!
+//! // Single-source query: the first call computes, the second is a cache hit
+//! // returning the exact same scores.
+//! let a = service.query(AlgorithmKind::ExactSim, 7).unwrap();
+//! let b = service.query(AlgorithmKind::ExactSim, 7).unwrap();
+//! assert_eq!(a.scores, b.scores);
+//! assert_eq!(service.stats().cache_hits, 1);
+//!
+//! // Top-k rides on the same cached single-source vectors.
+//! let top = service.top_k(AlgorithmKind::ExactSim, 7, 5).unwrap();
+//! assert!(top.entries.len() <= 5);
+//! ```
+//!
+//! ## Concurrency model
+//!
+//! * The graph is immutable and shared (`Arc<DiGraph>`); algorithm indices
+//!   are built at most once each under a `OnceLock`.
+//! * Queries may be issued from any number of threads; a sharded mutex LRU
+//!   keeps cache contention low, and the in-flight table guarantees that at
+//!   any moment at most one thread computes a given `(algorithm, source,
+//!   epsilon-tier)` key — latecomers block and receive the leader's result.
+//! * Batches are fanned out over a fixed worker pool and stream back over a
+//!   channel in completion order.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod cache;
+pub mod error;
+pub mod executor;
+pub(crate) mod inflight;
+pub mod response;
+pub mod service;
+pub mod stats;
+
+pub use cache::{epsilon_tier, CacheKey, ShardedLruCache};
+pub use error::ServiceError;
+pub use executor::WorkerPool;
+pub use response::{AlgorithmKind, QueryResponse, TopKResponse};
+pub use service::{BatchAnswer, BatchItem, BatchRequest, ServiceConfig, SimRankService};
+pub use stats::{ServiceStats, StatsSnapshot};

@@ -1,0 +1,537 @@
+//! The long-lived SimRank query engine.
+//!
+//! [`SimRankService`] owns an immutable, shared graph (`Arc<DiGraph>`) and
+//! builds each algorithm's index lazily — at most once, on first use, behind
+//! a `OnceLock` — as `Arc<dyn SingleSourceAlgorithm + Send + Sync>`. Every
+//! query flows through three layers:
+//!
+//! 1. the **sharded LRU cache** ([`crate::cache`]): a hit returns the shared
+//!    `Arc<QueryResponse>` without touching the algorithm;
+//! 2. the **in-flight table** ([`crate::inflight`]): concurrent misses on the
+//!    same key elect one leader; followers block and share its result;
+//! 3. the **algorithm**: the leader computes, inserts into the cache, then
+//!    publishes to followers (insert-before-publish means there is no window
+//!    in which neither cache nor in-flight table can answer).
+//!
+//! Batches fan out over a fixed [`WorkerPool`] and stream back over a
+//! channel in completion order.
+
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use exactsim::exactsim::ExactSimConfig;
+use exactsim::mc::MonteCarloConfig;
+use exactsim::prsim::PrSimConfig;
+use exactsim::suite::{
+    ExactSimAlgorithm, MonteCarloAlgorithm, PrSimAlgorithm, SingleSourceAlgorithm,
+};
+use exactsim::SimRankError;
+use exactsim_graph::{DiGraph, NodeId};
+
+use crate::cache::{epsilon_tier, CacheKey, ShardedLruCache};
+use crate::error::ServiceError;
+use crate::executor::WorkerPool;
+use crate::inflight::{InflightTable, Ticket};
+use crate::response::{AlgorithmKind, QueryResponse, TopKResponse};
+use crate::stats::{ServiceStats, StatsSnapshot};
+
+/// A `'static`, thread-safe, shareable algorithm handle.
+type AlgorithmHandle = Arc<dyn SingleSourceAlgorithm + Send + Sync>;
+
+/// Configuration of a [`SimRankService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads of the batch executor (`0` = one per available core).
+    pub workers: usize,
+    /// Total result-cache capacity in entries (each entry holds one full
+    /// single-source column, i.e. `n` floats — size the capacity to the
+    /// graph).
+    pub cache_capacity: usize,
+    /// Number of independent cache shards.
+    pub cache_shards: usize,
+    /// Configuration used when serving [`AlgorithmKind::ExactSim`].
+    pub exactsim: ExactSimConfig,
+    /// Configuration used when serving [`AlgorithmKind::PrSim`].
+    pub prsim: PrSimConfig,
+    /// Configuration used when serving [`AlgorithmKind::MonteCarlo`].
+    pub mc: MonteCarloConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            cache_capacity: 1024,
+            cache_shards: 16,
+            exactsim: ExactSimConfig::default(),
+            prsim: PrSimConfig::default(),
+            mc: MonteCarloConfig::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A configuration tuned for demos and tests: ExactSim at ε = 10⁻² with a
+    /// capped walk budget, so queries on graphs of a few thousand nodes take
+    /// milliseconds instead of the paper's ε = 10⁻⁷ ground-truth regime.
+    pub fn fast_demo() -> Self {
+        ServiceConfig {
+            exactsim: ExactSimConfig {
+                epsilon: 1e-2,
+                walk_budget: Some(100_000),
+                ..ExactSimConfig::default()
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// The accuracy tier a given algorithm's answers are cached under.
+    pub fn tier_for(&self, algorithm: AlgorithmKind) -> u16 {
+        match algorithm {
+            AlgorithmKind::ExactSim => epsilon_tier(self.exactsim.epsilon),
+            AlgorithmKind::PrSim => epsilon_tier(self.prsim.epsilon),
+            // MC's statistical error scales as 1/√r for r walks per node.
+            AlgorithmKind::MonteCarlo => {
+                epsilon_tier(1.0 / (self.mc.walks_per_node.max(1) as f64).sqrt())
+            }
+        }
+    }
+}
+
+/// One request of a batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchRequest {
+    /// Which algorithm should answer.
+    pub algorithm: AlgorithmKind,
+    /// The query source node.
+    pub source: NodeId,
+    /// `Some(k)` for a top-k answer, `None` for the full column.
+    pub top_k: Option<usize>,
+}
+
+/// The answer to one [`BatchRequest`].
+#[derive(Clone, Debug)]
+pub enum BatchAnswer {
+    /// Full single-source column (shared with the cache).
+    Full(Arc<QueryResponse>),
+    /// Top-k extraction.
+    TopK(TopKResponse),
+}
+
+/// One completed batch item, streamed back in completion order.
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// Index of the request in the submitted batch.
+    pub index: usize,
+    /// The request this answers.
+    pub request: BatchRequest,
+    /// The answer or the error.
+    pub outcome: Result<BatchAnswer, ServiceError>,
+}
+
+struct Inner {
+    graph: Arc<DiGraph>,
+    config: ServiceConfig,
+    /// Lazily-built per-algorithm indices, in [`AlgorithmKind::ALL`] order.
+    /// Build errors are cached too: the configuration cannot change after
+    /// construction, so retrying an invalid one is pointless.
+    algorithms: [OnceLock<Result<AlgorithmHandle, SimRankError>>; 3],
+    cache: ShardedLruCache,
+    inflight: InflightTable,
+    stats: ServiceStats,
+}
+
+impl Inner {
+    fn handle(&self, kind: AlgorithmKind) -> Result<AlgorithmHandle, ServiceError> {
+        let cell = &self.algorithms[kind.index()];
+        cell.get_or_init(|| {
+            let graph = Arc::clone(&self.graph);
+            Ok(match kind {
+                // ExactSim is index-free: constructing its handle is pure
+                // validation and does not count as an index build.
+                AlgorithmKind::ExactSim => {
+                    Arc::new(ExactSimAlgorithm::new(graph, self.config.exactsim.clone())?)
+                        as AlgorithmHandle
+                }
+                AlgorithmKind::PrSim => {
+                    ServiceStats::bump(&self.stats.index_builds);
+                    Arc::new(PrSimAlgorithm::build(graph, self.config.prsim)?) as AlgorithmHandle
+                }
+                AlgorithmKind::MonteCarlo => {
+                    ServiceStats::bump(&self.stats.index_builds);
+                    Arc::new(MonteCarloAlgorithm::build(graph, self.config.mc)?) as AlgorithmHandle
+                }
+            })
+        })
+        .clone()
+        .map_err(ServiceError::Algorithm)
+    }
+
+    fn key_for(&self, algorithm: AlgorithmKind, source: NodeId) -> CacheKey {
+        CacheKey {
+            algorithm,
+            source,
+            epsilon_tier: self.config.tier_for(algorithm),
+        }
+    }
+
+    fn compute(
+        &self,
+        algorithm: AlgorithmKind,
+        source: NodeId,
+    ) -> Result<Arc<QueryResponse>, ServiceError> {
+        let handle = self.handle(algorithm)?;
+        let output = handle.query(source)?;
+        // Counted only on success so that
+        // queries = cache_hits + dedup_joins + computations + errors.
+        ServiceStats::bump(&self.stats.computations);
+        Ok(Arc::new(QueryResponse::from_output(
+            algorithm, source, output,
+        )))
+    }
+
+    fn query(
+        &self,
+        algorithm: AlgorithmKind,
+        source: NodeId,
+    ) -> Result<Arc<QueryResponse>, ServiceError> {
+        let serve_start = Instant::now();
+        ServiceStats::bump(&self.stats.queries);
+        let key = self.key_for(algorithm, source);
+
+        if let Some(hit) = self.cache.get(&key) {
+            ServiceStats::bump(&self.stats.cache_hits);
+            self.stats.latency.record(serve_start.elapsed());
+            return Ok(hit);
+        }
+
+        let result = match self.inflight.join_or_lead(key) {
+            Ticket::Lead(slot) => {
+                // Double-check the cache: between our miss and winning the
+                // lead, the previous leader may have inserted and retired.
+                if let Some(hit) = self.cache.get(&key) {
+                    ServiceStats::bump(&self.stats.cache_hits);
+                    self.inflight.complete(&key, &slot, Ok(Arc::clone(&hit)));
+                    self.stats.latency.record(serve_start.elapsed());
+                    return Ok(hit);
+                }
+                // A panicking computation must still retire the key and wake
+                // the followers — otherwise the key is wedged forever (every
+                // later query joins a computation that will never complete).
+                let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    self.compute(algorithm, source)
+                })) {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        self.inflight.complete(
+                            &key,
+                            &slot,
+                            Err(ServiceError::Internal("computation panicked".into())),
+                        );
+                        // Keep the books balanced (queries = hits + joins +
+                        // computations + errors) even on the unwind path.
+                        ServiceStats::bump(&self.stats.errors);
+                        self.stats.latency.record(serve_start.elapsed());
+                        std::panic::resume_unwind(payload);
+                    }
+                };
+                if let Ok(response) = &result {
+                    // Insert BEFORE retiring the in-flight key: see module docs.
+                    self.cache.insert(key, Arc::clone(response));
+                }
+                self.inflight.complete(&key, &slot, result.clone());
+                result
+            }
+            Ticket::Follow(slot) => {
+                let result = slot.wait();
+                if result.is_ok() {
+                    ServiceStats::bump(&self.stats.dedup_joins);
+                }
+                result
+            }
+        };
+        if result.is_err() {
+            ServiceStats::bump(&self.stats.errors);
+        }
+        self.stats.latency.record(serve_start.elapsed());
+        result
+    }
+}
+
+/// The concurrent SimRank query-serving engine. Cheap to clone (all clones
+/// share one graph, one cache, one worker pool).
+#[derive(Clone)]
+pub struct SimRankService {
+    inner: Arc<Inner>,
+    /// Kept outside `Inner` so batch jobs (which capture `Arc<Inner>`) never
+    /// keep the pool itself alive: when the last service clone drops, the
+    /// pool's channel closes, workers drain and are joined — even if those
+    /// workers still hold `Inner` references through queued jobs.
+    pool: Arc<WorkerPool>,
+}
+
+impl SimRankService {
+    /// Creates a service for `graph`. Validates the configurations eagerly
+    /// (fail fast at startup, not on first query); indices are still built
+    /// lazily on first use of each algorithm.
+    pub fn new(graph: Arc<DiGraph>, config: ServiceConfig) -> Result<Self, ServiceError> {
+        if graph.num_nodes() == 0 {
+            return Err(ServiceError::Algorithm(SimRankError::EmptyGraph));
+        }
+        // ExactSim construction is pure validation (the solver is index-free)
+        // and also covers the graph-dependent checks a bare
+        // `config.exactsim.validate()` cannot see, e.g. a
+        // `DiagonalMode::Exact` vector whose length mismatches the graph —
+        // without this, that error would surface on the first query and be
+        // cached forever in the `OnceLock`.
+        exactsim::exactsim::ExactSim::new(graph.as_ref(), config.exactsim.clone())?;
+        config.prsim.validate()?;
+        config.mc.validate()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            config.workers
+        };
+        let cache = ShardedLruCache::new(config.cache_capacity, config.cache_shards);
+        Ok(SimRankService {
+            inner: Arc::new(Inner {
+                graph,
+                config,
+                algorithms: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+                cache,
+                inflight: InflightTable::new(),
+                stats: ServiceStats::new(),
+            }),
+            pool: Arc::new(WorkerPool::new(workers)),
+        })
+    }
+
+    /// The graph this service answers queries about.
+    pub fn graph(&self) -> &Arc<DiGraph> {
+        &self.inner.graph
+    }
+
+    /// The configuration the service was created with.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Number of batch worker threads.
+    pub fn workers(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Serves one single-source query through cache → dedup → computation.
+    ///
+    /// The returned response is shared with the cache; results for the same
+    /// `(algorithm, source)` under an unchanged configuration are
+    /// bit-identical to a direct library call because every algorithm
+    /// derives its randomness deterministically from `(seed, source)`.
+    pub fn query(
+        &self,
+        algorithm: AlgorithmKind,
+        source: NodeId,
+    ) -> Result<Arc<QueryResponse>, ServiceError> {
+        self.inner.query(algorithm, source)
+    }
+
+    /// Serves a top-k query (rides on the cached single-source column).
+    pub fn top_k(
+        &self,
+        algorithm: AlgorithmKind,
+        source: NodeId,
+        k: usize,
+    ) -> Result<TopKResponse, ServiceError> {
+        Ok(self.query(algorithm, source)?.top_k(k))
+    }
+
+    /// Submits a batch; answers stream back over the returned channel in
+    /// completion order (each [`BatchItem`] carries its original index).
+    /// Dropping the receiver abandons the remaining answers but not the
+    /// cache/stat effects of their computations.
+    pub fn submit_batch(&self, requests: Vec<BatchRequest>) -> Receiver<BatchItem> {
+        let (tx, rx) = channel();
+        for (index, request) in requests.into_iter().enumerate() {
+            let inner = Arc::clone(&self.inner);
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                let outcome = inner
+                    .query(request.algorithm, request.source)
+                    .map(|response| match request.top_k {
+                        Some(k) => BatchAnswer::TopK(response.top_k(k)),
+                        None => BatchAnswer::Full(response),
+                    });
+                // The receiver may be gone; that only cancels delivery.
+                let _ = tx.send(BatchItem {
+                    index,
+                    request,
+                    outcome,
+                });
+            });
+        }
+        rx
+    }
+
+    /// Runs a batch to completion and returns the answers ordered by their
+    /// original request index. A request whose worker died before reporting
+    /// (it panicked mid-computation) comes back as a
+    /// [`ServiceError::Internal`] outcome rather than silently missing.
+    pub fn run_batch(&self, requests: Vec<BatchRequest>) -> Vec<BatchItem> {
+        let expected = requests.len();
+        let rx = self.submit_batch(requests.clone());
+        let mut items: Vec<BatchItem> = rx.iter().take(expected).collect();
+        if items.len() < expected {
+            let mut answered = vec![false; expected];
+            for item in &items {
+                answered[item.index] = true;
+            }
+            for (index, request) in requests.into_iter().enumerate() {
+                if !answered[index] {
+                    items.push(BatchItem {
+                        index,
+                        request,
+                        outcome: Err(ServiceError::Internal(
+                            "worker lost before returning a result".into(),
+                        )),
+                    });
+                }
+            }
+        }
+        items.sort_by_key(|item| item.index);
+        items
+    }
+
+    /// A point-in-time snapshot of the serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner
+            .stats
+            .snapshot(self.inner.cache.evictions(), self.inner.cache.len())
+    }
+
+    /// Number of keys currently being computed (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.inner.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exactsim_graph::generators::barabasi_albert;
+
+    fn demo_service(n: usize, seed: u64) -> SimRankService {
+        let graph = Arc::new(barabasi_albert(n, 3, true, seed).unwrap());
+        SimRankService::new(graph, ServiceConfig::fast_demo()).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_graphs_and_bad_configs_eagerly() {
+        let empty = Arc::new(exactsim_graph::GraphBuilder::new(0).build());
+        assert!(SimRankService::new(empty, ServiceConfig::fast_demo()).is_err());
+
+        let graph = Arc::new(barabasi_albert(20, 2, true, 1).unwrap());
+        let bad = ServiceConfig {
+            exactsim: ExactSimConfig {
+                epsilon: 0.0,
+                ..ExactSimConfig::default()
+            },
+            ..ServiceConfig::fast_demo()
+        };
+        assert!(SimRankService::new(Arc::clone(&graph), bad).is_err());
+
+        // PrSim/MC misconfigurations also fail at construction, not on the
+        // first query of that algorithm (where the error would be cached
+        // forever in the OnceLock).
+        let bad_prsim = ServiceConfig {
+            prsim: exactsim::prsim::PrSimConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            },
+            ..ServiceConfig::fast_demo()
+        };
+        assert!(SimRankService::new(Arc::clone(&graph), bad_prsim).is_err());
+        let bad_mc = ServiceConfig {
+            mc: exactsim::mc::MonteCarloConfig {
+                walks_per_node: 0,
+                ..Default::default()
+            },
+            ..ServiceConfig::fast_demo()
+        };
+        assert!(SimRankService::new(Arc::clone(&graph), bad_mc).is_err());
+
+        // Graph-dependent misconfiguration: an exact diagonal of the wrong
+        // length (graph has 20 nodes) is rejected at construction too.
+        let bad_diag = ServiceConfig {
+            exactsim: ExactSimConfig {
+                diagonal: exactsim::exactsim::DiagonalMode::Exact(vec![1.0; 5]),
+                ..ExactSimConfig::default()
+            },
+            ..ServiceConfig::fast_demo()
+        };
+        assert!(SimRankService::new(graph, bad_diag).is_err());
+    }
+
+    #[test]
+    fn query_errors_do_not_poison_the_key() {
+        let service = demo_service(30, 3);
+        let out_of_range = service.query(AlgorithmKind::ExactSim, 999);
+        assert!(matches!(
+            out_of_range,
+            Err(ServiceError::Algorithm(
+                SimRankError::SourceOutOfRange { .. }
+            ))
+        ));
+        // The failed query is not cached and the key is retired: a valid
+        // query afterwards works, as does retrying the bad one.
+        assert!(service.query(AlgorithmKind::ExactSim, 0).is_ok());
+        assert!(service.query(AlgorithmKind::ExactSim, 999).is_err());
+        let snap = service.stats();
+        assert_eq!(snap.errors, 2);
+        assert_eq!(snap.cached_entries, 1);
+    }
+
+    #[test]
+    fn index_is_built_once_per_algorithm() {
+        let service = demo_service(40, 5);
+        service.query(AlgorithmKind::MonteCarlo, 0).unwrap();
+        service.query(AlgorithmKind::MonteCarlo, 1).unwrap();
+        service.query(AlgorithmKind::PrSim, 0).unwrap();
+        // Index-free ExactSim must not count as an index build.
+        service.query(AlgorithmKind::ExactSim, 0).unwrap();
+        let snap = service.stats();
+        assert_eq!(snap.index_builds, 2);
+        assert_eq!(snap.computations, 4);
+    }
+
+    #[test]
+    fn batch_answers_carry_indices_and_complete() {
+        let service = demo_service(60, 7);
+        let requests: Vec<BatchRequest> = (0..20)
+            .map(|i| BatchRequest {
+                algorithm: AlgorithmKind::ExactSim,
+                source: (i % 5) as NodeId,
+                top_k: if i % 2 == 0 { Some(3) } else { None },
+            })
+            .collect();
+        let items = service.run_batch(requests.clone());
+        assert_eq!(items.len(), 20);
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.index, i);
+            assert_eq!(item.request, requests[i]);
+            match item.outcome.as_ref().unwrap() {
+                BatchAnswer::TopK(top) => assert!(top.entries.len() <= 3),
+                BatchAnswer::Full(resp) => assert_eq!(resp.scores.len(), 60),
+            }
+        }
+        // 5 distinct sources -> at most 5 computations, everything else served
+        // from cache or joined in flight.
+        let snap = service.stats();
+        assert!(
+            snap.computations <= 5,
+            "computations = {}",
+            snap.computations
+        );
+        assert_eq!(snap.queries, 20);
+    }
+}

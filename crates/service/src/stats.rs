@@ -1,0 +1,216 @@
+//! Service observability: counters and a fixed-bucket latency histogram.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering): recording a
+//! served query must never contend with other queries. Quantiles come from a
+//! power-of-two-bucketed histogram over microseconds — p50/p99 are resolved
+//! to the upper bound of the containing bucket, i.e. within a factor of two,
+//! which is the standard fixed-memory trade-off (HdrHistogram-lite).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket `i` covers latencies in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`). 2^38 µs ≈ 3.2 days —
+/// nothing a query-serving path produces overflows the last bucket.
+const BUCKETS: usize = 40;
+
+/// Fixed-bucket latency histogram over microseconds.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let idx = if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) as the upper bound of its bucket, or
+    /// `None` if nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_micros(1u64 << i));
+            }
+        }
+        Some(Duration::from_micros(1u64 << (BUCKETS - 1)))
+    }
+
+    /// Total recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// Live counters of a [`crate::SimRankService`].
+#[derive(Default)]
+pub struct ServiceStats {
+    pub(crate) queries: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) dedup_joins: AtomicU64,
+    pub(crate) computations: AtomicU64,
+    pub(crate) index_builds: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ServiceStats {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot (individual counters are exact;
+    /// ratios between them can be off by in-flight queries).
+    pub fn snapshot(&self, evictions: u64, cached_entries: usize) -> StatsSnapshot {
+        let queries = self.queries.load(Ordering::Relaxed);
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let dedup_joins = self.dedup_joins.load(Ordering::Relaxed);
+        StatsSnapshot {
+            queries,
+            cache_hits,
+            dedup_joins,
+            computations: self.computations.load(Ordering::Relaxed),
+            index_builds: self.index_builds.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            evictions,
+            cached_entries,
+            hit_rate: if queries == 0 {
+                0.0
+            } else {
+                (cache_hits + dedup_joins) as f64 / queries as f64
+            },
+            p50: self.latency.quantile(0.50),
+            p99: self.latency.quantile(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of the service counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsSnapshot {
+    /// Queries served (hits + joins + computations + errors).
+    pub queries: u64,
+    /// Queries answered from the result cache.
+    pub cache_hits: u64,
+    /// Queries that joined an in-flight computation instead of recomputing.
+    pub dedup_joins: u64,
+    /// Underlying single-source computations actually performed.
+    pub computations: u64,
+    /// Algorithm indices built (lazily, at most one per algorithm).
+    pub index_builds: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Cache entries evicted under capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident in the cache.
+    pub cached_entries: usize,
+    /// `(cache_hits + dedup_joins) / queries` — the fraction of queries that
+    /// did *not* pay for a computation.
+    pub hit_rate: f64,
+    /// Median serve latency (bucket upper bound), if any query was served.
+    pub p50: Option<Duration>,
+    /// 99th-percentile serve latency (bucket upper bound).
+    pub p99: Option<Duration>,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queries served:     {}", self.queries)?;
+        writeln!(
+            f,
+            "cache hit rate:     {:.1}% ({} hits, {} dedup joins)",
+            self.hit_rate * 100.0,
+            self.cache_hits,
+            self.dedup_joins
+        )?;
+        writeln!(f, "computations:       {}", self.computations)?;
+        writeln!(f, "index builds:       {}", self.index_builds)?;
+        writeln!(
+            f,
+            "cache:              {} entries resident, {} evicted",
+            self.cached_entries, self.evictions
+        )?;
+        writeln!(f, "errors:             {}", self.errors)?;
+        let fmt_latency = |d: Option<Duration>| match d {
+            Some(d) => format!("<= {d:?}"),
+            None => "n/a".to_string(),
+        };
+        writeln!(f, "latency p50:        {}", fmt_latency(self.p50))?;
+        write!(f, "latency p99:        {}", fmt_latency(self.p99))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for us in [0u64, 1, 2, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        // Median of {0,1,2,3,100,1000,100000} µs is 3 µs → bucket [2,4) → 4.
+        assert_eq!(h.quantile(0.5), Some(Duration::from_micros(4)));
+        // Max quantile lands in the 100ms-ish bucket containing 100000 µs.
+        let p100 = h.quantile(1.0).unwrap();
+        assert!(p100 >= Duration::from_micros(100_000));
+        assert!(p100 <= Duration::from_micros(262_144));
+    }
+
+    #[test]
+    fn snapshot_hit_rate_counts_hits_and_joins() {
+        let stats = ServiceStats::new();
+        stats.queries.store(10, Ordering::Relaxed);
+        stats.cache_hits.store(6, Ordering::Relaxed);
+        stats.dedup_joins.store(3, Ordering::Relaxed);
+        stats.computations.store(1, Ordering::Relaxed);
+        let snap = stats.snapshot(0, 5);
+        assert!((snap.hit_rate - 0.9).abs() < 1e-12);
+        assert_eq!(snap.cached_entries, 5);
+        let rendered = snap.to_string();
+        assert!(rendered.contains("90.0%"));
+        assert!(rendered.contains("computations:       1"));
+    }
+
+    #[test]
+    fn zero_queries_mean_zero_hit_rate() {
+        let snap = ServiceStats::new().snapshot(0, 0);
+        assert_eq!(snap.hit_rate, 0.0);
+        assert_eq!(snap.p50, None);
+    }
+}

@@ -1,0 +1,202 @@
+//! Integration tests for the serving subsystem — these encode the PR's
+//! acceptance criteria:
+//!
+//! (a) cached single-source results are *exactly* equal to direct library
+//!     calls (`ExactSim::query` and friends derive their randomness from
+//!     `(seed, source)`, so the service adds no nondeterminism);
+//! (b) a batch of 100 queries over 10 distinct sources on 8 workers performs
+//!     at most 10 underlying computations (cache + in-flight dedup);
+//! (c) `ServiceStats` reports a hit rate ≥ 0.85 for that workload.
+
+use std::sync::Arc;
+
+use exactsim::exactsim::{ExactSim, ExactSimConfig};
+use exactsim::mc::{MonteCarlo, MonteCarloConfig};
+use exactsim::prsim::{PrSim, PrSimConfig};
+use exactsim_graph::generators::barabasi_albert;
+use exactsim_graph::DiGraph;
+use exactsim_service::{AlgorithmKind, BatchRequest, ServiceConfig, SimRankService};
+
+fn test_graph(n: usize, seed: u64) -> Arc<DiGraph> {
+    Arc::new(barabasi_albert(n, 3, true, seed).unwrap())
+}
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 8,
+        exactsim: ExactSimConfig {
+            epsilon: 1e-2,
+            walk_budget: Some(100_000),
+            ..ExactSimConfig::default()
+        },
+        prsim: PrSimConfig {
+            epsilon: 2e-2,
+            ..PrSimConfig::default()
+        },
+        mc: MonteCarloConfig {
+            walks_per_node: 200,
+            ..MonteCarloConfig::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn cached_answers_are_bit_identical_to_direct_library_calls() {
+    let graph = test_graph(150, 11);
+    let config = test_config();
+    let service = SimRankService::new(Arc::clone(&graph), config.clone()).unwrap();
+
+    for source in [0u32, 7, 42] {
+        // Serve twice: the first call computes, the second must come from the
+        // cache — and both must equal the direct library answer bit-for-bit.
+        let first = service.query(AlgorithmKind::ExactSim, source).unwrap();
+        let second = service.query(AlgorithmKind::ExactSim, source).unwrap();
+        let direct = ExactSim::new(graph.as_ref(), config.exactsim.clone())
+            .unwrap()
+            .query(source)
+            .unwrap();
+        assert_eq!(
+            first.scores, direct.scores,
+            "source {source}: serve != direct"
+        );
+        assert_eq!(
+            second.scores, direct.scores,
+            "source {source}: cached != direct"
+        );
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "cache must share the response"
+        );
+    }
+
+    let direct_prsim = PrSim::build(graph.as_ref(), config.prsim).unwrap();
+    let served_prsim = service.query(AlgorithmKind::PrSim, 3).unwrap();
+    assert_eq!(served_prsim.scores, direct_prsim.query(3).unwrap());
+
+    let direct_mc = MonteCarlo::build(graph.as_ref(), config.mc).unwrap();
+    let served_mc = service.query(AlgorithmKind::MonteCarlo, 3).unwrap();
+    assert_eq!(served_mc.scores, direct_mc.query(3).unwrap());
+
+    let snap = service.stats();
+    assert_eq!(snap.cache_hits, 3, "one repeat per ExactSim source");
+    assert_eq!(snap.computations, 5, "3 ExactSim + 1 PRSim + 1 MC");
+}
+
+#[test]
+fn batch_of_100_over_10_sources_on_8_workers_deduplicates() {
+    let service = SimRankService::new(test_graph(200, 23), test_config()).unwrap();
+    assert_eq!(service.workers(), 8);
+
+    // 100 queries, 10 distinct sources, interleaved so that concurrent
+    // duplicates actually race through the in-flight table.
+    let requests: Vec<BatchRequest> = (0..100)
+        .map(|i| BatchRequest {
+            algorithm: AlgorithmKind::ExactSim,
+            source: (i % 10) as u32,
+            top_k: if i % 3 == 0 { Some(10) } else { None },
+        })
+        .collect();
+    let items = service.run_batch(requests);
+    assert_eq!(items.len(), 100);
+    for item in &items {
+        assert!(item.outcome.is_ok(), "request {} failed", item.index);
+    }
+
+    let snap = service.stats();
+    assert_eq!(snap.queries, 100);
+    assert!(
+        snap.computations <= 10,
+        "dedup failed: {} computations for 10 distinct sources",
+        snap.computations
+    );
+    assert!(
+        snap.hit_rate >= 0.85,
+        "hit rate {:.3} below the 0.85 acceptance bar ({} hits, {} joins)",
+        snap.hit_rate,
+        snap.cache_hits,
+        snap.dedup_joins
+    );
+    // Every query must have been answered one of the three ways.
+    assert_eq!(snap.cache_hits + snap.dedup_joins + snap.computations, 100);
+}
+
+#[test]
+fn thundering_herd_on_one_source_computes_once_and_agrees() {
+    let service = SimRankService::new(test_graph(150, 31), test_config()).unwrap();
+    let barrier = Arc::new(std::sync::Barrier::new(8));
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let service = service.clone();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                service.query(AlgorithmKind::ExactSim, 5).unwrap()
+            })
+        })
+        .collect();
+    let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let reference = &responses[0];
+    for r in &responses[1..] {
+        assert_eq!(
+            r.scores, reference.scores,
+            "threads observed different answers"
+        );
+    }
+    let snap = service.stats();
+    assert_eq!(snap.queries, 8);
+    assert_eq!(
+        snap.computations, 1,
+        "exactly one thread should have computed (got {} computations, {} hits, {} joins)",
+        snap.computations, snap.cache_hits, snap.dedup_joins
+    );
+    assert_eq!(snap.cache_hits + snap.dedup_joins, 7);
+    assert_eq!(service.in_flight(), 0, "in-flight table must drain");
+}
+
+#[test]
+fn topk_batches_agree_with_library_topk() {
+    let graph = test_graph(120, 47);
+    let config = test_config();
+    let service = SimRankService::new(Arc::clone(&graph), config.clone()).unwrap();
+
+    let top = service.top_k(AlgorithmKind::ExactSim, 9, 7).unwrap();
+    let direct = ExactSim::new(graph.as_ref(), config.exactsim.clone())
+        .unwrap()
+        .query(9)
+        .unwrap();
+    let expected = exactsim::topk::top_k(&direct.scores, 9, 7);
+    assert_eq!(top.entries, expected);
+    assert_eq!(top.k, 7);
+    assert!(top.entries.iter().all(|e| e.node != 9), "source excluded");
+}
+
+#[test]
+fn eviction_under_pressure_keeps_serving_correct_answers() {
+    let graph = test_graph(100, 53);
+    // A cache of 4 entries in one shard under 20 distinct sources: constant
+    // eviction, every answer still correct.
+    let config = ServiceConfig {
+        cache_capacity: 4,
+        cache_shards: 1,
+        ..test_config()
+    };
+    let service = SimRankService::new(Arc::clone(&graph), config.clone()).unwrap();
+    let solver = ExactSim::new(graph.as_ref(), config.exactsim.clone()).unwrap();
+    for round in 0..2 {
+        for source in 0..20u32 {
+            let served = service.query(AlgorithmKind::ExactSim, source).unwrap();
+            assert_eq!(
+                served.scores,
+                solver.query(source).unwrap().scores,
+                "round {round} source {source}"
+            );
+        }
+    }
+    let snap = service.stats();
+    assert!(snap.evictions > 0, "capacity 4 under 20 sources must evict");
+    assert!(snap.cached_entries <= 4);
+    assert_eq!(snap.queries, 40);
+}

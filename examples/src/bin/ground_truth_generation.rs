@@ -58,13 +58,19 @@ fn main() {
             }
         }
         let top = top_k(&result.scores, source, 3);
+        let summary = format!(
+            "{} levels, ‖π‖²={:.2e}",
+            result.stats.levels, result.stats.ppr_norm_sq
+        );
         println!(
             "source {:>6}: {} in {} — {} entries above 1e-7, top-3: {:?}",
             source,
-            format!("{} levels, ‖π‖²={:.2e}", result.stats.levels, result.stats.ppr_norm_sq),
+            summary,
             human_seconds(elapsed),
             persisted,
-            top.iter().map(|e| (e.node, (e.score * 1e6).round() / 1e6)).collect::<Vec<_>>()
+            top.iter()
+                .map(|e| (e.node, (e.score * 1e6).round() / 1e6))
+                .collect::<Vec<_>>()
         );
     }
     println!("ground truth written to {}", out_path.display());

@@ -37,7 +37,10 @@ fn main() {
         result.stats.levels,
         result.stats.simulated_walk_pairs
     );
-    println!("S({source}, {source}) = {:.6}", result.scores[source as usize]);
+    println!(
+        "S({source}, {source}) = {:.6}",
+        result.scores[source as usize]
+    );
 
     // 4. Top-10 most similar nodes.
     println!("top-10 nodes most similar to node {source}:");

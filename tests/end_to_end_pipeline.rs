@@ -81,10 +81,7 @@ fn exactsim_convergence_mirrors_the_papers_figure6_argument() {
     let fine = run(1e-5);
     let coarse_top: Vec<u32> = top_k(&coarse, source, 50).iter().map(|e| e.node).collect();
     let fine_top: Vec<u32> = top_k(&fine, source, 50).iter().map(|e| e.node).collect();
-    let overlap = coarse_top
-        .iter()
-        .filter(|n| fine_top.contains(n))
-        .count();
+    let overlap = coarse_top.iter().filter(|n| fine_top.contains(n)).count();
     assert!(
         overlap as f64 >= 0.9 * fine_top.len() as f64,
         "top-k should have converged: overlap {overlap}/{}",

@@ -25,11 +25,12 @@ fn miniature_figure1_run_produces_consistent_rows() {
     let truth = ground_truth_power_method(&dataset.graph, &sources).expect("ground truth");
     let rows = run_quality_sweep("GQ", &dataset.graph, &truth, &params, AlgorithmFamily::All);
 
-    assert!(rows.len() >= 10, "expected a full sweep, got {} rows", rows.len());
-    let exactsim_rows: Vec<&SweepRow> = rows
-        .iter()
-        .filter(|r| r.algorithm == "ExactSim")
-        .collect();
+    assert!(
+        rows.len() >= 10,
+        "expected a full sweep, got {} rows",
+        rows.len()
+    );
+    let exactsim_rows: Vec<&SweepRow> = rows.iter().filter(|r| r.algorithm == "ExactSim").collect();
     assert!(exactsim_rows.len() >= 5);
     // Every row is internally consistent.
     for row in &rows {

@@ -1,7 +1,14 @@
-//! Property-based tests (proptest) for the core SimRank invariants, run on
-//! randomly generated graphs that span the crates.
+//! Property-style tests for the core SimRank invariants, run on randomly
+//! generated graphs that span the crates.
+//!
+//! Originally written against `proptest`; the offline build environment has
+//! no crates.io access, so the same properties are exercised here over a
+//! deterministic family of seeded random graphs (24 cases per property, the
+//! same case count the proptest configuration used). No shrinking, but every
+//! failure reproduces exactly from the printed case seed.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use exactsim::config::SimRankConfig;
 use exactsim::diagonal::{estimate_local_deterministic, LocalExploreCaps};
@@ -15,66 +22,79 @@ use exactsim_graph::linalg::Workspace;
 use exactsim_graph::{DiGraph, GraphBuilder};
 
 const SQRT_C: f64 = 0.774_596_669_241_483_4; // sqrt(0.6)
+const CASES: u64 = 24;
 
-/// Strategy: a random directed graph with 2..=24 nodes and up to 80 edges
-/// (self-loops dropped, duplicates removed by the builder).
-fn arbitrary_graph() -> impl Strategy<Value = DiGraph> {
-    (2usize..=24).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..80);
-        edges.prop_map(move |edges| {
-            let mut builder = GraphBuilder::new(n);
-            for (u, v) in edges {
-                builder.add_edge(u, v);
-            }
-            builder.build()
-        })
-    })
+/// A random directed graph with 2..=24 nodes and up to 80 edges (self-loops
+/// allowed at generation, duplicates removed by the builder) — the same
+/// distribution the previous proptest strategy produced.
+fn arbitrary_graph(case_seed: u64) -> DiGraph {
+    let mut rng = StdRng::seed_from_u64(0xA5A5_0000 ^ case_seed);
+    let n = rng.gen_range(2usize..=24);
+    let edges = rng.gen_range(0usize..80);
+    let mut builder = GraphBuilder::new(n);
+    for _ in 0..edges {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        builder.add_edge(u, v);
+    }
+    builder.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        ..ProptestConfig::default()
-    })]
+fn for_each_case(mut check: impl FnMut(&DiGraph)) {
+    for case in 0..CASES {
+        let graph = arbitrary_graph(case);
+        eprintln!(
+            "case {case}: n={} m={}",
+            graph.num_nodes(),
+            graph.num_edges()
+        );
+        check(&graph);
+    }
+}
 
-    #[test]
-    fn simrank_matrix_is_symmetric_bounded_and_unit_diagonal(graph in arbitrary_graph()) {
-        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
+#[test]
+fn simrank_matrix_is_symmetric_bounded_and_unit_diagonal() {
+    for_each_case(|graph| {
+        let pm = PowerMethod::compute(graph, PowerMethodConfig::default()).unwrap();
         let n = graph.num_nodes() as u32;
         for i in 0..n {
-            prop_assert_eq!(pm.similarity(i, i), 1.0);
+            assert_eq!(pm.similarity(i, i), 1.0);
             for j in 0..n {
                 let s = pm.similarity(i, j);
-                prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "S({},{}) = {}", i, j, s);
-                prop_assert!((s - pm.similarity(j, i)).abs() < 1e-9);
+                assert!((0.0..=1.0 + 1e-9).contains(&s), "S({i},{j}) = {s}");
+                assert!((s - pm.similarity(j, i)).abs() < 1e-9);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn exact_diagonal_lies_in_its_feasible_interval(graph in arbitrary_graph()) {
-        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
-        let d = pm.exact_diagonal(&graph);
+#[test]
+fn exact_diagonal_lies_in_its_feasible_interval() {
+    for_each_case(|graph| {
+        let pm = PowerMethod::compute(graph, PowerMethodConfig::default()).unwrap();
+        let d = pm.exact_diagonal(graph);
         for (k, &dk) in d.iter().enumerate() {
-            prop_assert!(
+            assert!(
                 (1.0 - 0.6 - 1e-9..=1.0 + 1e-9).contains(&dk),
                 "D({k}) = {dk} outside [1-c, 1]"
             );
             if graph.in_degree(k as u32) == 0 {
-                prop_assert!((dk - 1.0).abs() < 1e-12);
+                assert!((dk - 1.0).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn exactsim_with_exact_diagonal_matches_the_power_method(graph in arbitrary_graph()) {
-        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
+#[test]
+fn exactsim_with_exact_diagonal_matches_the_power_method() {
+    for_each_case(|graph| {
+        let pm = PowerMethod::compute(graph, PowerMethodConfig::default()).unwrap();
         let solver = ExactSim::new(
-            &graph,
+            graph,
             ExactSimConfig {
                 epsilon: 1e-6,
                 variant: ExactSimVariant::Optimized,
-                diagonal: exactsim::exactsim::DiagonalMode::Exact(pm.exact_diagonal(&graph)),
+                diagonal: exactsim::exactsim::DiagonalMode::Exact(pm.exact_diagonal(graph)),
                 ..Default::default()
             },
         )
@@ -82,51 +102,55 @@ proptest! {
         for source in 0..graph.num_nodes() as u32 {
             let result = solver.query(source).unwrap();
             let err = max_error(&result.scores, &pm.single_source(source));
-            prop_assert!(err < 1e-5, "source {}: error {}", source, err);
+            assert!(err < 1e-5, "source {source}: error {err}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn hop_vector_mass_is_conserved_or_lost_never_created(graph in arbitrary_graph()) {
-        let hv = dense_hop_vectors(&graph, 0, SQRT_C, 20);
+#[test]
+fn hop_vector_mass_is_conserved_or_lost_never_created() {
+    for_each_case(|graph| {
+        let hv = dense_hop_vectors(graph, 0, SQRT_C, 20);
         let mut cumulative = 0.0;
         for (level, hop) in hv.hops.iter().enumerate() {
             let mass: f64 = hop.iter().sum();
-            prop_assert!(mass >= -1e-12);
-            prop_assert!(
+            assert!(mass >= -1e-12);
+            assert!(
                 mass <= (1.0 - SQRT_C) * SQRT_C.powi(level as i32) + 1e-9,
-                "level {} mass {} exceeds the survival bound",
-                level,
-                mass
+                "level {level} mass {mass} exceeds the survival bound"
             );
             cumulative += mass;
         }
-        prop_assert!(cumulative <= 1.0 + 1e-9);
-    }
+        assert!(cumulative <= 1.0 + 1e-9);
+    });
+}
 
-    #[test]
-    fn sparse_and_dense_hop_vectors_agree_without_pruning(graph in arbitrary_graph()) {
+#[test]
+fn sparse_and_dense_hop_vectors_agree_without_pruning() {
+    for_each_case(|graph| {
         let n = graph.num_nodes();
         let mut ws = Workspace::new(n);
-        let dense = dense_hop_vectors(&graph, 1 % n as u32, SQRT_C, 10);
-        let sparse = sparse_hop_vectors(&graph, 1 % n as u32, SQRT_C, 10, 0.0, &mut ws);
+        let dense = dense_hop_vectors(graph, 1 % n as u32, SQRT_C, 10);
+        let sparse = sparse_hop_vectors(graph, 1 % n as u32, SQRT_C, 10, 0.0, &mut ws);
         for level in 0..=10 {
             let expanded = sparse.hops[level].to_dense(n);
-            for k in 0..n {
-                prop_assert!((expanded[k] - dense.hops[level][k]).abs() < 1e-12);
+            for (e, d) in expanded.iter().zip(&dense.hops[level]) {
+                assert!((e - d).abs() < 1e-12);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn local_deterministic_diagonal_matches_the_exact_one(graph in arbitrary_graph()) {
-        let pm = PowerMethod::compute(&graph, PowerMethodConfig::default()).unwrap();
-        let exact = pm.exact_diagonal(&graph);
+#[test]
+fn local_deterministic_diagonal_matches_the_exact_one() {
+    for_each_case(|graph| {
+        let pm = PowerMethod::compute(graph, PowerMethodConfig::default()).unwrap();
+        let exact = pm.exact_diagonal(graph);
         let mut ws = Workspace::new(graph.num_nodes());
         let mut rng = walks::make_rng(7);
         for k in 0..graph.num_nodes() as u32 {
             let (estimate, _) = estimate_local_deterministic(
-                &graph,
+                graph,
                 k,
                 10_000,
                 SQRT_C,
@@ -139,40 +163,42 @@ proptest! {
                 &mut ws,
                 &mut rng,
             );
-            prop_assert!(
+            assert!(
                 (estimate - exact[k as usize]).abs() < 2e-3,
-                "node {}: {} vs {}",
-                k,
-                estimate,
+                "node {k}: {estimate} vs {}",
                 exact[k as usize]
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn edge_list_round_trip_preserves_the_graph(graph in arbitrary_graph()) {
-        let text = to_edge_list_string(&graph);
+#[test]
+fn edge_list_round_trip_preserves_the_graph() {
+    for_each_case(|graph| {
+        let text = to_edge_list_string(graph);
         let loaded = parse_edge_list(&text, EdgeListOptions::default()).unwrap();
-        prop_assert_eq!(loaded.graph.num_edges(), graph.num_edges());
+        assert_eq!(loaded.graph.num_edges(), graph.num_edges());
         for (u, v) in graph.iter_edges() {
             // Node ids may be remapped (first-appearance order), so map back.
             let du = loaded.dense_id_of(u as u64).unwrap();
             let dv = loaded.dense_id_of(v as u64).unwrap();
-            prop_assert!(loaded.graph.has_edge(du, dv));
+            assert!(loaded.graph.has_edge(du, dv));
         }
-    }
+    });
+}
 
-    #[test]
-    fn walk_sampling_never_visits_nodes_without_in_edges_midway(graph in arbitrary_graph()) {
+#[test]
+fn walk_sampling_never_visits_nodes_without_in_edges_midway() {
+    for_each_case(|graph| {
         let mut rng = walks::make_rng(3);
         let sqrt_c = SimRankConfig::default().sqrt_decay();
         for start in 0..graph.num_nodes() as u32 {
-            let walk = walks::sample_walk(&graph, start, sqrt_c, 30, &mut rng);
+            let walk = walks::sample_walk(graph, start, sqrt_c, 30, &mut rng);
             let mut current = start;
             for &next in &walk.positions {
-                prop_assert!(graph.in_neighbors(current).contains(&next));
+                assert!(graph.in_neighbors(current).contains(&next));
                 current = next;
             }
         }
-    }
+    });
 }
