@@ -120,6 +120,69 @@ impl CsrAdjacency {
     pub fn targets(&self) -> &[NodeId] {
         &self.targets
     }
+
+    /// Rebuilds this orientation with a batch of edge insertions and
+    /// deletions applied, in `O(m + Δ)` — one merge pass over the existing
+    /// CSR arrays instead of a from-scratch `O(m log m)` reconstruction.
+    ///
+    /// `insertions` and `deletions` must both be sorted by `(source, target)`,
+    /// duplicate-free, and name endpoints `< num_nodes` (all debug-asserted:
+    /// a silently-dropped out-of-range source or stored out-of-range target
+    /// would desync the two orientations of a `DiGraph`); a deletion removes
+    /// *every* stored occurrence of its edge (set semantics), and inserting
+    /// an edge that is already present stores a second copy — callers that
+    /// want set semantics must pre-filter against [`CsrAdjacency::has_edge`],
+    /// which is what higher-level delta buffers do.
+    pub fn apply_delta(
+        &self,
+        insertions: &[(NodeId, NodeId)],
+        deletions: &[(NodeId, NodeId)],
+    ) -> CsrAdjacency {
+        debug_assert!(insertions.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(deletions.windows(2).all(|w| w[0] < w[1]));
+        let n = self.num_nodes();
+        debug_assert!(insertions
+            .iter()
+            .chain(deletions)
+            .all(|&(u, t)| (u as usize) < n && (t as usize) < n));
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(
+            (self.num_edges() + insertions.len()).saturating_sub(deletions.len()),
+        );
+        offsets.push(0usize);
+        let (mut ins, mut del) = (0usize, 0usize);
+        for v in 0..n as NodeId {
+            let old = self.neighbors(v);
+            // The slices of this node's insertions / deletions.
+            let ins_lo = ins;
+            while ins < insertions.len() && insertions[ins].0 == v {
+                ins += 1;
+            }
+            let del_lo = del;
+            while del < deletions.len() && deletions[del].0 == v {
+                del += 1;
+            }
+            let mut add = insertions[ins_lo..ins].iter().map(|&(_, t)| t).peekable();
+            let mut drop = deletions[del_lo..del].iter().map(|&(_, t)| t).peekable();
+            // Merge the sorted old list with the sorted additions, skipping
+            // every target named by a deletion.
+            for &t in old {
+                while add.peek().is_some_and(|&a| a < t) {
+                    targets.push(add.next().expect("peeked"));
+                }
+                while drop.peek().is_some_and(|&d| d < t) {
+                    drop.next();
+                }
+                if drop.peek() == Some(&t) {
+                    continue; // deleted (all occurrences of t are skipped)
+                }
+                targets.push(t);
+            }
+            targets.extend(add);
+            offsets.push(targets.len());
+        }
+        CsrAdjacency { offsets, targets }
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +263,50 @@ mod tests {
     fn memory_bytes_is_positive_for_nonempty() {
         let csr = sample();
         assert!(csr.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn apply_delta_matches_from_scratch_rebuild() {
+        let csr = sample(); // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        let insertions = vec![(0, 3), (2, 0), (2, 1)];
+        let deletions = vec![(0, 2), (3, 0)];
+        let rebuilt = csr.apply_delta(&insertions, &deletions);
+        let expected = CsrAdjacency::from_edges(4, vec![(0, 1), (0, 3), (1, 2), (2, 0), (2, 1)]);
+        assert_eq!(rebuilt, expected);
+        // The original is untouched.
+        assert_eq!(csr.num_edges(), 4);
+    }
+
+    #[test]
+    fn apply_delta_with_empty_delta_is_identity() {
+        let csr = sample();
+        assert_eq!(csr.apply_delta(&[], &[]), csr);
+    }
+
+    #[test]
+    fn apply_delta_deletes_every_occurrence_of_a_duplicate_edge() {
+        let csr = CsrAdjacency::from_edges(2, vec![(0, 1), (0, 1)]);
+        let cleaned = csr.apply_delta(&[], &[(0, 1)]);
+        assert_eq!(cleaned.num_edges(), 0);
+    }
+
+    #[test]
+    fn apply_delta_ignores_deletions_of_absent_edges() {
+        let csr = sample();
+        let same = csr.apply_delta(&[], &[(1, 0), (2, 3)]);
+        assert_eq!(same, csr);
+    }
+
+    #[test]
+    fn apply_delta_interleaves_insertions_in_sorted_position() {
+        let csr = CsrAdjacency::from_edges(4, vec![(0, 2)]);
+        // Additions below and above the existing target keep the list sorted.
+        let grown = csr.apply_delta(&[(0, 1), (0, 3)], &[]);
+        assert_eq!(grown.neighbors(0), &[1, 2, 3]);
+        // An addition equal to an existing target stores a second copy (the
+        // documented multiset semantics — dedup is the caller's job).
+        let dup = csr.apply_delta(&[(0, 2)], &[]);
+        assert_eq!(dup.neighbors(0), &[2, 2]);
+        assert_eq!(dup.num_edges(), 2);
     }
 }

@@ -169,6 +169,32 @@ impl DiGraph {
         self.out_adj.memory_bytes() + self.in_adj.memory_bytes()
     }
 
+    /// Rebuilds the graph with a batch of edge insertions and deletions
+    /// applied to *both* CSR orientations in one `O(m + Δ log Δ)` pass —
+    /// the delta→CSR path used by epoch-based dynamic stores, which is much
+    /// cheaper than re-sorting the full edge list.
+    ///
+    /// `insertions` and `deletions` must be sorted by `(source, target)` and
+    /// duplicate-free (the in-orientation copies are re-sorted internally).
+    /// Endpoints must be `< num_nodes`; deletions remove every stored
+    /// occurrence of their edge, and deletions of absent edges are ignored.
+    /// Inserting an edge that is already present stores a parallel copy, so
+    /// set-semantics callers must pre-filter with [`DiGraph::has_edge`].
+    pub fn apply_delta(
+        &self,
+        insertions: &[(NodeId, NodeId)],
+        deletions: &[(NodeId, NodeId)],
+    ) -> DiGraph {
+        let out_adj = self.out_adj.apply_delta(insertions, deletions);
+        let flip = |edges: &[(NodeId, NodeId)]| {
+            let mut flipped: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v)| (v, u)).collect();
+            flipped.sort_unstable();
+            flipped
+        };
+        let in_adj = self.in_adj.apply_delta(&flip(insertions), &flip(deletions));
+        DiGraph::from_csr(out_adj, in_adj)
+    }
+
     /// Validates internal consistency (both orientations describe the same
     /// edge multiset). Intended for tests and debugging; `O(m log m)`.
     pub fn validate(&self) -> bool {
@@ -280,6 +306,31 @@ mod tests {
         let g = sample();
         let nodes: Vec<_> = g.nodes().collect();
         assert_eq!(nodes, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn apply_delta_updates_both_orientations_consistently() {
+        let g = sample(); // 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0
+        let updated = g.apply_delta(&[(0, 1), (3, 2)], &[(1, 2)]);
+        assert_eq!(updated.num_edges(), 5);
+        assert!(updated.has_edge(0, 1));
+        assert!(updated.has_edge(3, 2));
+        assert!(!updated.has_edge(1, 2));
+        assert!(updated.validate(), "orientations must stay in sync");
+        assert_eq!(updated.in_neighbors(2), &[0, 3]);
+        // The base graph is an untouched snapshot.
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn apply_delta_equals_from_scratch_construction() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let updated = g.apply_delta(&[(0, 3), (2, 5), (4, 1)], &[(1, 2), (5, 0)]);
+        let fresh =
+            DiGraph::from_edges(6, &[(0, 1), (0, 3), (2, 3), (2, 5), (3, 4), (4, 1), (4, 5)]);
+        assert_eq!(updated.out_csr(), fresh.out_csr());
+        assert_eq!(updated.in_csr(), fresh.in_csr());
     }
 
     #[test]

@@ -6,27 +6,39 @@
 //!               [--workers W] [--cache-capacity C] [--walk-budget B]
 //! ```
 //!
-//! Protocol: one request per stdin line. `query`/`topk` answer with exactly
+//! Protocol: one request per stdin line. Every command answers with exactly
 //! one JSON object per stdout line — `{"error": "..."}` for a rejected
-//! request — so scripted clients can read stdout line-by-line. Startup
-//! banners and the human-oriented `stats`/`help` output go to stderr only.
+//! request (malformed input, out-of-range node ids, …; the server never
+//! panics on bad input) — so scripted clients can read stdout line-by-line.
+//! Startup banners and the human-oriented `help` output go to stderr only.
 //!
 //! ```text
 //! query <node> [algo]      full single-source column (scores truncated to 32)
 //! topk <node> <k> [algo]   top-k most similar nodes
-//! stats                    human-readable serving counters (stderr)
+//! addedge <u> <v>          stage the insertion of edge u -> v
+//! deledge <u> <v>          stage the deletion of edge u -> v
+//! commit                   publish staged updates as a new graph epoch
+//! epoch                    current epoch + pending update counts
+//! stats                    serving counters (hit rate, p50/p99, epoch) as JSON
 //! help                     this summary (stderr)
 //! quit                     exit (EOF also exits)
 //! ```
+//!
+//! Updates flow over the same front-end as queries: `addedge`/`deledge`
+//! stage into the store's delta buffer (validated and deduplicated, no
+//! effect on serving), and `commit` atomically swaps in the new epoch —
+//! queries keep being answered throughout, and cached results from older
+//! epochs can no longer be returned.
 
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use exactsim::exactsim::ExactSimConfig;
+use exactsim::SimRankError;
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::DiGraph;
-use exactsim_service::{AlgorithmKind, ServiceConfig, SimRankService};
+use exactsim_service::{AlgorithmKind, ServiceConfig, ServiceError, SimRankService, StoreError};
 
 struct Options {
     dataset: Option<String>,
@@ -126,7 +138,9 @@ const HELP: &str = "simrank-serve: line-protocol SimRank query server\n\
   --walk-budget B      cap on ExactSim walk pairs per query (default 2000000;\n\
                        0 = unlimited / paper-exact — small epsilons need the\n\
                        cap lifted or the error target will not be met)\n\
-protocol: query <node> [algo] | topk <node> <k> [algo] | stats | help | quit";
+protocol: query <node> [algo] | topk <node> <k> [algo]\n\
+          addedge <u> <v> | deledge <u> <v> | commit | epoch\n\
+          stats | help | quit";
 
 fn build_graph(opts: &Options) -> Result<DiGraph, String> {
     if let Some((n, m)) = opts.ba {
@@ -216,16 +230,65 @@ enum Action {
     Quit,
 }
 
+/// A protocol-level failure: a stable machine-readable code plus a human
+/// message. Every rejected request — malformed input, unknown algorithms,
+/// out-of-range node ids — becomes one `{"error": ..., "code": ...}` reply
+/// line; the server never panics on request contents.
+struct ProtoError {
+    code: &'static str,
+    message: String,
+}
+
+fn bad_request(message: String) -> ProtoError {
+    ProtoError {
+        code: "bad_request",
+        message,
+    }
+}
+
+impl From<ServiceError> for ProtoError {
+    fn from(e: ServiceError) -> Self {
+        let code = match &e {
+            ServiceError::Algorithm(SimRankError::SourceOutOfRange { .. }) => "out_of_range",
+            ServiceError::Algorithm(_) => "algorithm",
+            ServiceError::UnknownAlgorithm(_) => "unknown_algorithm",
+            ServiceError::InvalidRequest(_) => "bad_request",
+            ServiceError::Internal(_) => "internal",
+        };
+        ProtoError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<StoreError> for ProtoError {
+    fn from(e: StoreError) -> Self {
+        let code = match &e {
+            StoreError::NodeOutOfRange { .. } => "out_of_range",
+            StoreError::SelfLoop(_) => "bad_request",
+        };
+        ProtoError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
 fn serve_line(service: &SimRankService, default_algo: AlgorithmKind, line: &str) -> Action {
     if line.is_empty() || line.starts_with('#') {
         return Action::Silent;
     }
     let parts: Vec<&str> = line.split_whitespace().collect();
-    let algo_arg = |idx: usize| -> Result<AlgorithmKind, String> {
+    let algo_arg = |idx: usize| -> Result<AlgorithmKind, ProtoError> {
         match parts.get(idx) {
-            Some(name) => name.parse().map_err(|e| format!("{e}")),
+            Some(name) => name.parse().map_err(ProtoError::from),
             None => Ok(default_algo),
         }
+    };
+    let node_arg = |s: &&str| -> Result<u32, ProtoError> {
+        s.parse::<u32>()
+            .map_err(|_| bad_request(format!("bad node id `{s}`")))
     };
     match parts[0] {
         "quit" | "exit" => Action::Quit,
@@ -233,49 +296,101 @@ fn serve_line(service: &SimRankService, default_algo: AlgorithmKind, line: &str)
             eprintln!("{HELP}");
             Action::Silent
         }
-        "stats" => {
-            eprintln!("{}", service.stats());
-            Action::Silent
+        "stats" => Action::Reply(service.stats().to_json()),
+        "addedge" | "deledge" => {
+            let deleting = parts[0] == "deledge";
+            let result = match (parts.get(1), parts.get(2)) {
+                (Some(u), Some(v)) => {
+                    node_arg(u)
+                        .and_then(|u| Ok((u, node_arg(v)?)))
+                        .and_then(|(u, v)| {
+                            if deleting {
+                                service.store().stage_delete(u, v)
+                            } else {
+                                service.store().stage_insert(u, v)
+                            }
+                            .map_err(ProtoError::from)
+                        })
+                }
+                _ => Err(bad_request(format!("usage: {} <u> <v>", parts[0]))),
+            };
+            match result {
+                Ok(staged) => {
+                    let staged = match staged {
+                        exactsim_service::Staged::Pending => "pending",
+                        exactsim_service::Staged::Cancelled => "cancelled",
+                        exactsim_service::Staged::NoOp => "noop",
+                    };
+                    let (ins, del) = service.store().pending_counts();
+                    Action::Reply(format!(
+                        "{{\"op\":\"{}\",\"staged\":\"{staged}\",\"pending_insertions\":{ins},\"pending_deletions\":{del}}}",
+                        parts[0],
+                    ))
+                }
+                Err(e) => error_reply(&e),
+            }
+        }
+        "commit" => {
+            let report = service.commit();
+            Action::Reply(format!(
+                "{{\"op\":\"commit\",\"epoch\":{},\"advanced\":{},\"edges_inserted\":{},\"edges_deleted\":{},\"num_edges\":{},\"build_us\":{}}}",
+                report.epoch,
+                report.advanced(),
+                report.edges_inserted,
+                report.edges_deleted,
+                report.num_edges,
+                report.build_time.as_micros(),
+            ))
+        }
+        "epoch" => {
+            let (ins, del) = service.store().pending_counts();
+            Action::Reply(format!(
+                "{{\"epoch\":{},\"pending_insertions\":{ins},\"pending_deletions\":{del}}}",
+                service.epoch(),
+            ))
         }
         "query" => {
             let result = parts
                 .get(1)
-                .ok_or_else(|| "usage: query <node> [algo]".to_string())
-                .and_then(|s| s.parse::<u32>().map_err(|_| format!("bad node id `{s}`")))
+                .ok_or_else(|| bad_request("usage: query <node> [algo]".to_string()))
+                .and_then(node_arg)
                 .and_then(|node| Ok((node, algo_arg(2)?)))
-                .and_then(|(node, algo)| service.query(algo, node).map_err(|e| e.to_string()));
+                .and_then(|(node, algo)| service.query(algo, node).map_err(ProtoError::from));
             match result {
                 Ok(response) => Action::Reply(response.to_json(Some(32))),
-                Err(msg) => error_reply(&msg),
+                Err(e) => error_reply(&e),
             }
         }
         "topk" => {
             let result = match (parts.get(1), parts.get(2)) {
-                (Some(node), Some(k)) => node
-                    .parse::<u32>()
-                    .map_err(|_| format!("bad node id `{node}`"))
+                (Some(node), Some(k)) => node_arg(node)
                     .and_then(|node| {
-                        let k = k.parse::<usize>().map_err(|_| format!("bad k `{k}`"))?;
+                        let k = k
+                            .parse::<usize>()
+                            .map_err(|_| bad_request(format!("bad k `{k}`")))?;
                         Ok((node, k))
                     })
                     .and_then(|(node, k)| Ok((node, k, algo_arg(3)?)))
                     .and_then(|(node, k, algo)| {
-                        service.top_k(algo, node, k).map_err(|e| e.to_string())
+                        service.top_k(algo, node, k).map_err(ProtoError::from)
                     }),
-                _ => Err("usage: topk <node> <k> [algo]".to_string()),
+                _ => Err(bad_request("usage: topk <node> <k> [algo]".to_string())),
             };
             match result {
                 Ok(response) => Action::Reply(response.to_json()),
-                Err(msg) => error_reply(&msg),
+                Err(e) => error_reply(&e),
             }
         }
-        other => error_reply(&format!("unknown command `{other}` (try help)")),
+        other => error_reply(&ProtoError {
+            code: "unknown_command",
+            message: format!("unknown command `{other}` (try help)"),
+        }),
     }
 }
 
-fn error_reply(msg: &str) -> Action {
-    let mut escaped = String::with_capacity(msg.len());
-    for c in msg.chars() {
+fn error_reply(e: &ProtoError) -> Action {
+    let mut escaped = String::with_capacity(e.message.len());
+    for c in e.message.chars() {
         match c {
             '"' => escaped.push_str("\\\""),
             '\\' => escaped.push_str("\\\\"),
@@ -286,5 +401,8 @@ fn error_reply(msg: &str) -> Action {
             c => escaped.push(c),
         }
     }
-    Action::Reply(format!("{{\"error\":\"{escaped}\"}}"))
+    Action::Reply(format!(
+        "{{\"error\":\"{escaped}\",\"code\":\"{}\"}}",
+        e.code
+    ))
 }

@@ -1,7 +1,10 @@
 //! Sharded LRU result cache.
 //!
 //! Cached values are full single-source similarity columns wrapped in
-//! `Arc<QueryResponse>`, keyed by `(algorithm, source, epsilon-tier)`. The
+//! `Arc<QueryResponse>`, keyed by `(epoch, algorithm, source, epsilon-tier)`
+//! — the epoch component makes entries from superseded graph snapshots
+//! unreachable the moment a new epoch is published, and a generation
+//! [`ShardedLruCache::clear`] reclaims their memory eagerly. The
 //! cache is sharded: each shard is an independent `Mutex<LruShard>` selected
 //! by key hash, so concurrent queries for different sources rarely contend on
 //! the same lock. Within a shard, recency is tracked with an intrusive
@@ -30,10 +33,15 @@ pub fn epsilon_tier(epsilon: f64) -> u16 {
         .clamp(0.0, u16::MAX as f64) as u16
 }
 
-/// Cache key: one single-source answer per algorithm, source, and accuracy
-/// tier.
+/// Cache key: one single-source answer per graph epoch, algorithm, source,
+/// and accuracy tier.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheKey {
+    /// The graph epoch the answer was (or would be) computed against. A
+    /// commit on the backing store bumps the epoch, so entries of older
+    /// epochs can never answer post-commit queries — stale results are
+    /// unreachable even before the cache is swept.
+    pub epoch: u64,
     /// The algorithm that produced (or would produce) the answer.
     pub algorithm: AlgorithmKind,
     /// The query source node.
@@ -152,12 +160,26 @@ impl LruShard {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Drops every entry, returning how many were resident. The slab and its
+    /// free list are released too: a generation sweep is the natural moment
+    /// to return the memory of a whole epoch's worth of columns.
+    fn clear(&mut self) -> usize {
+        let dropped = self.map.len();
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        dropped
+    }
 }
 
 /// The sharded LRU cache.
 pub struct ShardedLruCache {
     shards: Vec<Mutex<LruShard>>,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl ShardedLruCache {
@@ -177,6 +199,7 @@ impl ShardedLruCache {
                 .map(|i| Mutex::new(LruShard::new(base + usize::from(i < extra))))
                 .collect(),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -221,9 +244,30 @@ impl ShardedLruCache {
         self.len() == 0
     }
 
+    /// Drops every cached entry (a generation invalidation, e.g. when the
+    /// backing graph publishes a new epoch) and returns how many entries
+    /// were swept. Concurrent inserts racing the sweep may land before or
+    /// after it — epoch-tagged keys keep either order correct.
+    pub fn clear(&self) -> usize {
+        let swept: usize = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").clear())
+            .sum();
+        self.invalidations
+            .fetch_add(swept as u64, Ordering::Relaxed);
+        swept
+    }
+
     /// Total entries evicted under capacity pressure since creation.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total entries dropped by [`ShardedLruCache::clear`] sweeps since
+    /// creation (distinct from capacity [`ShardedLruCache::evictions`]).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 
     /// Number of shards (for diagnostics).
@@ -248,6 +292,7 @@ mod tests {
 
     fn key(source: NodeId) -> CacheKey {
         CacheKey {
+            epoch: 0,
             algorithm: AlgorithmKind::ExactSim,
             source,
             epsilon_tier: 20,
@@ -303,9 +348,10 @@ mod tests {
     }
 
     #[test]
-    fn distinct_tiers_and_algorithms_occupy_distinct_entries() {
+    fn distinct_tiers_algorithms_and_epochs_occupy_distinct_entries() {
         let cache = ShardedLruCache::new(16, 4);
         let a = CacheKey {
+            epoch: 0,
             algorithm: AlgorithmKind::ExactSim,
             source: 1,
             epsilon_tier: 20,
@@ -318,13 +364,59 @@ mod tests {
             algorithm: AlgorithmKind::MonteCarlo,
             ..a
         };
+        let d = CacheKey { epoch: 1, ..a };
         cache.insert(a, resp(1, 1.0));
         cache.insert(b, resp(1, 2.0));
         cache.insert(c, resp(1, 3.0));
-        assert_eq!(cache.len(), 3);
+        cache.insert(d, resp(1, 4.0));
+        assert_eq!(cache.len(), 4);
         assert_eq!(cache.get(&a).unwrap().scores, vec![1.0]);
         assert_eq!(cache.get(&b).unwrap().scores, vec![2.0]);
         assert_eq!(cache.get(&c).unwrap().scores, vec![3.0]);
+        assert_eq!(cache.get(&d).unwrap().scores, vec![4.0]);
+    }
+
+    #[test]
+    fn clear_sweeps_every_shard_and_counts_invalidations() {
+        let cache = ShardedLruCache::new(32, 4);
+        for s in 0..20u32 {
+            cache.insert(key(s), resp(s, s as f64));
+        }
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.clear(), 20);
+        assert!(cache.is_empty());
+        assert_eq!(cache.invalidations(), 20);
+        assert_eq!(cache.evictions(), 0, "a sweep is not a capacity eviction");
+        for s in 0..20u32 {
+            assert!(cache.get(&key(s)).is_none(), "entry {s} survived clear");
+        }
+    }
+
+    #[test]
+    fn cache_remains_fully_usable_after_clear() {
+        let cache = ShardedLruCache::new(3, 1);
+        for s in 0..3u32 {
+            cache.insert(key(s), resp(s, s as f64));
+        }
+        cache.clear();
+        // Reinsert past capacity: LRU eviction still works on the fresh slab.
+        for s in 10..15u32 {
+            cache.insert(key(s), resp(s, s as f64));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.get(&key(14)).unwrap().scores, vec![14.0]);
+        assert!(cache.get(&key(10)).is_none());
+        // A second clear sweeps the reinserted generation.
+        assert_eq!(cache.clear(), 3);
+        assert_eq!(cache.invalidations(), 6);
+    }
+
+    #[test]
+    fn clear_on_an_empty_cache_is_a_noop() {
+        let cache = ShardedLruCache::new(8, 2);
+        assert_eq!(cache.clear(), 0);
+        assert_eq!(cache.invalidations(), 0);
     }
 
     #[test]

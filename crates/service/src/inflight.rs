@@ -105,6 +105,7 @@ mod tests {
 
     fn key() -> CacheKey {
         CacheKey {
+            epoch: 0,
             algorithm: AlgorithmKind::ExactSim,
             source: 1,
             epsilon_tier: 20,

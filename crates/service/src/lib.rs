@@ -10,9 +10,9 @@
 //!
 //! | module | role |
 //! |---|---|
-//! | [`service`] | [`SimRankService`]: owns the immutable `Arc<DiGraph>` plus lazily-built per-algorithm indices behind `Arc<dyn SingleSourceAlgorithm + Send + Sync>` |
-//! | [`cache`] | sharded LRU result cache keyed by `(algorithm, source, epsilon-tier)` |
-//! | [`inflight`] | in-flight query deduplication: concurrent requests for the same key block on one computation |
+//! | [`service`] | [`SimRankService`]: resolves its graph through an epoch-based [`exactsim_store::GraphStore`] and keeps per-epoch lazily-built algorithm indices behind `Arc<dyn SingleSourceAlgorithm + Send + Sync>` |
+//! | [`cache`] | sharded LRU result cache keyed by `(epoch, algorithm, source, epsilon-tier)` with generation invalidation |
+//! | `inflight` (private) | in-flight query deduplication: concurrent requests for the same key block on one computation |
 //! | [`executor`] | worker-pool batch executor (std threads + channels, no external deps) |
 //! | [`stats`] | [`ServiceStats`]: queries served, cache hit rate, p50/p99 latency from a fixed-bucket histogram |
 //! | [`response`] | serializable [`QueryResponse`] / [`TopKResponse`] wire types |
@@ -39,14 +39,44 @@
 //! assert!(top.entries.len() <= 5);
 //! ```
 //!
+//! ## Online updates
+//!
+//! The service answers queries against immutable epoch snapshots published
+//! by an [`exactsim_store::GraphStore`]. Stage edge updates on
+//! [`SimRankService::store`], then [`SimRankService::commit`]:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use exactsim_graph::generators::barabasi_albert;
+//! use exactsim_service::{AlgorithmKind, ServiceConfig, SimRankService};
+//!
+//! let graph = Arc::new(barabasi_albert(200, 3, true, 42).unwrap());
+//! let service = SimRankService::new(graph, ServiceConfig::fast_demo()).unwrap();
+//! let before = service.query(AlgorithmKind::ExactSim, 7).unwrap();
+//!
+//! service.store().stage_insert(7, 100).unwrap();
+//! let report = service.commit();
+//! assert_eq!(report.epoch, 1);
+//!
+//! // The serving loop never stopped; the next query sees the new epoch and
+//! // the stale cached column for source 7 can no longer be returned.
+//! let after = service.query(AlgorithmKind::ExactSim, 7).unwrap();
+//! assert_eq!(service.epoch(), 1);
+//! assert_ne!(before.scores, after.scores);
+//! ```
+//!
 //! ## Concurrency model
 //!
-//! * The graph is immutable and shared (`Arc<DiGraph>`); algorithm indices
-//!   are built at most once each under a `OnceLock`.
+//! * Each epoch's graph is immutable and shared (`Arc<DiGraph>`); algorithm
+//!   indices are built at most once per epoch under a `OnceLock`.
 //! * Queries may be issued from any number of threads; a sharded mutex LRU
 //!   keeps cache contention low, and the in-flight table guarantees that at
-//!   any moment at most one thread computes a given `(algorithm, source,
-//!   epsilon-tier)` key — latecomers block and receive the leader's result.
+//!   any moment at most one thread computes a given `(epoch, algorithm,
+//!   source, epsilon-tier)` key — latecomers block and receive the leader's
+//!   result.
+//! * A commit never blocks readers: queries capture one epoch state up
+//!   front and finish on it; the first query to observe the new epoch swaps
+//!   the serving state and sweeps the cache generation.
 //! * Batches are fanned out over a fixed worker pool and stream back over a
 //!   channel in completion order.
 
@@ -68,3 +98,7 @@ pub use executor::WorkerPool;
 pub use response::{AlgorithmKind, QueryResponse, TopKResponse};
 pub use service::{BatchAnswer, BatchItem, BatchRequest, ServiceConfig, SimRankService};
 pub use stats::{ServiceStats, StatsSnapshot};
+
+// Re-exported so protocol front-ends can drive updates without naming the
+// store crate themselves.
+pub use exactsim_store::{CommitReport, GraphSnapshot, GraphStore, Staged, StoreError};

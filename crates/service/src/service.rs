@@ -1,23 +1,38 @@
 //! The long-lived SimRank query engine.
 //!
-//! [`SimRankService`] owns an immutable, shared graph (`Arc<DiGraph>`) and
-//! builds each algorithm's index lazily — at most once, on first use, behind
-//! a `OnceLock` — as `Arc<dyn SingleSourceAlgorithm + Send + Sync>`. Every
-//! query flows through three layers:
+//! [`SimRankService`] resolves its graph through an epoch-based
+//! [`GraphStore`] and keeps a per-epoch serving state: the epoch's immutable
+//! `Arc<DiGraph>` snapshot plus each algorithm's index, built lazily — at
+//! most once per epoch, on first use, behind a `OnceLock` — as
+//! `Arc<dyn SingleSourceAlgorithm + Send + Sync>`. Every query flows through
+//! three layers:
 //!
 //! 1. the **sharded LRU cache** ([`crate::cache`]): a hit returns the shared
 //!    `Arc<QueryResponse>` without touching the algorithm;
-//! 2. the **in-flight table** ([`crate::inflight`]): concurrent misses on the
-//!    same key elect one leader; followers block and share its result;
+//! 2. the **in-flight table** (the private `inflight` module): concurrent
+//!    misses on the same key elect one leader; followers block and share its
+//!    result;
 //! 3. the **algorithm**: the leader computes, inserts into the cache, then
 //!    publishes to followers (insert-before-publish means there is no window
 //!    in which neither cache nor in-flight table can answer).
+//!
+//! ## Updates and epochs
+//!
+//! Edge updates staged on the store become visible when
+//! [`GraphStore::commit`] publishes a new epoch. The serving loop never
+//! stops: each query captures one epoch state up front and runs entirely
+//! against it, so a query racing a commit returns pre-commit or post-commit
+//! values, never a mix. The first query that observes a fresh epoch swaps in
+//! a new state and sweeps the result cache — and since [`CacheKey`] carries
+//! the epoch, entries of superseded epochs are unreachable even before the
+//! sweep. In-flight queries on the old snapshot finish undisturbed (their
+//! `Arc`s pin the old graph).
 //!
 //! Batches fan out over a fixed [`WorkerPool`] and stream back over a
 //! channel in completion order.
 
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 use exactsim::exactsim::ExactSimConfig;
@@ -28,6 +43,7 @@ use exactsim::suite::{
 };
 use exactsim::SimRankError;
 use exactsim_graph::{DiGraph, NodeId};
+use exactsim_store::{CommitReport, GraphSnapshot, GraphStore};
 
 use crate::cache::{epsilon_tier, CacheKey, ShardedLruCache};
 use crate::error::ServiceError;
@@ -130,20 +146,33 @@ pub struct BatchItem {
     pub outcome: Result<BatchAnswer, ServiceError>,
 }
 
-struct Inner {
+/// One epoch's immutable serving state: the graph snapshot it serves plus
+/// the per-algorithm indices built against it.
+struct EpochState {
+    epoch: u64,
     graph: Arc<DiGraph>,
-    config: ServiceConfig,
     /// Lazily-built per-algorithm indices, in [`AlgorithmKind::ALL`] order.
-    /// Build errors are cached too: the configuration cannot change after
-    /// construction, so retrying an invalid one is pointless.
+    /// Build errors are cached too: neither the configuration nor this
+    /// epoch's graph can change, so retrying an invalid combination is
+    /// pointless — the cell empties naturally at the next epoch.
     algorithms: [OnceLock<Result<AlgorithmHandle, SimRankError>>; 3],
-    cache: ShardedLruCache,
-    inflight: InflightTable,
-    stats: ServiceStats,
 }
 
-impl Inner {
-    fn handle(&self, kind: AlgorithmKind) -> Result<AlgorithmHandle, ServiceError> {
+impl EpochState {
+    fn new(snapshot: GraphSnapshot) -> Self {
+        EpochState {
+            epoch: snapshot.epoch,
+            graph: snapshot.graph,
+            algorithms: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+        }
+    }
+
+    fn handle(
+        &self,
+        kind: AlgorithmKind,
+        config: &ServiceConfig,
+        stats: &ServiceStats,
+    ) -> Result<AlgorithmHandle, ServiceError> {
         let cell = &self.algorithms[kind.index()];
         cell.get_or_init(|| {
             let graph = Arc::clone(&self.graph);
@@ -151,25 +180,65 @@ impl Inner {
                 // ExactSim is index-free: constructing its handle is pure
                 // validation and does not count as an index build.
                 AlgorithmKind::ExactSim => {
-                    Arc::new(ExactSimAlgorithm::new(graph, self.config.exactsim.clone())?)
+                    Arc::new(ExactSimAlgorithm::new(graph, config.exactsim.clone())?)
                         as AlgorithmHandle
                 }
                 AlgorithmKind::PrSim => {
-                    ServiceStats::bump(&self.stats.index_builds);
-                    Arc::new(PrSimAlgorithm::build(graph, self.config.prsim)?) as AlgorithmHandle
+                    ServiceStats::bump(&stats.index_builds);
+                    Arc::new(PrSimAlgorithm::build(graph, config.prsim)?) as AlgorithmHandle
                 }
                 AlgorithmKind::MonteCarlo => {
-                    ServiceStats::bump(&self.stats.index_builds);
-                    Arc::new(MonteCarloAlgorithm::build(graph, self.config.mc)?) as AlgorithmHandle
+                    ServiceStats::bump(&stats.index_builds);
+                    Arc::new(MonteCarloAlgorithm::build(graph, config.mc)?) as AlgorithmHandle
                 }
             })
         })
         .clone()
         .map_err(ServiceError::Algorithm)
     }
+}
 
-    fn key_for(&self, algorithm: AlgorithmKind, source: NodeId) -> CacheKey {
+struct Inner {
+    store: Arc<GraphStore>,
+    config: ServiceConfig,
+    /// The epoch state queries currently serve from. Refreshed lazily by the
+    /// first query that observes a newer published epoch on the store.
+    state: RwLock<Arc<EpochState>>,
+    cache: ShardedLruCache,
+    inflight: InflightTable,
+    stats: ServiceStats,
+}
+
+impl Inner {
+    /// Returns the serving state for the store's current epoch, rebuilding
+    /// it (and sweeping the cache) if a commit published a newer one. The
+    /// returned `Arc` pins a consistent `(epoch, graph, indices)` triple for
+    /// the whole query, whatever the store does concurrently.
+    fn current_state(&self) -> Arc<EpochState> {
+        {
+            let state = self.state.read().expect("epoch state poisoned");
+            if state.epoch == self.store.epoch() {
+                return Arc::clone(&state);
+            }
+        }
+        let mut state = self.state.write().expect("epoch state poisoned");
+        // Double-check under the write lock: another thread may have
+        // refreshed while we waited, and the epoch may have advanced again.
+        let snapshot = self.store.snapshot();
+        if state.epoch != snapshot.epoch {
+            *state = Arc::new(EpochState::new(snapshot));
+            // Reclaim superseded epochs' entries eagerly. The epoch in the
+            // key already makes them unreachable, so an old-epoch insert
+            // racing this sweep is harmless either way.
+            self.cache.clear();
+            ServiceStats::bump(&self.stats.epoch_refreshes);
+        }
+        Arc::clone(&state)
+    }
+
+    fn key_for(&self, state: &EpochState, algorithm: AlgorithmKind, source: NodeId) -> CacheKey {
         CacheKey {
+            epoch: state.epoch,
             algorithm,
             source,
             epsilon_tier: self.config.tier_for(algorithm),
@@ -178,10 +247,11 @@ impl Inner {
 
     fn compute(
         &self,
+        state: &EpochState,
         algorithm: AlgorithmKind,
         source: NodeId,
     ) -> Result<Arc<QueryResponse>, ServiceError> {
-        let handle = self.handle(algorithm)?;
+        let handle = state.handle(algorithm, &self.config, &self.stats)?;
         let output = handle.query(source)?;
         // Counted only on success so that
         // queries = cache_hits + dedup_joins + computations + errors.
@@ -198,7 +268,10 @@ impl Inner {
     ) -> Result<Arc<QueryResponse>, ServiceError> {
         let serve_start = Instant::now();
         ServiceStats::bump(&self.stats.queries);
-        let key = self.key_for(algorithm, source);
+        // Captured once: cache key, index, and computation all use this
+        // epoch's snapshot, so one answer never mixes two graphs.
+        let state = self.current_state();
+        let key = self.key_for(&state, algorithm, source);
 
         if let Some(hit) = self.cache.get(&key) {
             ServiceStats::bump(&self.stats.cache_hits);
@@ -220,7 +293,7 @@ impl Inner {
                 // the followers — otherwise the key is wedged forever (every
                 // later query joins a computation that will never complete).
                 let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    self.compute(algorithm, source)
+                    self.compute(&state, algorithm, source)
                 })) {
                     Ok(result) => result,
                     Err(payload) => {
@@ -237,8 +310,16 @@ impl Inner {
                     }
                 };
                 if let Ok(response) = &result {
-                    // Insert BEFORE retiring the in-flight key: see module docs.
-                    self.cache.insert(key, Arc::clone(response));
+                    // Insert BEFORE retiring the in-flight key: see module
+                    // docs. Skipped if a commit superseded our epoch while we
+                    // computed: the epoch-tagged key could never be looked up
+                    // again, so inserting would only strand a dead column in
+                    // the cache until capacity eviction. (Best-effort — a
+                    // commit racing this check leaks at most one entry, and
+                    // correctness never depends on it.)
+                    if state.epoch == self.store.epoch() {
+                        self.cache.insert(key, Arc::clone(response));
+                    }
                 }
                 self.inflight.complete(&key, &slot, result.clone());
                 result
@@ -272,11 +353,21 @@ pub struct SimRankService {
 }
 
 impl SimRankService {
-    /// Creates a service for `graph`. Validates the configurations eagerly
-    /// (fail fast at startup, not on first query); indices are still built
-    /// lazily on first use of each algorithm.
+    /// Creates a service for a static `graph`, wrapping it in a private
+    /// [`GraphStore`] at epoch 0. Use [`SimRankService::store`] (or
+    /// [`SimRankService::with_store`] with a shared store) to stage and
+    /// commit edge updates later.
     pub fn new(graph: Arc<DiGraph>, config: ServiceConfig) -> Result<Self, ServiceError> {
-        if graph.num_nodes() == 0 {
+        Self::with_store(Arc::new(GraphStore::new(graph)), config)
+    }
+
+    /// Creates a service resolving its graph through `store`. Validates the
+    /// configurations eagerly against the store's current snapshot (fail
+    /// fast at startup, not on first query); indices are still built lazily
+    /// on first use of each algorithm per epoch.
+    pub fn with_store(store: Arc<GraphStore>, config: ServiceConfig) -> Result<Self, ServiceError> {
+        let snapshot = store.snapshot();
+        if snapshot.graph.num_nodes() == 0 {
             return Err(ServiceError::Algorithm(SimRankError::EmptyGraph));
         }
         // ExactSim construction is pure validation (the solver is index-free)
@@ -284,8 +375,9 @@ impl SimRankService {
         // `config.exactsim.validate()` cannot see, e.g. a
         // `DiagonalMode::Exact` vector whose length mismatches the graph —
         // without this, that error would surface on the first query and be
-        // cached forever in the `OnceLock`.
-        exactsim::exactsim::ExactSim::new(graph.as_ref(), config.exactsim.clone())?;
+        // cached for the rest of the epoch in the `OnceLock`. The store's
+        // node count is fixed, so the check holds for every later epoch.
+        exactsim::exactsim::ExactSim::new(snapshot.graph.as_ref(), config.exactsim.clone())?;
         config.prsim.validate()?;
         config.mc.validate()?;
         let workers = if config.workers == 0 {
@@ -296,9 +388,9 @@ impl SimRankService {
         let cache = ShardedLruCache::new(config.cache_capacity, config.cache_shards);
         Ok(SimRankService {
             inner: Arc::new(Inner {
-                graph,
+                store,
                 config,
-                algorithms: [OnceLock::new(), OnceLock::new(), OnceLock::new()],
+                state: RwLock::new(Arc::new(EpochState::new(snapshot))),
                 cache,
                 inflight: InflightTable::new(),
                 stats: ServiceStats::new(),
@@ -307,9 +399,32 @@ impl SimRankService {
         })
     }
 
-    /// The graph this service answers queries about.
-    pub fn graph(&self) -> &Arc<DiGraph> {
-        &self.inner.graph
+    /// The graph snapshot this service is currently serving queries about.
+    /// After a store commit this reflects the new epoch once the service has
+    /// refreshed (which also happens lazily on the next query).
+    pub fn graph(&self) -> Arc<DiGraph> {
+        Arc::clone(&self.inner.current_state().graph)
+    }
+
+    /// The dynamic graph store backing this service. Stage updates with
+    /// [`GraphStore::stage_insert`] / [`GraphStore::stage_delete`], then
+    /// publish them with [`SimRankService::commit`] (or the store's own
+    /// `commit`) — the serving loop picks the new epoch up without stopping.
+    pub fn store(&self) -> &Arc<GraphStore> {
+        &self.inner.store
+    }
+
+    /// The graph epoch currently published by the backing store.
+    pub fn epoch(&self) -> u64 {
+        self.inner.store.epoch()
+    }
+
+    /// Commits the store's staged updates: materializes the new graph, bumps
+    /// the epoch, and atomically swaps the published snapshot. Queries
+    /// already running finish on their old snapshot; the next query adopts
+    /// the new epoch and sweeps the result cache. Zero serving downtime.
+    pub fn commit(&self) -> CommitReport {
+        self.inner.store.commit()
     }
 
     /// The configuration the service was created with.
@@ -404,9 +519,12 @@ impl SimRankService {
 
     /// A point-in-time snapshot of the serving counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner
-            .stats
-            .snapshot(self.inner.cache.evictions(), self.inner.cache.len())
+        self.inner.stats.snapshot(
+            self.inner.store.epoch(),
+            self.inner.cache.evictions(),
+            self.inner.cache.invalidations(),
+            self.inner.cache.len(),
+        )
     }
 
     /// Number of keys currently being computed (diagnostics).
@@ -502,6 +620,73 @@ mod tests {
         let snap = service.stats();
         assert_eq!(snap.index_builds, 2);
         assert_eq!(snap.computations, 4);
+    }
+
+    #[test]
+    fn commit_bumps_epoch_invalidates_cache_and_rebuilds_indices() {
+        let service = demo_service(40, 9);
+        let before = service.query(AlgorithmKind::ExactSim, 0).unwrap();
+        service.query(AlgorithmKind::MonteCarlo, 0).unwrap();
+        assert_eq!(service.stats().index_builds, 1, "MC index built once");
+        assert_eq!(service.epoch(), 0);
+
+        // Stage a structural change around node 0 and publish it.
+        let target = (service.graph().num_nodes() - 1) as NodeId;
+        assert!(service.store().stage_insert(0, target).unwrap().changed());
+        let report = service.commit();
+        assert!(report.advanced());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(service.epoch(), 1);
+
+        // The next queries refresh the serving state: the cache generation
+        // was swept, ExactSim recomputes on the new graph, and the MC index
+        // is rebuilt for the new epoch.
+        let after = service.query(AlgorithmKind::ExactSim, 0).unwrap();
+        assert_ne!(before.scores, after.scores, "the graph around 0 changed");
+        service.query(AlgorithmKind::MonteCarlo, 0).unwrap();
+        let snap = service.stats();
+        assert_eq!(snap.epoch, 1);
+        assert_eq!(snap.epoch_refreshes, 1);
+        assert!(snap.invalidations >= 2, "pre-commit entries were swept");
+        assert_eq!(snap.index_builds, 2, "MC index rebuilt for the new epoch");
+        assert_eq!(snap.cache_hits, 0, "no stale entry may answer post-commit");
+
+        // Within the new epoch, caching works as before.
+        let again = service.query(AlgorithmKind::ExactSim, 0).unwrap();
+        assert!(Arc::ptr_eq(&after, &again));
+        assert_eq!(service.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn empty_commit_keeps_epoch_cache_and_indices() {
+        let service = demo_service(30, 13);
+        let first = service.query(AlgorithmKind::ExactSim, 1).unwrap();
+        let report = service.commit();
+        assert!(!report.advanced());
+        assert_eq!(service.epoch(), 0);
+        let second = service.query(AlgorithmKind::ExactSim, 1).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "cache survived the no-op commit"
+        );
+        let snap = service.stats();
+        assert_eq!(snap.epoch_refreshes, 0);
+        assert_eq!(snap.invalidations, 0);
+    }
+
+    #[test]
+    fn services_sharing_a_store_see_each_others_commits() {
+        let graph = Arc::new(barabasi_albert(40, 3, true, 17).unwrap());
+        let store = Arc::new(GraphStore::new(graph));
+        let a = SimRankService::with_store(Arc::clone(&store), ServiceConfig::fast_demo()).unwrap();
+        let b = SimRankService::with_store(Arc::clone(&store), ServiceConfig::fast_demo()).unwrap();
+        a.store().stage_insert(0, 39).unwrap();
+        a.commit();
+        assert_eq!(b.epoch(), 1, "epoch is a property of the shared store");
+        let via_a = a.query(AlgorithmKind::ExactSim, 0).unwrap();
+        let via_b = b.query(AlgorithmKind::ExactSim, 0).unwrap();
+        assert_eq!(via_a.scores, via_b.scores);
+        assert!(a.graph().has_edge(0, 39));
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub struct ServiceStats {
     pub(crate) computations: AtomicU64,
     pub(crate) index_builds: AtomicU64,
     pub(crate) errors: AtomicU64,
+    pub(crate) epoch_refreshes: AtomicU64,
     pub(crate) latency: LatencyHistogram,
 }
 
@@ -93,18 +94,27 @@ impl ServiceStats {
 
     /// Takes a consistent-enough snapshot (individual counters are exact;
     /// ratios between them can be off by in-flight queries).
-    pub fn snapshot(&self, evictions: u64, cached_entries: usize) -> StatsSnapshot {
+    pub fn snapshot(
+        &self,
+        epoch: u64,
+        evictions: u64,
+        invalidations: u64,
+        cached_entries: usize,
+    ) -> StatsSnapshot {
         let queries = self.queries.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let dedup_joins = self.dedup_joins.load(Ordering::Relaxed);
         StatsSnapshot {
+            epoch,
             queries,
             cache_hits,
             dedup_joins,
             computations: self.computations.load(Ordering::Relaxed),
             index_builds: self.index_builds.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            epoch_refreshes: self.epoch_refreshes.load(Ordering::Relaxed),
             evictions,
+            invalidations,
             cached_entries,
             hit_rate: if queries == 0 {
                 0.0
@@ -120,6 +130,8 @@ impl ServiceStats {
 /// A point-in-time copy of the service counters.
 #[derive(Clone, Debug, PartialEq)]
 pub struct StatsSnapshot {
+    /// The graph epoch the service is currently serving.
+    pub epoch: u64,
     /// Queries served (hits + joins + computations + errors).
     pub queries: u64,
     /// Queries answered from the result cache.
@@ -132,8 +144,12 @@ pub struct StatsSnapshot {
     pub index_builds: u64,
     /// Queries that returned an error.
     pub errors: u64,
+    /// Times the service rebuilt its per-epoch state after a store commit.
+    pub epoch_refreshes: u64,
     /// Cache entries evicted under capacity pressure.
     pub evictions: u64,
+    /// Cache entries swept by epoch-generation invalidations.
+    pub invalidations: u64,
     /// Entries currently resident in the cache.
     pub cached_entries: usize,
     /// `(cache_hits + dedup_joins) / queries` — the fraction of queries that
@@ -145,8 +161,44 @@ pub struct StatsSnapshot {
     pub p99: Option<Duration>,
 }
 
+impl StatsSnapshot {
+    /// Serializes to one line of JSON for the `stats` protocol command
+    /// (hand-rolled like [`crate::response`]; the offline build has no
+    /// serde). Latencies are microsecond bucket upper bounds, `null` before
+    /// the first served query.
+    pub fn to_json(&self) -> String {
+        let us = |d: Option<Duration>| match d {
+            Some(d) => d.as_micros().to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            concat!(
+                "{{\"epoch\":{},\"queries\":{},\"cache_hits\":{},\"dedup_joins\":{},",
+                "\"computations\":{},\"index_builds\":{},\"errors\":{},",
+                "\"epoch_refreshes\":{},\"evictions\":{},\"invalidations\":{},",
+                "\"cached_entries\":{},\"hit_rate\":{:.4},\"p50_us\":{},\"p99_us\":{}}}"
+            ),
+            self.epoch,
+            self.queries,
+            self.cache_hits,
+            self.dedup_joins,
+            self.computations,
+            self.index_builds,
+            self.errors,
+            self.epoch_refreshes,
+            self.evictions,
+            self.invalidations,
+            self.cached_entries,
+            self.hit_rate,
+            us(self.p50),
+            us(self.p99),
+        )
+    }
+}
+
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph epoch:        {}", self.epoch)?;
         writeln!(f, "queries served:     {}", self.queries)?;
         writeln!(
             f,
@@ -159,9 +211,10 @@ impl fmt::Display for StatsSnapshot {
         writeln!(f, "index builds:       {}", self.index_builds)?;
         writeln!(
             f,
-            "cache:              {} entries resident, {} evicted",
-            self.cached_entries, self.evictions
+            "cache:              {} entries resident, {} evicted, {} invalidated",
+            self.cached_entries, self.evictions, self.invalidations
         )?;
+        writeln!(f, "epoch refreshes:    {}", self.epoch_refreshes)?;
         writeln!(f, "errors:             {}", self.errors)?;
         let fmt_latency = |d: Option<Duration>| match d {
             Some(d) => format!("<= {d:?}"),
@@ -199,18 +252,40 @@ mod tests {
         stats.cache_hits.store(6, Ordering::Relaxed);
         stats.dedup_joins.store(3, Ordering::Relaxed);
         stats.computations.store(1, Ordering::Relaxed);
-        let snap = stats.snapshot(0, 5);
+        stats.epoch_refreshes.store(2, Ordering::Relaxed);
+        let snap = stats.snapshot(7, 0, 4, 5);
         assert!((snap.hit_rate - 0.9).abs() < 1e-12);
         assert_eq!(snap.cached_entries, 5);
+        assert_eq!(snap.epoch, 7);
+        assert_eq!(snap.invalidations, 4);
+        assert_eq!(snap.epoch_refreshes, 2);
         let rendered = snap.to_string();
         assert!(rendered.contains("90.0%"));
         assert!(rendered.contains("computations:       1"));
+        assert!(rendered.contains("graph epoch:        7"));
     }
 
     #[test]
     fn zero_queries_mean_zero_hit_rate() {
-        let snap = ServiceStats::new().snapshot(0, 0);
+        let snap = ServiceStats::new().snapshot(0, 0, 0, 0);
         assert_eq!(snap.hit_rate, 0.0);
         assert_eq!(snap.p50, None);
+    }
+
+    #[test]
+    fn json_snapshot_is_wire_shaped() {
+        let stats = ServiceStats::new();
+        stats.queries.store(4, Ordering::Relaxed);
+        stats.cache_hits.store(2, Ordering::Relaxed);
+        stats.latency.record(Duration::from_micros(100));
+        let json = stats.snapshot(3, 1, 0, 2).to_json();
+        assert!(json.starts_with("{\"epoch\":3,"));
+        assert!(json.contains("\"queries\":4"));
+        assert!(json.contains("\"hit_rate\":0.5000"));
+        assert!(json.contains("\"p50_us\":128"));
+        assert!(json.ends_with('}'));
+        // Before any query, quantiles serialize as null.
+        let empty = ServiceStats::new().snapshot(0, 0, 0, 0).to_json();
+        assert!(empty.contains("\"p99_us\":null"));
     }
 }

@@ -1,21 +1,26 @@
-//! Integration tests for the serving subsystem — these encode the PR's
-//! acceptance criteria:
+//! Integration tests for the serving subsystem — these encode the serving
+//! and dynamic-update PRs' acceptance criteria:
 //!
 //! (a) cached single-source results are *exactly* equal to direct library
 //!     calls (`ExactSim::query` and friends derive their randomness from
 //!     `(seed, source)`, so the service adds no nondeterminism);
 //! (b) a batch of 100 queries over 10 distinct sources on 8 workers performs
 //!     at most 10 underlying computations (cache + in-flight dedup);
-//! (c) `ServiceStats` reports a hit rate ≥ 0.85 for that workload.
+//! (c) `ServiceStats` reports a hit rate ≥ 0.85 for that workload;
+//! (d) a store commit racing live queries is atomic: every answer equals the
+//!     pre-commit or the post-commit column bit-for-bit (never a mix of
+//!     epochs), no query fails, and post-commit answers are bit-identical to
+//!     a from-scratch service built on the new graph.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
 
 use exactsim::exactsim::{ExactSim, ExactSimConfig};
 use exactsim::mc::{MonteCarlo, MonteCarloConfig};
 use exactsim::prsim::{PrSim, PrSimConfig};
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::DiGraph;
-use exactsim_service::{AlgorithmKind, BatchRequest, ServiceConfig, SimRankService};
+use exactsim_service::{AlgorithmKind, BatchRequest, GraphStore, ServiceConfig, SimRankService};
 
 fn test_graph(n: usize, seed: u64) -> Arc<DiGraph> {
     Arc::new(barabasi_albert(n, 3, true, seed).unwrap())
@@ -171,6 +176,156 @@ fn topk_batches_agree_with_library_topk() {
     assert_eq!(top.entries, expected);
     assert_eq!(top.k, 7);
     assert!(top.entries.iter().all(|e| e.node != 9), "source excluded");
+}
+
+#[test]
+fn commit_racing_live_queries_is_atomic_and_matches_a_fresh_service() {
+    const SOURCES: u32 = 4;
+    const THREADS: usize = 6;
+    const QUERIES_PER_THREAD: usize = 12;
+
+    let base = test_graph(80, 61);
+    let config = test_config();
+    // The delta rewires the neighborhood of every queried source, so the
+    // pre- and post-commit columns differ and "never a mix" is observable.
+    let insertions = [(0u32, 70u32), (1, 71), (2, 72), (3, 73)];
+    let deletions: Vec<(u32, u32)> = (0..SOURCES)
+        .map(|s| {
+            (
+                s,
+                *base.out_neighbors(s).first().expect("BA graphs are dense"),
+            )
+        })
+        .collect();
+
+    // Ground truth for both epochs, via the same delta path the store uses.
+    let mut sorted_ins = insertions.to_vec();
+    sorted_ins.sort_unstable();
+    let mut sorted_del = deletions.clone();
+    sorted_del.sort_unstable();
+    let updated = Arc::new(base.apply_delta(&sorted_ins, &sorted_del));
+    let pre: Vec<Vec<f64>> = (0..SOURCES)
+        .map(|s| {
+            ExactSim::new(base.as_ref(), config.exactsim.clone())
+                .unwrap()
+                .query(s)
+                .unwrap()
+                .scores
+        })
+        .collect();
+    let post: Vec<Vec<f64>> = (0..SOURCES)
+        .map(|s| {
+            ExactSim::new(updated.as_ref(), config.exactsim.clone())
+                .unwrap()
+                .query(s)
+                .unwrap()
+                .scores
+        })
+        .collect();
+    for s in 0..SOURCES as usize {
+        assert_ne!(pre[s], post[s], "delta must change source {s}'s column");
+    }
+
+    let store = Arc::new(GraphStore::new(Arc::clone(&base)));
+    let service = SimRankService::with_store(Arc::clone(&store), config.clone()).unwrap();
+
+    // Warm the epoch-0 cache so the commit demonstrably invalidates entries.
+    for s in 0..SOURCES {
+        let warm = service.query(AlgorithmKind::ExactSim, s).unwrap();
+        assert_eq!(
+            warm.scores, pre[s as usize],
+            "pre-commit must match epoch 0"
+        );
+    }
+
+    // Race: THREADS query loops vs. one commit fired right after the start
+    // barrier. In-flight queries finish on whatever epoch they captured.
+    let start = Barrier::new(THREADS + 1);
+    let committed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut checkers = Vec::new();
+        for t in 0..THREADS {
+            let service = service.clone();
+            let (start, committed) = (&start, &committed);
+            let (pre, post) = (&pre, &post);
+            checkers.push(scope.spawn(move || {
+                start.wait();
+                // Loop until this thread has both done its quota of racing
+                // queries AND observed the commit, so every thread provably
+                // exercises the post-commit path (the loop terminates: the
+                // main thread always commits).
+                let mut i = 0usize;
+                loop {
+                    let source = ((t + i) as u32) % SOURCES;
+                    let commit_was_done = committed.load(Ordering::SeqCst);
+                    let response = service
+                        .query(AlgorithmKind::ExactSim, source)
+                        .expect("zero downtime: no query may fail during a commit");
+                    let s = source as usize;
+                    // Atomicity: each answer is exactly one epoch's column.
+                    assert!(
+                        response.scores == pre[s] || response.scores == post[s],
+                        "thread {t} query {i}: answer matches neither epoch (a mix?)"
+                    );
+                    // Monotonicity: a query issued after the commit returned
+                    // must see the new epoch (the service refreshes lazily
+                    // but before answering).
+                    if commit_was_done {
+                        assert_eq!(
+                            response.scores, post[s],
+                            "thread {t} query {i}: stale answer after commit"
+                        );
+                    }
+                    i += 1;
+                    if i >= QUERIES_PER_THREAD && commit_was_done {
+                        break;
+                    }
+                }
+            }));
+        }
+
+        start.wait();
+        for &(u, v) in &insertions {
+            assert!(store.stage_insert(u, v).unwrap().changed());
+        }
+        for &(u, v) in &deletions {
+            assert!(store.stage_delete(u, v).unwrap().changed());
+        }
+        let report = store.commit();
+        committed.store(true, Ordering::SeqCst);
+        assert!(report.advanced());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.edges_inserted, insertions.len());
+        assert_eq!(report.edges_deleted, deletions.len());
+
+        for checker in checkers {
+            checker.join().unwrap();
+        }
+    });
+
+    // Post-commit serving must be bit-identical to a from-scratch service
+    // built on the new graph.
+    let fresh = SimRankService::new(Arc::clone(&updated), config).unwrap();
+    for s in 0..SOURCES {
+        let live = service.query(AlgorithmKind::ExactSim, s).unwrap();
+        let scratch = fresh.query(AlgorithmKind::ExactSim, s).unwrap();
+        assert_eq!(
+            live.scores, scratch.scores,
+            "source {s}: post-commit service != fresh service on the new graph"
+        );
+        assert_eq!(live.scores, post[s as usize]);
+    }
+
+    let snap = service.stats();
+    assert_eq!(snap.epoch, 1, "commit must bump the served epoch");
+    assert_eq!(snap.errors, 0, "zero serving-loop downtime");
+    assert_eq!(snap.epoch_refreshes, 1, "exactly one generation swap");
+    assert!(
+        snap.invalidations >= SOURCES as u64,
+        "the warmed epoch-0 entries must have been swept (got {})",
+        snap.invalidations
+    );
+    assert_eq!(service.in_flight(), 0, "in-flight table must drain");
 }
 
 #[test]

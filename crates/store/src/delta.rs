@@ -1,0 +1,180 @@
+//! The staged edge-delta buffer.
+//!
+//! A [`DeltaBuffer`] accumulates edge insertions and deletions *relative to a
+//! base graph* between commits. It maintains set semantics: an insertion of
+//! an edge already present in the base is a no-op, a deletion cancels a
+//! pending insertion of the same edge (and vice versa), and duplicates
+//! collapse. Both sides are kept in `BTreeSet`s so the commit path can hand
+//! sorted, duplicate-free slices straight to
+//! [`exactsim_graph::DiGraph::apply_delta`].
+
+use std::collections::BTreeSet;
+
+use exactsim_graph::{DiGraph, NodeId};
+
+/// A sorted, duplicate-free edge list, as produced by [`DeltaBuffer::drain`]
+/// and consumed by [`DiGraph::apply_delta`].
+pub type EdgeList = Vec<(NodeId, NodeId)>;
+
+/// What staging one edge update did to the buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Staged {
+    /// The update changed the pending delta (it will take effect on commit).
+    Pending,
+    /// The update cancelled the opposite pending update for the same edge,
+    /// restoring the base graph's state for it.
+    Cancelled,
+    /// The update was a no-op: the base graph (plus the pending delta)
+    /// already has the requested state for this edge.
+    NoOp,
+}
+
+impl Staged {
+    /// `true` unless the update was a [`Staged::NoOp`].
+    pub fn changed(self) -> bool {
+        !matches!(self, Staged::NoOp)
+    }
+}
+
+/// Pending, deduplicated edge updates against a base graph.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaBuffer {
+    insertions: BTreeSet<(NodeId, NodeId)>,
+    deletions: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl DeltaBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages the insertion of `u → v` against `base`.
+    pub fn stage_insert(&mut self, base: &DiGraph, u: NodeId, v: NodeId) -> Staged {
+        if self.deletions.remove(&(u, v)) {
+            return Staged::Cancelled;
+        }
+        if base.has_edge(u, v) || !self.insertions.insert((u, v)) {
+            return Staged::NoOp;
+        }
+        Staged::Pending
+    }
+
+    /// Stages the deletion of `u → v` against `base`.
+    pub fn stage_delete(&mut self, base: &DiGraph, u: NodeId, v: NodeId) -> Staged {
+        if self.insertions.remove(&(u, v)) {
+            return Staged::Cancelled;
+        }
+        if !base.has_edge(u, v) || !self.deletions.insert((u, v)) {
+            return Staged::NoOp;
+        }
+        Staged::Pending
+    }
+
+    /// Number of pending insertions.
+    pub fn num_insertions(&self) -> usize {
+        self.insertions.len()
+    }
+
+    /// Number of pending deletions.
+    pub fn num_deletions(&self) -> usize {
+        self.deletions.len()
+    }
+
+    /// `true` if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Drops every staged update.
+    pub fn clear(&mut self) {
+        self.insertions.clear();
+        self.deletions.clear();
+    }
+
+    /// Drains the buffer into sorted, duplicate-free `(insertions, deletions)`
+    /// edge lists ready for [`DiGraph::apply_delta`].
+    pub fn drain(&mut self) -> (EdgeList, EdgeList) {
+        (
+            std::mem::take(&mut self.insertions).into_iter().collect(),
+            std::mem::take(&mut self.deletions).into_iter().collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DiGraph {
+        DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn insert_then_delete_cancels_out() {
+        let g = base();
+        let mut d = DeltaBuffer::new();
+        assert_eq!(d.stage_insert(&g, 0, 1), Staged::Pending);
+        assert_eq!(d.stage_delete(&g, 0, 1), Staged::Cancelled);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn delete_then_insert_cancels_out() {
+        let g = base();
+        let mut d = DeltaBuffer::new();
+        assert_eq!(d.stage_delete(&g, 0, 2), Staged::Pending);
+        assert_eq!(d.stage_insert(&g, 0, 2), Staged::Cancelled);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn duplicates_and_existing_state_are_noops() {
+        let g = base();
+        let mut d = DeltaBuffer::new();
+        assert_eq!(
+            d.stage_insert(&g, 0, 2),
+            Staged::NoOp,
+            "edge already in base"
+        );
+        assert_eq!(
+            d.stage_delete(&g, 0, 1),
+            Staged::NoOp,
+            "edge absent from base"
+        );
+        assert_eq!(d.stage_insert(&g, 0, 1), Staged::Pending);
+        assert_eq!(d.stage_insert(&g, 0, 1), Staged::NoOp, "duplicate insert");
+        assert_eq!(d.stage_delete(&g, 3, 0), Staged::Pending);
+        assert_eq!(d.stage_delete(&g, 3, 0), Staged::NoOp, "duplicate delete");
+        assert_eq!(d.num_insertions(), 1);
+        assert_eq!(d.num_deletions(), 1);
+        assert!(Staged::Pending.changed());
+        assert!(Staged::Cancelled.changed());
+        assert!(!Staged::NoOp.changed());
+    }
+
+    #[test]
+    fn drain_yields_sorted_unique_lists_and_empties_the_buffer() {
+        let g = base();
+        let mut d = DeltaBuffer::new();
+        d.stage_insert(&g, 2, 0);
+        d.stage_insert(&g, 0, 1);
+        d.stage_delete(&g, 3, 0);
+        d.stage_delete(&g, 1, 2);
+        let (ins, del) = d.drain();
+        assert_eq!(ins, vec![(0, 1), (2, 0)]);
+        assert_eq!(del, vec![(1, 2), (3, 0)]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let g = base();
+        let mut d = DeltaBuffer::new();
+        d.stage_insert(&g, 0, 1);
+        d.stage_delete(&g, 0, 2);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.num_insertions() + d.num_deletions(), 0);
+    }
+}

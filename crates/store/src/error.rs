@@ -1,0 +1,52 @@
+//! Error type of the dynamic graph store.
+
+use std::fmt;
+
+/// Errors produced while staging edge updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An update named a node id outside the store's fixed node-id space.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The store's node count (ids are `0..num_nodes`).
+        num_nodes: u64,
+    },
+    /// An update named a self-loop `v → v`, which the store rejects to match
+    /// the preprocessing applied to the paper's datasets (see
+    /// `exactsim_graph::builder::SelfLoopPolicy::Drop`).
+    SelfLoop(
+        /// The node the rejected loop was on.
+        u64,
+    ),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NodeOutOfRange { node, num_nodes } => write!(
+                f,
+                "node id {node} out of range for store with {num_nodes} nodes"
+            ),
+            StoreError::SelfLoop(v) => write!(f, "self-loop {v} -> {v} rejected"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_offender() {
+        let e = StoreError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('4'));
+        assert!(StoreError::SelfLoop(3).to_string().contains("3 -> 3"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # exactsim-store
+//!
+//! An epoch-based dynamic graph store for the ExactSim serving stack.
+//!
+//! Everything behind `Arc<DiGraph>` in the algorithm and serving layers is
+//! immutable — the right call for query speed, but a serving system must
+//! also absorb a continuous stream of edge arrivals and removals. The store
+//! resolves that tension with the classic snapshot/epoch scheme used by
+//! systems that answer queries under updates: updates are cheap against a
+//! mutable *delta buffer*, while queries run against an immutable published
+//! *snapshot*; a `commit` folds the delta into a new snapshot and atomically
+//! republishes it under the next epoch.
+//!
+//! | type | role |
+//! |---|---|
+//! | [`GraphStore`] | owns the published `Arc<DiGraph>` + epoch, stages updates, commits |
+//! | [`DeltaBuffer`] | sorted, deduplicated pending insert/delete sets |
+//! | [`GraphSnapshot`] | a consistent `(graph, epoch)` pair readers pin |
+//! | [`CommitReport`] | what a commit materialized (epoch, counts, build time) |
+//!
+//! ## Guarantees
+//!
+//! * **Readers never block.** A snapshot is two pointer-sized reads under a
+//!   briefly-held read lock; commits materialize the new CSR *outside* the
+//!   publication lock and swap with a single pointer assignment.
+//! * **Snapshots are immutable.** In-flight queries finish on the graph they
+//!   started on; the epoch they captured identifies it exactly.
+//! * **Epochs are monotonic.** Every effective commit bumps the epoch by
+//!   one; an empty commit publishes nothing. Cache layers can therefore use
+//!   the epoch as an invalidation generation.
+//! * **Deltas have set semantics.** Inserting a present edge or deleting an
+//!   absent one is a no-op; opposite updates to the same edge cancel;
+//!   endpoints are validated against the fixed node-id space and self-loops
+//!   are rejected (matching the dataset preprocessing used throughout the
+//!   reproduction).
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use exactsim_graph::DiGraph;
+//! use exactsim_store::GraphStore;
+//!
+//! let store = GraphStore::new(Arc::new(DiGraph::from_edges(
+//!     4,
+//!     &[(0, 2), (1, 2), (2, 3), (3, 0)],
+//! )));
+//! let before = store.snapshot(); // epoch 0
+//!
+//! store.stage_insert(0, 1).unwrap();
+//! store.stage_delete(2, 3).unwrap();
+//! let report = store.commit();
+//! assert_eq!(report.epoch, 1);
+//!
+//! // New readers see the new graph; the old snapshot is untouched.
+//! assert!(store.graph().has_edge(0, 1));
+//! assert!(!before.graph.has_edge(0, 1));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod delta;
+pub mod error;
+pub mod store;
+
+pub use delta::{DeltaBuffer, Staged};
+pub use error::StoreError;
+pub use store::{CommitReport, GraphSnapshot, GraphStore};

@@ -1,0 +1,390 @@
+//! The epoch-based dynamic graph store.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use exactsim_graph::{DiGraph, NodeId};
+
+use crate::delta::{DeltaBuffer, Staged};
+use crate::error::StoreError;
+
+/// A consistent `(graph, epoch)` pair published by a [`GraphStore`].
+///
+/// The two fields are captured under one lock, so the epoch always describes
+/// exactly this graph. Holding a snapshot pins its graph in memory (it is an
+/// `Arc`); later commits publish new snapshots without disturbing it.
+#[derive(Clone, Debug)]
+pub struct GraphSnapshot {
+    /// The immutable graph of this epoch.
+    pub graph: Arc<DiGraph>,
+    /// The monotonic epoch the graph was published under (the initial graph
+    /// is epoch 0).
+    pub epoch: u64,
+}
+
+/// What one [`GraphStore::commit`] did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommitReport {
+    /// The epoch now published. An empty commit reports the unchanged
+    /// current epoch.
+    pub epoch: u64,
+    /// Edge insertions materialized by this commit.
+    pub edges_inserted: usize,
+    /// Edge deletions materialized by this commit.
+    pub edges_deleted: usize,
+    /// Node count of the published graph.
+    pub num_nodes: usize,
+    /// Edge count of the published graph.
+    pub num_edges: usize,
+    /// Wall-clock time spent materializing and swapping the new CSR graph
+    /// (zero for an empty commit).
+    pub build_time: Duration,
+}
+
+impl CommitReport {
+    /// `true` iff this commit published a new epoch.
+    pub fn advanced(&self) -> bool {
+        self.edges_inserted + self.edges_deleted > 0
+    }
+}
+
+struct Published {
+    graph: Arc<DiGraph>,
+    epoch: u64,
+}
+
+/// A dynamic graph store with epoch-based snapshot publication.
+///
+/// The store owns the current published [`DiGraph`] behind an `Arc` plus a
+/// buffer of staged edge updates. Readers call [`GraphStore::snapshot`] (or
+/// [`GraphStore::graph`] / [`GraphStore::epoch`]) and never block on writers
+/// beyond a pointer-swap critical section; in-flight work simply finishes on
+/// the snapshot it captured. Writers stage updates with
+/// [`GraphStore::stage_insert`] / [`GraphStore::stage_delete`] — validated
+/// against the node-id space and deduplicated against both the base graph
+/// and each other — and [`GraphStore::commit`] materializes a new CSR graph
+/// via the `O(m + Δ)` merge path ([`DiGraph::apply_delta`]), bumps the
+/// monotonic epoch, and atomically swaps the published snapshot.
+///
+/// The node-id space is fixed at construction; updates change the edge set
+/// only (growing the node space is a planned follow-up).
+pub struct GraphStore {
+    published: RwLock<Published>,
+    /// Mirrors `published.epoch` for lock-free epoch polls on hot paths.
+    epoch: AtomicU64,
+    /// Staging is serialized; commit holds this lock end-to-end so the base
+    /// graph cannot change under a validation or a CSR rebuild.
+    pending: Mutex<DeltaBuffer>,
+    commits: AtomicU64,
+}
+
+impl GraphStore {
+    /// Creates a store publishing `graph` as epoch 0.
+    pub fn new(graph: Arc<DiGraph>) -> Self {
+        GraphStore {
+            published: RwLock::new(Published { graph, epoch: 0 }),
+            epoch: AtomicU64::new(0),
+            pending: Mutex::new(DeltaBuffer::new()),
+            commits: AtomicU64::new(0),
+        }
+    }
+
+    /// The current consistent `(graph, epoch)` pair.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let published = self.published.read().expect("published snapshot poisoned");
+        GraphSnapshot {
+            graph: Arc::clone(&published.graph),
+            epoch: published.epoch,
+        }
+    }
+
+    /// The currently published graph.
+    pub fn graph(&self) -> Arc<DiGraph> {
+        self.snapshot().graph
+    }
+
+    /// The currently published epoch (lock-free; pairs with the snapshot the
+    /// same or a later epoch publishes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The store's fixed node count.
+    pub fn num_nodes(&self) -> usize {
+        // The node-id space never changes, so any snapshot answers this.
+        self.snapshot().graph.num_nodes()
+    }
+
+    fn validate(base: &DiGraph, u: NodeId, v: NodeId) -> Result<(), StoreError> {
+        let n = base.num_nodes() as u64;
+        for node in [u, v] {
+            if u64::from(node) >= n {
+                return Err(StoreError::NodeOutOfRange {
+                    node: u64::from(node),
+                    num_nodes: n,
+                });
+            }
+        }
+        if u == v {
+            return Err(StoreError::SelfLoop(u64::from(u)));
+        }
+        Ok(())
+    }
+
+    /// Stages the insertion of `u → v` for the next commit.
+    ///
+    /// Returns how the buffer changed: inserting an edge the published graph
+    /// already has (or that is already staged) is a [`Staged::NoOp`], and
+    /// inserting an edge staged for deletion cancels the deletion. Self-loops
+    /// and out-of-range endpoints are rejected.
+    pub fn stage_insert(&self, u: NodeId, v: NodeId) -> Result<Staged, StoreError> {
+        let mut pending = self.pending.lock().expect("pending delta poisoned");
+        // One published-lock acquisition per staged edge: validation and
+        // dedup share the same base snapshot (stable while `pending` is
+        // held, since commits serialize on it).
+        let base = self.graph();
+        Self::validate(&base, u, v)?;
+        Ok(pending.stage_insert(&base, u, v))
+    }
+
+    /// Stages the deletion of `u → v` for the next commit. Deleting an edge
+    /// the published graph does not have is a [`Staged::NoOp`]; deleting a
+    /// staged insertion cancels it.
+    pub fn stage_delete(&self, u: NodeId, v: NodeId) -> Result<Staged, StoreError> {
+        let mut pending = self.pending.lock().expect("pending delta poisoned");
+        let base = self.graph();
+        Self::validate(&base, u, v)?;
+        Ok(pending.stage_delete(&base, u, v))
+    }
+
+    /// Number of staged `(insertions, deletions)`.
+    pub fn pending_counts(&self) -> (usize, usize) {
+        let pending = self.pending.lock().expect("pending delta poisoned");
+        (pending.num_insertions(), pending.num_deletions())
+    }
+
+    /// Discards every staged update without publishing anything.
+    pub fn rollback(&self) -> (usize, usize) {
+        let mut pending = self.pending.lock().expect("pending delta poisoned");
+        let counts = (pending.num_insertions(), pending.num_deletions());
+        pending.clear();
+        counts
+    }
+
+    /// Number of commits that published a new epoch.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Materializes the staged delta into a new CSR graph, bumps the epoch,
+    /// and atomically swaps the published snapshot.
+    ///
+    /// Readers never see a torn state: the `(graph, epoch)` pair changes
+    /// under one write lock held only for the pointer swap, and snapshots
+    /// captured before the swap stay fully usable. An empty commit publishes
+    /// nothing and reports the current epoch with zero counts.
+    pub fn commit(&self) -> CommitReport {
+        let mut pending = self.pending.lock().expect("pending delta poisoned");
+        if pending.is_empty() {
+            let snapshot = self.snapshot();
+            return CommitReport {
+                epoch: snapshot.epoch,
+                edges_inserted: 0,
+                edges_deleted: 0,
+                num_nodes: snapshot.graph.num_nodes(),
+                num_edges: snapshot.graph.num_edges(),
+                build_time: Duration::ZERO,
+            };
+        }
+        let start = Instant::now();
+        let (insertions, deletions) = pending.drain();
+        // The pending lock serializes commits, so the published graph cannot
+        // change between this read and the swap below.
+        let base = self.graph();
+        let next = Arc::new(base.apply_delta(&insertions, &deletions));
+        let epoch = {
+            let mut published = self.published.write().expect("published snapshot poisoned");
+            published.epoch += 1;
+            published.graph = Arc::clone(&next);
+            self.epoch.store(published.epoch, Ordering::Release);
+            published.epoch
+        };
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        CommitReport {
+            epoch,
+            edges_inserted: insertions.len(),
+            edges_deleted: deletions.len(),
+            num_nodes: next.num_nodes(),
+            num_edges: next.num_edges(),
+            build_time: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> GraphStore {
+        // 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0
+        GraphStore::new(Arc::new(DiGraph::from_edges(
+            4,
+            &[(0, 2), (1, 2), (2, 3), (3, 0)],
+        )))
+    }
+
+    #[test]
+    fn commit_publishes_a_new_epoch_with_the_delta_applied() {
+        let store = store();
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.stage_insert(0, 1).unwrap(), Staged::Pending);
+        assert_eq!(store.stage_delete(2, 3).unwrap(), Staged::Pending);
+        assert_eq!(store.pending_counts(), (1, 1));
+
+        let report = store.commit();
+        assert!(report.advanced());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.edges_inserted, 1);
+        assert_eq!(report.edges_deleted, 1);
+        assert_eq!(report.num_edges, 4);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.commits(), 1);
+        assert_eq!(store.pending_counts(), (0, 0));
+
+        let graph = store.graph();
+        assert!(graph.has_edge(0, 1));
+        assert!(!graph.has_edge(2, 3));
+        assert!(graph.validate());
+    }
+
+    #[test]
+    fn empty_commit_is_a_published_noop() {
+        let store = store();
+        let report = store.commit();
+        assert!(!report.advanced());
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.num_edges, 4);
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.commits(), 0);
+    }
+
+    #[test]
+    fn staging_validates_ids_and_self_loops() {
+        let store = store();
+        assert_eq!(
+            store.stage_insert(0, 9),
+            Err(StoreError::NodeOutOfRange {
+                node: 9,
+                num_nodes: 4
+            })
+        );
+        assert!(store
+            .stage_delete(7, 0)
+            .unwrap_err()
+            .to_string()
+            .contains('7'));
+        assert_eq!(store.stage_insert(2, 2), Err(StoreError::SelfLoop(2)));
+        assert_eq!(store.pending_counts(), (0, 0));
+    }
+
+    #[test]
+    fn old_snapshots_survive_commits_unchanged() {
+        let store = store();
+        let before = store.snapshot();
+        store.stage_insert(1, 3).unwrap();
+        store.commit();
+        let after = store.snapshot();
+        assert_eq!(before.epoch, 0);
+        assert_eq!(after.epoch, 1);
+        assert!(
+            !before.graph.has_edge(1, 3),
+            "old snapshot must be immutable"
+        );
+        assert!(after.graph.has_edge(1, 3));
+    }
+
+    #[test]
+    fn rollback_discards_staged_updates() {
+        let store = store();
+        store.stage_insert(0, 1).unwrap();
+        store.stage_delete(3, 0).unwrap();
+        assert_eq!(store.rollback(), (1, 1));
+        let report = store.commit();
+        assert!(!report.advanced());
+        assert_eq!(store.epoch(), 0);
+    }
+
+    #[test]
+    fn staging_dedups_against_published_graph_and_buffer() {
+        let store = store();
+        assert_eq!(store.stage_insert(0, 2).unwrap(), Staged::NoOp); // exists
+        assert_eq!(store.stage_delete(0, 1).unwrap(), Staged::NoOp); // absent
+        assert_eq!(store.stage_insert(0, 1).unwrap(), Staged::Pending);
+        assert_eq!(store.stage_delete(0, 1).unwrap(), Staged::Cancelled);
+        assert_eq!(store.pending_counts(), (0, 0));
+    }
+
+    #[test]
+    fn successive_commits_compose() {
+        let store = store();
+        store.stage_insert(0, 1).unwrap();
+        assert_eq!(store.commit().epoch, 1);
+        // Now 0 -> 1 is part of the published base: re-inserting is a no-op,
+        // deleting stages a real deletion.
+        assert_eq!(store.stage_insert(0, 1).unwrap(), Staged::NoOp);
+        assert_eq!(store.stage_delete(0, 1).unwrap(), Staged::Pending);
+        assert_eq!(store.commit().epoch, 2);
+        assert!(!store.graph().has_edge(0, 1));
+        assert_eq!(store.graph().num_edges(), 4);
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_torn_snapshots() {
+        let store = Arc::new(store());
+        let stop = Arc::new(AtomicU64::new(0));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last_epoch = 0;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let snap = store.snapshot();
+                        assert!(snap.epoch >= last_epoch, "epoch must be monotonic");
+                        last_epoch = snap.epoch;
+                        // Epoch k has exactly 4 + k edges in this workload —
+                        // a torn (graph, epoch) pair would break this.
+                        assert_eq!(
+                            snap.graph.num_edges(),
+                            4 + snap.epoch as usize,
+                            "snapshot tore: epoch and graph disagree"
+                        );
+                        assert!(snap.graph.validate());
+                    }
+                })
+            })
+            .collect();
+        // 8 commits, each adding exactly one edge.
+        for (u, v) in [
+            (0, 1),
+            (0, 3),
+            (1, 0),
+            (1, 3),
+            (2, 0),
+            (2, 1),
+            (3, 1),
+            (3, 2),
+        ] {
+            store.stage_insert(u, v).unwrap();
+            let report = store.commit();
+            assert!(report.advanced());
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.epoch(), 8);
+        assert_eq!(store.graph().num_edges(), 12);
+    }
+}

@@ -69,4 +69,44 @@ fn main() {
         snap.computations <= u64::from(hot_sources),
         "dedup + cache should cap computations at one per distinct source"
     );
+
+    // --- Online updates: rewire the hottest source and republish ----------
+    // The serving loop never stops: the commit bumps the epoch, the stale
+    // cached columns become unreachable, and the next query recomputes on
+    // the new snapshot.
+    println!("\n--- online update ---");
+    let before = service.query(AlgorithmKind::ExactSim, 0).expect("serve");
+    let far = (n - 1) as u32;
+    let existing = *service
+        .graph()
+        .out_neighbors(0)
+        .first()
+        .expect("BA node 0 has out-edges");
+    service.store().stage_insert(0, far).expect("valid edge");
+    service
+        .store()
+        .stage_delete(0, existing)
+        .expect("valid edge");
+    let report = service.commit();
+    println!(
+        "commit: epoch {} ({} inserted, {} deleted, {} edges now, built in {:?})",
+        report.epoch,
+        report.edges_inserted,
+        report.edges_deleted,
+        report.num_edges,
+        report.build_time
+    );
+    let after = service.query(AlgorithmKind::ExactSim, 0).expect("serve");
+    assert_eq!(report.epoch, 1);
+    assert_ne!(
+        before.scores, after.scores,
+        "rewiring node 0 must change its similarity column"
+    );
+    let snap = service.stats();
+    println!(
+        "epoch {} serving; {} cached entries invalidated by the commit",
+        snap.epoch, snap.invalidations
+    );
+    assert_eq!(snap.epoch, 1);
+    assert!(snap.invalidations > 0, "the epoch-0 generation was swept");
 }
