@@ -27,6 +27,13 @@ pub enum GraphError {
     InvalidGeneratorParams(String),
     /// The graph is empty but the operation requires at least one node.
     EmptyGraph,
+    /// A binary graph payload (see [`crate::binfmt`]) failed validation:
+    /// truncated input, inconsistent declared sizes, non-monotonic offsets,
+    /// out-of-range targets, or unsorted neighbor lists.
+    Decode(
+        /// Description of the violated invariant.
+        String,
+    ),
 }
 
 impl fmt::Display for GraphError {
@@ -44,6 +51,7 @@ impl fmt::Display for GraphError {
                 write!(f, "invalid generator parameters: {msg}")
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::Decode(msg) => write!(f, "binary graph decode error: {msg}"),
         }
     }
 }

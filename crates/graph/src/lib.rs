@@ -12,6 +12,8 @@
 //!   undirected symmetrisation.
 //! * [`io`] — plain-text edge-list reading/writing (SNAP-compatible) so the
 //!   real datasets of the paper can be dropped in when available.
+//! * [`binfmt`] — a compact, validated binary codec for [`DiGraph`], the
+//!   payload format of the `exactsim-store` snapshot persistence layer.
 //! * [`generators`] — deterministic synthetic graph generators (Erdős–Rényi,
 //!   Barabási–Albert, power-law configuration model, stochastic block model,
 //!   and regular families) used as stand-ins for the SNAP/LAW datasets.
@@ -55,6 +57,7 @@
 #![warn(clippy::all)]
 
 pub mod analysis;
+pub mod binfmt;
 pub mod builder;
 pub mod csr;
 pub mod digraph;

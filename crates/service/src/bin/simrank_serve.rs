@@ -4,6 +4,7 @@
 //! simrank-serve [--dataset KEY | --ba N M] [--scale F] [--seed S]
 //!               [--algo exactsim|prsim|mc] [--epsilon E]
 //!               [--workers W] [--cache-capacity C] [--walk-budget B]
+//!               [--data-dir DIR]
 //! ```
 //!
 //! Protocol: one request per stdin line. Every command answers with exactly
@@ -19,7 +20,9 @@
 //! deledge <u> <v>          stage the deletion of edge u -> v
 //! commit                   publish staged updates as a new graph epoch
 //! epoch                    current epoch + pending update counts
-//! stats                    serving counters (hit rate, p50/p99, epoch) as JSON
+//! save | snapshot          fold the WAL into a fresh snapshot file
+//! stats                    serving counters (hit rate, p50/p99, epoch,
+//!                          durability state) as JSON
 //! help                     this summary (stderr)
 //! quit                     exit (EOF also exits)
 //! ```
@@ -29,8 +32,16 @@
 //! effect on serving), and `commit` atomically swaps in the new epoch —
 //! queries keep being answered throughout, and cached results from older
 //! epochs can no longer be returned.
+//!
+//! With `--data-dir DIR` the store is durable: every commit is WAL-logged
+//! and fsynced before it is published, and on boot the server recovers the
+//! newest valid snapshot plus the WAL — a restarted server answers
+//! bit-identically to the pre-restart process at the same epoch. On the
+//! first boot the directory is initialized from the graph flags; on later
+//! boots the graph flags are ignored in favor of the recovered state.
 
 use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -38,7 +49,9 @@ use exactsim::exactsim::ExactSimConfig;
 use exactsim::SimRankError;
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::DiGraph;
-use exactsim_service::{AlgorithmKind, ServiceConfig, ServiceError, SimRankService, StoreError};
+use exactsim_service::{
+    AlgorithmKind, GraphStore, Opened, ServiceConfig, ServiceError, SimRankService, StoreError,
+};
 
 struct Options {
     dataset: Option<String>,
@@ -50,6 +63,7 @@ struct Options {
     workers: usize,
     cache_capacity: usize,
     walk_budget: u64,
+    data_dir: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -64,6 +78,7 @@ impl Default for Options {
             workers: 0,
             cache_capacity: 1024,
             walk_budget: 2_000_000,
+            data_dir: None,
         }
     }
 }
@@ -113,6 +128,9 @@ fn parse_args() -> Result<Options, String> {
                 let v = next_value("--walk-budget", &mut args)?;
                 opts.walk_budget = v.parse().map_err(|_| format!("bad walk budget `{v}`"))?;
             }
+            "--data-dir" => {
+                opts.data_dir = Some(PathBuf::from(next_value("--data-dir", &mut args)?));
+            }
             "--help" | "-h" => {
                 eprintln!("{HELP}");
                 std::process::exit(0);
@@ -138,9 +156,43 @@ const HELP: &str = "simrank-serve: line-protocol SimRank query server\n\
   --walk-budget B      cap on ExactSim walk pairs per query (default 2000000;\n\
                        0 = unlimited / paper-exact — small epsilons need the\n\
                        cap lifted or the error target will not be met)\n\
+  --data-dir DIR       durable store: recover DIR on boot (or initialize it\n\
+                       from the graph flags), WAL-log every commit\n\
 protocol: query <node> [algo] | topk <node> <k> [algo]\n\
           addedge <u> <v> | deledge <u> <v> | commit | epoch\n\
-          stats | help | quit";
+          save | snapshot | stats | help | quit";
+
+/// With `--data-dir`, recovery takes precedence: a directory that already
+/// holds a store restarts the server into its last committed epoch and the
+/// graph flags are not consulted; a fresh (or missing) directory is
+/// initialized from the flags. Without `--data-dir` the store is in-memory.
+fn build_store(opts: &Options) -> Result<GraphStore, String> {
+    let Some(dir) = &opts.data_dir else {
+        return Ok(GraphStore::new(Arc::new(build_graph(opts)?)));
+    };
+    let (store, how) = GraphStore::open_or_create(dir, || {
+        build_graph(opts)
+            .map(Arc::new)
+            .map_err(StoreError::InitFailed)
+    })
+    .map_err(|e| match e {
+        StoreError::InitFailed(msg) => msg,
+        e => format!("cannot recover {}: {e}", dir.display()),
+    })?;
+    match how {
+        Opened::Recovered => eprintln!(
+            "simrank-serve: recovered {} at epoch {} ({} WAL records)",
+            dir.display(),
+            store.epoch(),
+            store.durability().map_or(0, |info| info.wal_records),
+        ),
+        Opened::Created => eprintln!(
+            "simrank-serve: initialized durable store in {}",
+            dir.display()
+        ),
+    }
+    Ok(store)
+}
 
 fn build_graph(opts: &Options) -> Result<DiGraph, String> {
     if let Some((n, m)) = opts.ba {
@@ -163,8 +215,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let graph = match build_graph(&opts) {
-        Ok(g) => g,
+    // With --data-dir, recovery takes precedence: a directory that already
+    // holds a store restarts the server into its last committed epoch and
+    // the graph flags are not consulted. A fresh directory is initialized
+    // from the flags. Without --data-dir the store is in-memory.
+    let store = match build_store(&opts) {
+        Ok(store) => store,
         Err(msg) => {
             eprintln!("simrank-serve: {msg}");
             return ExitCode::FAILURE;
@@ -188,7 +244,7 @@ fn main() -> ExitCode {
         },
         ..ServiceConfig::default()
     };
-    let service = match SimRankService::new(Arc::new(graph), config) {
+    let service = match SimRankService::with_store(Arc::new(store), config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("simrank-serve: {e}");
@@ -267,6 +323,17 @@ impl From<StoreError> for ProtoError {
         let code = match &e {
             StoreError::NodeOutOfRange { .. } => "out_of_range",
             StoreError::SelfLoop(_) => "bad_request",
+            StoreError::NotDurable => "not_durable",
+            StoreError::Io { .. } => "io",
+            // Recovery-time corruption classes; a running server only sees
+            // these if the disk goes bad underneath it.
+            StoreError::SnapshotCorrupt { .. }
+            | StoreError::WalCorrupt { .. }
+            | StoreError::UnsupportedVersion { .. }
+            | StoreError::NoSnapshot { .. }
+            | StoreError::StoreExists { .. }
+            | StoreError::Locked { .. }
+            | StoreError::InitFailed(_) => "storage",
         };
         ProtoError {
             code,
@@ -330,9 +397,8 @@ fn serve_line(service: &SimRankService, default_algo: AlgorithmKind, line: &str)
                 Err(e) => error_reply(&e),
             }
         }
-        "commit" => {
-            let report = service.commit();
-            Action::Reply(format!(
+        "commit" => match service.commit() {
+            Ok(report) => Action::Reply(format!(
                 "{{\"op\":\"commit\",\"epoch\":{},\"advanced\":{},\"edges_inserted\":{},\"edges_deleted\":{},\"num_edges\":{},\"build_us\":{}}}",
                 report.epoch,
                 report.advanced(),
@@ -340,8 +406,21 @@ fn serve_line(service: &SimRankService, default_algo: AlgorithmKind, line: &str)
                 report.edges_deleted,
                 report.num_edges,
                 report.build_time.as_micros(),
-            ))
-        }
+            )),
+            Err(e) => error_reply(&ProtoError::from(e)),
+        },
+        "save" | "snapshot" => match service.store().save() {
+            Ok(epoch) => {
+                let wal_len = service
+                    .store()
+                    .durability()
+                    .map_or(0, |info| info.wal_records);
+                Action::Reply(format!(
+                    "{{\"op\":\"save\",\"last_snapshot_epoch\":{epoch},\"wal_len\":{wal_len}}}"
+                ))
+            }
+            Err(e) => error_reply(&ProtoError::from(e)),
+        },
         "epoch" => {
             let (ins, del) = service.store().pending_counts();
             Action::Reply(format!(
@@ -389,20 +468,9 @@ fn serve_line(service: &SimRankService, default_algo: AlgorithmKind, line: &str)
 }
 
 fn error_reply(e: &ProtoError) -> Action {
-    let mut escaped = String::with_capacity(e.message.len());
-    for c in e.message.chars() {
-        match c {
-            '"' => escaped.push_str("\\\""),
-            '\\' => escaped.push_str("\\\\"),
-            '\n' => escaped.push_str("\\n"),
-            '\r' => escaped.push_str("\\r"),
-            '\t' => escaped.push_str("\\t"),
-            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
-            c => escaped.push(c),
-        }
-    }
     Action::Reply(format!(
-        "{{\"error\":\"{escaped}\",\"code\":\"{}\"}}",
+        "{{\"error\":\"{}\",\"code\":\"{}\"}}",
+        exactsim_service::stats::escape_json(&e.message),
         e.code
     ))
 }

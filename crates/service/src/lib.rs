@@ -55,7 +55,7 @@
 //! let before = service.query(AlgorithmKind::ExactSim, 7).unwrap();
 //!
 //! service.store().stage_insert(7, 100).unwrap();
-//! let report = service.commit();
+//! let report = service.commit().unwrap();
 //! assert_eq!(report.epoch, 1);
 //!
 //! // The serving loop never stopped; the next query sees the new epoch and
@@ -99,6 +99,8 @@ pub use response::{AlgorithmKind, QueryResponse, TopKResponse};
 pub use service::{BatchAnswer, BatchItem, BatchRequest, ServiceConfig, SimRankService};
 pub use stats::{ServiceStats, StatsSnapshot};
 
-// Re-exported so protocol front-ends can drive updates without naming the
-// store crate themselves.
-pub use exactsim_store::{CommitReport, GraphSnapshot, GraphStore, Staged, StoreError};
+// Re-exported so protocol front-ends can drive updates and persistence
+// without naming the store crate themselves.
+pub use exactsim_store::{
+    CommitReport, DurabilityInfo, GraphSnapshot, GraphStore, Opened, Staged, StoreError,
+};

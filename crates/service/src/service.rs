@@ -43,7 +43,7 @@ use exactsim::suite::{
 };
 use exactsim::SimRankError;
 use exactsim_graph::{DiGraph, NodeId};
-use exactsim_store::{CommitReport, GraphSnapshot, GraphStore};
+use exactsim_store::{CommitReport, GraphSnapshot, GraphStore, StoreError};
 
 use crate::cache::{epsilon_tier, CacheKey, ShardedLruCache};
 use crate::error::ServiceError;
@@ -423,7 +423,11 @@ impl SimRankService {
     /// the epoch, and atomically swaps the published snapshot. Queries
     /// already running finish on their old snapshot; the next query adopts
     /// the new epoch and sweeps the result cache. Zero serving downtime.
-    pub fn commit(&self) -> CommitReport {
+    ///
+    /// On a durable store the delta is WAL-logged and fsynced before
+    /// publication; a persistence failure ([`StoreError`]) leaves the staged
+    /// delta intact and nothing published. In-memory stores never fail.
+    pub fn commit(&self) -> Result<CommitReport, StoreError> {
         self.inner.store.commit()
     }
 
@@ -517,13 +521,16 @@ impl SimRankService {
         items
     }
 
-    /// A point-in-time snapshot of the serving counters.
+    /// A point-in-time snapshot of the serving counters, including the
+    /// backing store's durability state (data dir, WAL length, snapshot
+    /// epoch) when it has one.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot(
             self.inner.store.epoch(),
             self.inner.cache.evictions(),
             self.inner.cache.invalidations(),
             self.inner.cache.len(),
+            self.inner.store.durability(),
         )
     }
 
@@ -633,7 +640,7 @@ mod tests {
         // Stage a structural change around node 0 and publish it.
         let target = (service.graph().num_nodes() - 1) as NodeId;
         assert!(service.store().stage_insert(0, target).unwrap().changed());
-        let report = service.commit();
+        let report = service.commit().unwrap();
         assert!(report.advanced());
         assert_eq!(report.epoch, 1);
         assert_eq!(service.epoch(), 1);
@@ -661,7 +668,7 @@ mod tests {
     fn empty_commit_keeps_epoch_cache_and_indices() {
         let service = demo_service(30, 13);
         let first = service.query(AlgorithmKind::ExactSim, 1).unwrap();
-        let report = service.commit();
+        let report = service.commit().unwrap();
         assert!(!report.advanced());
         assert_eq!(service.epoch(), 0);
         let second = service.query(AlgorithmKind::ExactSim, 1).unwrap();
@@ -681,7 +688,7 @@ mod tests {
         let a = SimRankService::with_store(Arc::clone(&store), ServiceConfig::fast_demo()).unwrap();
         let b = SimRankService::with_store(Arc::clone(&store), ServiceConfig::fast_demo()).unwrap();
         a.store().stage_insert(0, 39).unwrap();
-        a.commit();
+        a.commit().unwrap();
         assert_eq!(b.epoch(), 1, "epoch is a property of the shared store");
         let via_a = a.query(AlgorithmKind::ExactSim, 0).unwrap();
         let via_b = b.query(AlgorithmKind::ExactSim, 0).unwrap();

@@ -10,6 +10,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use exactsim_store::DurabilityInfo;
+
 /// Number of histogram buckets: bucket `i` covers latencies in
 /// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`). 2^38 µs ≈ 3.2 days —
 /// nothing a query-serving path produces overflows the last bucket.
@@ -100,12 +102,18 @@ impl ServiceStats {
         evictions: u64,
         invalidations: u64,
         cached_entries: usize,
+        durability: Option<DurabilityInfo>,
     ) -> StatsSnapshot {
         let queries = self.queries.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let dedup_joins = self.dedup_joins.load(Ordering::Relaxed);
         StatsSnapshot {
             epoch,
+            data_dir: durability
+                .as_ref()
+                .map(|d| d.data_dir.display().to_string()),
+            wal_len: durability.as_ref().map(|d| d.wal_records),
+            last_snapshot_epoch: durability.as_ref().map(|d| d.last_snapshot_epoch),
             queries,
             cache_hits,
             dedup_joins,
@@ -132,6 +140,14 @@ impl ServiceStats {
 pub struct StatsSnapshot {
     /// The graph epoch the service is currently serving.
     pub epoch: u64,
+    /// Data directory of the backing store (`None` for in-memory stores).
+    pub data_dir: Option<String>,
+    /// Delta records currently in the write-ahead log (`None` when not
+    /// durable). Together with `last_snapshot_epoch` this tells an operator
+    /// how much replay a restart would do.
+    pub wal_len: Option<u64>,
+    /// Epoch of the newest on-disk snapshot file (`None` when not durable).
+    pub last_snapshot_epoch: Option<u64>,
     /// Queries served (hits + joins + computations + errors).
     pub queries: u64,
     /// Queries answered from the result cache.
@@ -171,12 +187,21 @@ impl StatsSnapshot {
             Some(d) => d.as_micros().to_string(),
             None => "null".to_string(),
         };
+        let opt_u64 = |v: Option<u64>| match v {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let data_dir = match &self.data_dir {
+            Some(dir) => format!("\"{}\"", escape_json(dir)),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"epoch\":{},\"queries\":{},\"cache_hits\":{},\"dedup_joins\":{},",
                 "\"computations\":{},\"index_builds\":{},\"errors\":{},",
                 "\"epoch_refreshes\":{},\"evictions\":{},\"invalidations\":{},",
-                "\"cached_entries\":{},\"hit_rate\":{:.4},\"p50_us\":{},\"p99_us\":{}}}"
+                "\"cached_entries\":{},\"hit_rate\":{:.4},\"p50_us\":{},\"p99_us\":{},",
+                "\"data_dir\":{},\"wal_len\":{},\"last_snapshot_epoch\":{}}}"
             ),
             self.epoch,
             self.queries,
@@ -192,8 +217,30 @@ impl StatsSnapshot {
             self.hit_rate,
             us(self.p50),
             us(self.p99),
+            data_dir,
+            opt_u64(self.wal_len),
+            opt_u64(self.last_snapshot_epoch),
         )
     }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control characters) —
+/// enough for paths and error messages; the offline build has no serde.
+/// Shared by the stats serializer and the `simrank-serve` protocol replies.
+pub fn escape_json(s: &str) -> String {
+    let mut escaped = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            '\r' => escaped.push_str("\\r"),
+            '\t' => escaped.push_str("\\t"),
+            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
+            c => escaped.push(c),
+        }
+    }
+    escaped
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -216,6 +263,13 @@ impl fmt::Display for StatsSnapshot {
         )?;
         writeln!(f, "epoch refreshes:    {}", self.epoch_refreshes)?;
         writeln!(f, "errors:             {}", self.errors)?;
+        match (&self.data_dir, self.wal_len, self.last_snapshot_epoch) {
+            (Some(dir), Some(wal), Some(snap)) => writeln!(
+                f,
+                "durability:         {dir} (wal {wal} records, snapshot at epoch {snap})"
+            )?,
+            _ => writeln!(f, "durability:         in-memory (no data dir)")?,
+        }
         let fmt_latency = |d: Option<Duration>| match d {
             Some(d) => format!("<= {d:?}"),
             None => "n/a".to_string(),
@@ -253,7 +307,7 @@ mod tests {
         stats.dedup_joins.store(3, Ordering::Relaxed);
         stats.computations.store(1, Ordering::Relaxed);
         stats.epoch_refreshes.store(2, Ordering::Relaxed);
-        let snap = stats.snapshot(7, 0, 4, 5);
+        let snap = stats.snapshot(7, 0, 4, 5, None);
         assert!((snap.hit_rate - 0.9).abs() < 1e-12);
         assert_eq!(snap.cached_entries, 5);
         assert_eq!(snap.epoch, 7);
@@ -263,11 +317,12 @@ mod tests {
         assert!(rendered.contains("90.0%"));
         assert!(rendered.contains("computations:       1"));
         assert!(rendered.contains("graph epoch:        7"));
+        assert!(rendered.contains("in-memory"));
     }
 
     #[test]
     fn zero_queries_mean_zero_hit_rate() {
-        let snap = ServiceStats::new().snapshot(0, 0, 0, 0);
+        let snap = ServiceStats::new().snapshot(0, 0, 0, 0, None);
         assert_eq!(snap.hit_rate, 0.0);
         assert_eq!(snap.p50, None);
     }
@@ -278,14 +333,40 @@ mod tests {
         stats.queries.store(4, Ordering::Relaxed);
         stats.cache_hits.store(2, Ordering::Relaxed);
         stats.latency.record(Duration::from_micros(100));
-        let json = stats.snapshot(3, 1, 0, 2).to_json();
+        let json = stats.snapshot(3, 1, 0, 2, None).to_json();
         assert!(json.starts_with("{\"epoch\":3,"));
         assert!(json.contains("\"queries\":4"));
         assert!(json.contains("\"hit_rate\":0.5000"));
         assert!(json.contains("\"p50_us\":128"));
         assert!(json.ends_with('}'));
+        // Not durable: the operator fields serialize as null.
+        assert!(json.contains("\"data_dir\":null"));
+        assert!(json.contains("\"wal_len\":null"));
+        assert!(json.contains("\"last_snapshot_epoch\":null"));
         // Before any query, quantiles serialize as null.
-        let empty = ServiceStats::new().snapshot(0, 0, 0, 0).to_json();
+        let empty = ServiceStats::new().snapshot(0, 0, 0, 0, None).to_json();
         assert!(empty.contains("\"p99_us\":null"));
+    }
+
+    #[test]
+    fn durable_stats_surface_the_data_dir_wal_and_snapshot_epoch() {
+        let stats = ServiceStats::new();
+        let info = DurabilityInfo {
+            data_dir: std::path::PathBuf::from("/var/lib/simrank \"x\""),
+            wal_records: 12,
+            last_snapshot_epoch: 3,
+        };
+        let snap = stats.snapshot(5, 0, 0, 0, Some(info));
+        assert_eq!(snap.wal_len, Some(12));
+        assert_eq!(snap.last_snapshot_epoch, Some(3));
+        let json = snap.to_json();
+        assert!(json.contains("\"wal_len\":12"), "{json}");
+        assert!(json.contains("\"last_snapshot_epoch\":3"), "{json}");
+        // Path quotes are escaped so the reply stays valid JSON.
+        assert!(
+            json.contains("\"data_dir\":\"/var/lib/simrank \\\"x\\\"\""),
+            "{json}"
+        );
+        assert!(snap.to_string().contains("wal 12 records"));
     }
 }

@@ -291,7 +291,7 @@ fn commit_racing_live_queries_is_atomic_and_matches_a_fresh_service() {
         for &(u, v) in &deletions {
             assert!(store.stage_delete(u, v).unwrap().changed());
         }
-        let report = store.commit();
+        let report = store.commit().unwrap();
         committed.store(true, Ordering::SeqCst);
         assert!(report.advanced());
         assert_eq!(report.epoch, 1);

@@ -100,6 +100,17 @@ impl DeltaBuffer {
             std::mem::take(&mut self.deletions).into_iter().collect(),
         )
     }
+
+    /// Copies the buffer into sorted, duplicate-free `(insertions, deletions)`
+    /// edge lists *without* draining it. The durable commit path uses this to
+    /// write the WAL record first and clear the buffer only once the record
+    /// is safely on disk — a failed append leaves the staged delta intact.
+    pub fn lists(&self) -> (EdgeList, EdgeList) {
+        (
+            self.insertions.iter().copied().collect(),
+            self.deletions.iter().copied().collect(),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,8 +1,15 @@
 //! Error type of the dynamic graph store.
 
 use std::fmt;
+use std::path::PathBuf;
 
-/// Errors produced while staging edge updates.
+/// Errors produced while staging edge updates or operating the persistence
+/// layer (snapshots + WAL; see [`crate::persist`]).
+///
+/// Every persistence failure is a typed variant — corrupt inputs (truncated
+/// snapshots, bit-flipped checksums, wrong version headers, torn WAL
+/// records) are *always* surfaced as errors, never as panics or silently
+/// partial loads.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StoreError {
     /// An update named a node id outside the store's fixed node-id space.
@@ -19,6 +26,75 @@ pub enum StoreError {
         /// The node the rejected loop was on.
         u64,
     ),
+    /// An underlying filesystem operation failed. Carries the path and the
+    /// rendered `io::Error` (the raw error is not `Clone`/`Eq`).
+    Io {
+        /// The file or directory the operation touched.
+        path: PathBuf,
+        /// The failed operation (`"open"`, `"write"`, `"sync"`, …).
+        op: &'static str,
+        /// Rendered `std::io::Error`.
+        message: String,
+    },
+    /// A snapshot file failed validation: bad magic, a length that does not
+    /// match its header, a checksum mismatch, or an undecodable graph
+    /// payload.
+    SnapshotCorrupt {
+        /// The offending snapshot file.
+        path: PathBuf,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// A snapshot or WAL file declared an on-disk format version this build
+    /// does not speak.
+    UnsupportedVersion {
+        /// The offending file.
+        path: PathBuf,
+        /// The version the file declared.
+        found: u32,
+        /// The version this build writes and reads.
+        supported: u32,
+    },
+    /// A WAL record that is fully present in the file failed validation
+    /// (checksum mismatch, malformed payload, or a non-consecutive epoch).
+    /// Distinct from a *torn tail* — an incomplete final record, which
+    /// recovery silently truncates as the expected residue of a crash
+    /// mid-append.
+    WalCorrupt {
+        /// The WAL file.
+        path: PathBuf,
+        /// Byte offset of the offending record header.
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// [`crate::GraphStore::open`] found no snapshot file in the directory.
+    NoSnapshot {
+        /// The directory that was searched.
+        dir: PathBuf,
+    },
+    /// [`crate::GraphStore::create`] refused to initialize into a directory
+    /// that already holds a store (snapshots or a WAL).
+    StoreExists {
+        /// The occupied directory.
+        dir: PathBuf,
+    },
+    /// The data directory is already open in another live process (the
+    /// WAL's advisory file lock is held). Two writers appending to one WAL
+    /// would interleave epochs and corrupt it, so `create`/`open` refuse.
+    Locked {
+        /// The locked directory.
+        dir: PathBuf,
+    },
+    /// A persistence operation ([`crate::GraphStore::save`], …) was invoked
+    /// on an in-memory store that has no data directory.
+    NotDurable,
+    /// The `init` callback of [`crate::GraphStore::open_or_create`] failed
+    /// to produce the initial graph (carries the caller's own message).
+    InitFailed(
+        /// Why the initial graph could not be built.
+        String,
+    ),
 }
 
 impl fmt::Display for StoreError {
@@ -29,11 +105,79 @@ impl fmt::Display for StoreError {
                 "node id {node} out of range for store with {num_nodes} nodes"
             ),
             StoreError::SelfLoop(v) => write!(f, "self-loop {v} -> {v} rejected"),
+            StoreError::Io { path, op, message } => {
+                write!(f, "io error ({op} {}): {message}", path.display())
+            }
+            StoreError::SnapshotCorrupt { path, detail } => {
+                write!(f, "corrupt snapshot {}: {detail}", path.display())
+            }
+            StoreError::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "unsupported on-disk format version {found} in {} (this build speaks {supported})",
+                path.display()
+            ),
+            StoreError::WalCorrupt {
+                path,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "corrupt WAL record at byte {offset} of {}: {detail}",
+                path.display()
+            ),
+            StoreError::NoSnapshot { dir } => {
+                write!(f, "no snapshot file found in {}", dir.display())
+            }
+            StoreError::StoreExists { dir } => write!(
+                f,
+                "directory {} already holds a store (refusing to overwrite)",
+                dir.display()
+            ),
+            StoreError::Locked { dir } => write!(
+                f,
+                "data directory {} is locked by another live process",
+                dir.display()
+            ),
+            StoreError::NotDurable => {
+                write!(f, "store has no data directory (created in-memory)")
+            }
+            StoreError::InitFailed(msg) => {
+                write!(f, "store initialization failed: {msg}")
+            }
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+impl StoreError {
+    /// Wraps an `io::Error` with the path and operation it occurred on.
+    pub(crate) fn io(path: &std::path::Path, op: &'static str, e: std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.to_path_buf(),
+            op,
+            message: e.to_string(),
+        }
+    }
+
+    /// `true` iff this `GraphStore::open` failure means `dir` simply holds
+    /// no store yet (an empty or not-yet-created directory) — the case
+    /// where initializing a fresh store is appropriate. Corruption of an
+    /// existing store is never in this class: initializing over it would
+    /// destroy recoverable data. The one boot-path predicate shared by
+    /// [`crate::GraphStore::open_or_create`] and server front-ends.
+    pub fn means_no_store_yet(&self, dir: &std::path::Path) -> bool {
+        match self {
+            StoreError::NoSnapshot { .. } => true,
+            StoreError::Io { .. } => !dir.exists(),
+            _ => false,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -48,5 +192,36 @@ mod tests {
         assert!(e.to_string().contains('9'));
         assert!(e.to_string().contains('4'));
         assert!(StoreError::SelfLoop(3).to_string().contains("3 -> 3"));
+    }
+
+    #[test]
+    fn persistence_errors_carry_paths_and_details() {
+        let e = StoreError::SnapshotCorrupt {
+            path: PathBuf::from("/data/snapshot-3.snap"),
+            detail: "checksum mismatch".to_string(),
+        };
+        assert!(e.to_string().contains("snapshot-3.snap"));
+        assert!(e.to_string().contains("checksum mismatch"));
+
+        let e = StoreError::UnsupportedVersion {
+            path: PathBuf::from("/data/wal.log"),
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.to_string().contains("speaks 1"));
+
+        let e = StoreError::WalCorrupt {
+            path: PathBuf::from("/data/wal.log"),
+            offset: 128,
+            detail: "checksum mismatch".to_string(),
+        };
+        assert!(e.to_string().contains("byte 128"));
+
+        assert!(StoreError::NotDurable.to_string().contains("in-memory"));
+        let e = StoreError::NoSnapshot {
+            dir: PathBuf::from("/data"),
+        };
+        assert!(e.to_string().contains("/data"));
     }
 }

@@ -1,6 +1,7 @@
 //! # exactsim-store
 //!
-//! An epoch-based dynamic graph store for the ExactSim serving stack.
+//! An epoch-based dynamic graph store for the ExactSim serving stack, with
+//! optional crash-recoverable on-disk persistence.
 //!
 //! Everything behind `Arc<DiGraph>` in the algorithm and serving layers is
 //! immutable — the right call for query speed, but a serving system must
@@ -17,6 +18,8 @@
 //! | [`DeltaBuffer`] | sorted, deduplicated pending insert/delete sets |
 //! | [`GraphSnapshot`] | a consistent `(graph, epoch)` pair readers pin |
 //! | [`CommitReport`] | what a commit materialized (epoch, counts, build time) |
+//! | [`persist`] | snapshot files + delta WAL: formats, recovery, compaction |
+//! | [`DurabilityInfo`] | operator-visible durable state (data dir, WAL length, snapshot epoch) |
 //!
 //! ## Guarantees
 //!
@@ -33,6 +36,14 @@
 //!   endpoints are validated against the fixed node-id space and self-loops
 //!   are rejected (matching the dataset preprocessing used throughout the
 //!   reproduction).
+//! * **Durable commits survive restarts.** On a store with a data directory
+//!   ([`GraphStore::create`] / [`GraphStore::open`]), a commit appends its
+//!   delta to an fsynced write-ahead log *before* publishing, and recovery
+//!   replays the newest valid snapshot plus the WAL to the last
+//!   fully-committed epoch — torn tails are truncated, corrupt records and
+//!   snapshots are rejected with typed [`StoreError`]s, never a panic or a
+//!   silent partial load. See [`persist`] for the on-disk formats and the
+//!   recovery protocol.
 //!
 //! ## Example
 //!
@@ -49,12 +60,33 @@
 //!
 //! store.stage_insert(0, 1).unwrap();
 //! store.stage_delete(2, 3).unwrap();
-//! let report = store.commit();
+//! let report = store.commit().unwrap();
 //! assert_eq!(report.epoch, 1);
 //!
 //! // New readers see the new graph; the old snapshot is untouched.
 //! assert!(store.graph().has_edge(0, 1));
 //! assert!(!before.graph.has_edge(0, 1));
+//! ```
+//!
+//! ## Durable example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use exactsim_graph::DiGraph;
+//! use exactsim_store::GraphStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("exactsim-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let graph = Arc::new(DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3), (3, 0)]));
+//! let store = GraphStore::create(&dir, graph).unwrap();
+//! store.stage_insert(0, 1).unwrap();
+//! store.commit().unwrap(); // fsynced to the WAL before publication
+//! drop(store); // "crash"
+//!
+//! let recovered = GraphStore::open(&dir).unwrap();
+//! assert_eq!(recovered.epoch(), 1);
+//! assert!(recovered.graph().has_edge(0, 1));
+//! # std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
 #![deny(missing_docs)]
@@ -63,8 +95,10 @@
 
 pub mod delta;
 pub mod error;
+pub mod persist;
 pub mod store;
 
 pub use delta::{DeltaBuffer, Staged};
 pub use error::StoreError;
-pub use store::{CommitReport, GraphSnapshot, GraphStore};
+pub use persist::DurabilityInfo;
+pub use store::{CommitReport, GraphSnapshot, GraphStore, Opened, DEFAULT_COMPACT_EVERY};

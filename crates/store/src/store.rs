@@ -1,5 +1,6 @@
 //! The epoch-based dynamic graph store.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -8,6 +9,20 @@ use exactsim_graph::{DiGraph, NodeId};
 
 use crate::delta::{DeltaBuffer, Staged};
 use crate::error::StoreError;
+use crate::persist::{DurabilityInfo, DurableLog, WalRecord};
+
+/// Default WAL auto-compaction threshold: once this many delta records
+/// accumulate, a commit folds them into a fresh snapshot file.
+pub const DEFAULT_COMPACT_EVERY: u64 = 64;
+
+/// How [`GraphStore::open_or_create`] obtained its store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Opened {
+    /// The directory held a store; it was recovered.
+    Recovered,
+    /// The directory held no store; a fresh one was initialized.
+    Created,
+}
 
 /// A consistent `(graph, epoch)` pair published by a [`GraphStore`].
 ///
@@ -54,7 +69,8 @@ struct Published {
     epoch: u64,
 }
 
-/// A dynamic graph store with epoch-based snapshot publication.
+/// A dynamic graph store with epoch-based snapshot publication and optional
+/// on-disk durability.
 ///
 /// The store owns the current published [`DiGraph`] behind an `Arc` plus a
 /// buffer of staged edge updates. Readers call [`GraphStore::snapshot`] (or
@@ -67,6 +83,18 @@ struct Published {
 /// via the `O(m + Δ)` merge path ([`DiGraph::apply_delta`]), bumps the
 /// monotonic epoch, and atomically swaps the published snapshot.
 ///
+/// ## Durability
+///
+/// A store created with [`GraphStore::create`] (or recovered with
+/// [`GraphStore::open`]) additionally persists its state under a data
+/// directory: a full snapshot file per compaction point plus an append-only
+/// delta WAL (see [`crate::persist`] for the formats and the recovery
+/// protocol). Each commit appends its delta to the WAL and fsyncs *before*
+/// publishing the new epoch, so `open` after a crash restarts the store into
+/// exactly the last fully-committed epoch. [`GraphStore::save`] folds the
+/// WAL into a fresh snapshot; commits also do this automatically once the
+/// WAL exceeds a threshold ([`GraphStore::set_auto_compaction`]).
+///
 /// The node-id space is fixed at construction; updates change the edge set
 /// only (growing the node space is a planned follow-up).
 pub struct GraphStore {
@@ -76,16 +104,76 @@ pub struct GraphStore {
     /// Staging is serialized; commit holds this lock end-to-end so the base
     /// graph cannot change under a validation or a CSR rebuild.
     pending: Mutex<DeltaBuffer>,
+    /// `Some` for durable stores. Locked *after* `pending` everywhere (commit
+    /// and save both hold `pending` first), so the order is consistent.
+    durable: Mutex<Option<DurableLog>>,
     commits: AtomicU64,
 }
 
+impl std::fmt::Debug for GraphStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
+        f.debug_struct("GraphStore")
+            .field("epoch", &snapshot.epoch)
+            .field("num_nodes", &snapshot.graph.num_nodes())
+            .field("num_edges", &snapshot.graph.num_edges())
+            .field("durable", &self.durability())
+            .finish_non_exhaustive()
+    }
+}
+
 impl GraphStore {
-    /// Creates a store publishing `graph` as epoch 0.
+    /// Creates an in-memory store publishing `graph` as epoch 0. Nothing is
+    /// persisted; use [`GraphStore::create`] for a durable store.
     pub fn new(graph: Arc<DiGraph>) -> Self {
+        Self::assemble(graph, 0, None)
+    }
+
+    /// Creates a durable store publishing `graph` as epoch 0 and initializes
+    /// `dir` with its first snapshot file and an empty WAL. Fails with
+    /// [`StoreError::StoreExists`] if `dir` already holds a store — recover
+    /// those with [`GraphStore::open`] instead.
+    pub fn create<P: AsRef<Path>>(dir: P, graph: Arc<DiGraph>) -> Result<Self, StoreError> {
+        let log = DurableLog::create(dir.as_ref(), &graph, 0)?;
+        Ok(Self::assemble(graph, 0, Some(log)))
+    }
+
+    /// Recovers a durable store from its data directory: loads the newest
+    /// valid snapshot, replays the WAL to the last fully-committed epoch
+    /// (truncating a torn tail), and publishes the result. The recovered
+    /// store answers queries bit-identically to the pre-restart process at
+    /// the same epoch.
+    pub fn open<P: AsRef<Path>>(dir: P) -> Result<Self, StoreError> {
+        let (graph, epoch, log) = DurableLog::open(dir.as_ref())?;
+        Ok(Self::assemble(Arc::new(graph), epoch, Some(log)))
+    }
+
+    /// [`GraphStore::open`] if `dir` holds a store, otherwise
+    /// [`GraphStore::create`] with the graph produced by `init` (which is
+    /// only invoked in the create case — recovery never pays for a graph
+    /// build, and an `init` failure surfaces as its returned error). The
+    /// boot path for servers with a `--data-dir`; the [`Opened`]
+    /// discriminant says which branch ran, for logging.
+    pub fn open_or_create<P, F>(dir: P, init: F) -> Result<(Self, Opened), StoreError>
+    where
+        P: AsRef<Path>,
+        F: FnOnce() -> Result<Arc<DiGraph>, StoreError>,
+    {
+        match Self::open(dir.as_ref()) {
+            Ok(store) => Ok((store, Opened::Recovered)),
+            Err(e) if e.means_no_store_yet(dir.as_ref()) => {
+                Ok((Self::create(dir, init()?)?, Opened::Created))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn assemble(graph: Arc<DiGraph>, epoch: u64, log: Option<DurableLog>) -> Self {
         GraphStore {
-            published: RwLock::new(Published { graph, epoch: 0 }),
-            epoch: AtomicU64::new(0),
+            published: RwLock::new(Published { graph, epoch }),
+            epoch: AtomicU64::new(epoch),
             pending: Mutex::new(DeltaBuffer::new()),
+            durable: Mutex::new(log),
             commits: AtomicU64::new(0),
         }
     }
@@ -114,6 +202,28 @@ impl GraphStore {
     pub fn num_nodes(&self) -> usize {
         // The node-id space never changes, so any snapshot answers this.
         self.snapshot().graph.num_nodes()
+    }
+
+    /// Durable-state description (`None` for in-memory stores): data
+    /// directory, WAL record count, epoch of the newest snapshot file.
+    pub fn durability(&self) -> Option<DurabilityInfo> {
+        self.durable
+            .lock()
+            .expect("durable log poisoned")
+            .as_ref()
+            .map(|log| log.info())
+    }
+
+    /// Sets the WAL auto-compaction threshold (`0` disables; default
+    /// [`DEFAULT_COMPACT_EVERY`]). Fails on in-memory stores.
+    pub fn set_auto_compaction(&self, every: u64) -> Result<(), StoreError> {
+        match self.durable.lock().expect("durable log poisoned").as_mut() {
+            Some(log) => {
+                log.set_compact_every(every);
+                Ok(())
+            }
+            None => Err(StoreError::NotDurable),
+        }
     }
 
     fn validate(base: &DiGraph, u: NodeId, v: NodeId) -> Result<(), StoreError> {
@@ -184,41 +294,88 @@ impl GraphStore {
     /// under one write lock held only for the pointer swap, and snapshots
     /// captured before the swap stay fully usable. An empty commit publishes
     /// nothing and reports the current epoch with zero counts.
-    pub fn commit(&self) -> CommitReport {
+    ///
+    /// On a durable store the delta is appended to the WAL and fsynced
+    /// *before* the epoch is published — the WAL write is the durability
+    /// point, and a failed write returns an error with the staged delta
+    /// intact (nothing published, safe to retry). In-memory stores cannot
+    /// fail. After a successful durable commit the WAL may additionally be
+    /// folded into a fresh snapshot (auto-compaction); a compaction failure
+    /// is *not* surfaced here because the commit itself is already durable —
+    /// the WAL still holds every delta and the next commit or
+    /// [`GraphStore::save`] retries the fold.
+    pub fn commit(&self) -> Result<CommitReport, StoreError> {
         let mut pending = self.pending.lock().expect("pending delta poisoned");
         if pending.is_empty() {
             let snapshot = self.snapshot();
-            return CommitReport {
+            return Ok(CommitReport {
                 epoch: snapshot.epoch,
                 edges_inserted: 0,
                 edges_deleted: 0,
                 num_nodes: snapshot.graph.num_nodes(),
                 num_edges: snapshot.graph.num_edges(),
                 build_time: Duration::ZERO,
-            };
+            });
         }
         let start = Instant::now();
-        let (insertions, deletions) = pending.drain();
+        // Copy (not drain) so a failed WAL append leaves the delta staged.
+        let (insertions, deletions) = pending.lists();
         // The pending lock serializes commits, so the published graph cannot
         // change between this read and the swap below.
-        let base = self.graph();
-        let next = Arc::new(base.apply_delta(&insertions, &deletions));
+        let base = self.snapshot();
+        let next = Arc::new(base.graph.apply_delta(&insertions, &deletions));
+        let next_epoch = base.epoch + 1;
+
+        let mut durable = self.durable.lock().expect("durable log poisoned");
+        if let Some(log) = durable.as_mut() {
+            log.append(&WalRecord {
+                epoch: next_epoch,
+                insertions: insertions.clone(),
+                deletions: deletions.clone(),
+            })?;
+        }
+        pending.clear();
+
         let epoch = {
             let mut published = self.published.write().expect("published snapshot poisoned");
-            published.epoch += 1;
+            published.epoch = next_epoch;
             published.graph = Arc::clone(&next);
             self.epoch.store(published.epoch, Ordering::Release);
             published.epoch
         };
         self.commits.fetch_add(1, Ordering::Relaxed);
-        CommitReport {
+
+        if let Some(log) = durable.as_mut() {
+            if log.should_compact() {
+                // Best-effort: the commit is already durable in the WAL; a
+                // failed fold leaves the WAL long and is retried later.
+                let _ = log.compact(&next, epoch);
+            }
+        }
+
+        Ok(CommitReport {
             epoch,
             edges_inserted: insertions.len(),
             edges_deleted: deletions.len(),
             num_nodes: next.num_nodes(),
             num_edges: next.num_edges(),
             build_time: start.elapsed(),
-        }
+        })
+    }
+
+    /// Folds the WAL into a fresh snapshot file of the current epoch and
+    /// deletes superseded snapshot files. Returns the epoch the snapshot
+    /// holds. Fails with [`StoreError::NotDurable`] on in-memory stores.
+    pub fn save(&self) -> Result<u64, StoreError> {
+        // Taking `pending` first serializes with commit, so the snapshot we
+        // write is exactly the published graph and no WAL append interleaves
+        // with the truncate.
+        let _pending = self.pending.lock().expect("pending delta poisoned");
+        let mut durable = self.durable.lock().expect("durable log poisoned");
+        let log = durable.as_mut().ok_or(StoreError::NotDurable)?;
+        let snapshot = self.snapshot();
+        log.compact(&snapshot.graph, snapshot.epoch)?;
+        Ok(snapshot.epoch)
     }
 }
 
@@ -242,7 +399,7 @@ mod tests {
         assert_eq!(store.stage_delete(2, 3).unwrap(), Staged::Pending);
         assert_eq!(store.pending_counts(), (1, 1));
 
-        let report = store.commit();
+        let report = store.commit().unwrap();
         assert!(report.advanced());
         assert_eq!(report.epoch, 1);
         assert_eq!(report.edges_inserted, 1);
@@ -261,7 +418,7 @@ mod tests {
     #[test]
     fn empty_commit_is_a_published_noop() {
         let store = store();
-        let report = store.commit();
+        let report = store.commit().unwrap();
         assert!(!report.advanced());
         assert_eq!(report.epoch, 0);
         assert_eq!(report.num_edges, 4);
@@ -293,7 +450,7 @@ mod tests {
         let store = store();
         let before = store.snapshot();
         store.stage_insert(1, 3).unwrap();
-        store.commit();
+        store.commit().unwrap();
         let after = store.snapshot();
         assert_eq!(before.epoch, 0);
         assert_eq!(after.epoch, 1);
@@ -310,7 +467,7 @@ mod tests {
         store.stage_insert(0, 1).unwrap();
         store.stage_delete(3, 0).unwrap();
         assert_eq!(store.rollback(), (1, 1));
-        let report = store.commit();
+        let report = store.commit().unwrap();
         assert!(!report.advanced());
         assert_eq!(store.epoch(), 0);
     }
@@ -329,14 +486,22 @@ mod tests {
     fn successive_commits_compose() {
         let store = store();
         store.stage_insert(0, 1).unwrap();
-        assert_eq!(store.commit().epoch, 1);
+        assert_eq!(store.commit().unwrap().epoch, 1);
         // Now 0 -> 1 is part of the published base: re-inserting is a no-op,
         // deleting stages a real deletion.
         assert_eq!(store.stage_insert(0, 1).unwrap(), Staged::NoOp);
         assert_eq!(store.stage_delete(0, 1).unwrap(), Staged::Pending);
-        assert_eq!(store.commit().epoch, 2);
+        assert_eq!(store.commit().unwrap().epoch, 2);
         assert!(!store.graph().has_edge(0, 1));
         assert_eq!(store.graph().num_edges(), 4);
+    }
+
+    #[test]
+    fn in_memory_store_reports_no_durability() {
+        let store = store();
+        assert!(store.durability().is_none());
+        assert_eq!(store.save(), Err(StoreError::NotDurable));
+        assert_eq!(store.set_auto_compaction(4), Err(StoreError::NotDurable));
     }
 
     #[test]
@@ -377,7 +542,7 @@ mod tests {
             (3, 2),
         ] {
             store.stage_insert(u, v).unwrap();
-            let report = store.commit();
+            let report = store.commit().unwrap();
             assert!(report.advanced());
         }
         stop.store(1, Ordering::Relaxed);

@@ -1,0 +1,117 @@
+//! Bench smoke: a small serving sweep that emits `BENCH_serving.json`.
+//!
+//! ```text
+//! cargo run --release -p exactsim-examples --bin bench_smoke [OUT.json]
+//! ```
+//!
+//! Runs a cold single-source sweep followed by a hot repeated-source batch on
+//! a [`exactsim_service::SimRankService`] and writes one JSON object with
+//! queries/sec, cache hit rate, and p50/p99 serve latency — the serving-side
+//! benchmark trajectory CI uploads as an artifact on every run. The numbers
+//! are smoke-sized (seconds, not minutes): the point is a continuous record
+//! with a stable schema, not a rigorous benchmark.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use exactsim::exactsim::ExactSimConfig;
+use exactsim_graph::generators::barabasi_albert;
+use exactsim_service::{AlgorithmKind, BatchRequest, ServiceConfig, SimRankService};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serving.json".to_string());
+
+    let n = 1_500;
+    let graph = Arc::new(barabasi_albert(n, 4, true, 42).expect("valid generator parameters"));
+    let config = ServiceConfig {
+        workers: 4,
+        cache_capacity: 512,
+        exactsim: ExactSimConfig {
+            epsilon: 1e-2,
+            walk_budget: Some(100_000),
+            ..ExactSimConfig::default()
+        },
+        ..ServiceConfig::default()
+    };
+    let service = SimRankService::new(Arc::clone(&graph), config).expect("valid service config");
+
+    // Phase 1 (cold): 40 distinct sources — every query computes.
+    let cold: Vec<BatchRequest> = (0..40)
+        .map(|i| BatchRequest {
+            algorithm: AlgorithmKind::ExactSim,
+            source: i,
+            top_k: None,
+        })
+        .collect();
+    let cold_n = cold.len();
+    let cold_start = Instant::now();
+    let cold_items = service.run_batch(cold);
+    let cold_elapsed = cold_start.elapsed();
+    assert!(cold_items.iter().all(|i| i.outcome.is_ok()));
+
+    // Phase 2 (hot): 400 top-10 queries over 20 hot sources — the cache and
+    // in-flight dedup should absorb almost everything.
+    let hot: Vec<BatchRequest> = (0..400)
+        .map(|i| BatchRequest {
+            algorithm: AlgorithmKind::ExactSim,
+            source: i % 20,
+            top_k: Some(10),
+        })
+        .collect();
+    let hot_n = hot.len();
+    let hot_start = Instant::now();
+    let hot_items = service.run_batch(hot);
+    let hot_elapsed = hot_start.elapsed();
+    assert!(hot_items.iter().all(|i| i.outcome.is_ok()));
+
+    let snap = service.stats();
+    let total = (cold_n + hot_n) as f64;
+    let elapsed = cold_elapsed + hot_elapsed;
+    let qps = total / elapsed.as_secs_f64();
+    let hot_qps = hot_n as f64 / hot_elapsed.as_secs_f64();
+    let us = |d: Option<std::time::Duration>| {
+        d.map_or("null".to_string(), |d| d.as_micros().to_string())
+    };
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"serving\",\"schema_version\":1,",
+            "\"graph\":{{\"model\":\"barabasi_albert\",\"nodes\":{},\"edges\":{},\"seed\":42}},",
+            "\"workers\":{},\"algorithm\":\"exactsim\",\"epsilon\":1e-2,",
+            "\"queries\":{},\"elapsed_ms\":{:.3},\"queries_per_sec\":{:.1},",
+            "\"hot_queries_per_sec\":{:.1},",
+            "\"hit_rate\":{:.4},\"computations\":{},\"dedup_joins\":{},",
+            "\"p50_us\":{},\"p99_us\":{}}}"
+        ),
+        graph.num_nodes(),
+        graph.num_edges(),
+        service.workers(),
+        snap.queries,
+        elapsed.as_secs_f64() * 1e3,
+        qps,
+        hot_qps,
+        snap.hit_rate,
+        snap.computations,
+        snap.dedup_joins,
+        us(snap.p50),
+        us(snap.p99),
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench artifact");
+    println!("{json}");
+    eprintln!("bench_smoke: wrote {out_path}");
+
+    // Smoke-level sanity: the serving layer must actually have absorbed the
+    // hot phase, or the numbers are meaningless.
+    assert!(
+        snap.computations <= 60,
+        "cold sweep (40) + hot sources (20) bound computations, got {}",
+        snap.computations
+    );
+    assert!(
+        snap.hit_rate > 0.8,
+        "hot phase must hit, got {}",
+        snap.hit_rate
+    );
+}

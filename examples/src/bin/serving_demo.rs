@@ -87,7 +87,7 @@ fn main() {
         .store()
         .stage_delete(0, existing)
         .expect("valid edge");
-    let report = service.commit();
+    let report = service.commit().expect("commit persists");
     println!(
         "commit: epoch {} ({} inserted, {} deleted, {} edges now, built in {:?})",
         report.epoch,
