@@ -1,0 +1,330 @@
+//! `simrank-client` — TCP client for a `simrank-serve --listen` server:
+//! an operator REPL and a load generator in one binary.
+//!
+//! ```text
+//! simrank-client --connect ADDR                          # REPL (default)
+//! simrank-client --connect ADDR --bench N --conns C
+//!                [--sources R] [--topk K] [--algo A]
+//!                [--out PATH] [--shutdown]
+//! ```
+//!
+//! **REPL mode** forwards each stdin line to the server and prints the
+//! one-line JSON reply — the same grammar as the server's own stdin REPL
+//! (`help` comes back as a `{"help": ...}` object over TCP).
+//!
+//! **Bench mode** (`--bench N --conns C`) drives `N` requests over `C`
+//! concurrent sockets: each connection issues `topk <source> <K>` (or full
+//! `query` when `--topk 0`) round-robin over `R` distinct sources, measures
+//! client-observed latency per request, and prints one JSON object with
+//! `queries_per_sec`, `p50_us`/`p99_us` (same fixed-bucket histogram as the
+//! server, see `exactsim_service::stats`), the error count, and the
+//! server's own `stats` reply embedded as `server_stats` — schema-compatible
+//! with `BENCH_serving.json` so CI can upload it alongside
+//! (`BENCH_tcp.json`). The process exits nonzero unless every request
+//! succeeded and throughput is nonzero, which is what makes it a CI gate.
+//!
+//! `--shutdown` sends the `shutdown` command after the bench (or REPL EOF),
+//! asking the server to drain gracefully — CI uses it to assert a clean
+//! server exit.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exactsim_service::net::LineClient;
+use exactsim_service::stats::{escape_json, LatencyHistogram};
+use exactsim_service::AlgorithmKind;
+
+struct Options {
+    connect: String,
+    bench: Option<u64>,
+    conns: usize,
+    sources: u32,
+    topk: usize,
+    algo: Option<AlgorithmKind>,
+    out: Option<String>,
+    shutdown: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            connect: String::new(),
+            bench: None,
+            conns: 4,
+            sources: 25,
+            topk: 10,
+            algo: None,
+            out: None,
+            shutdown: false,
+        }
+    }
+}
+
+const HELP: &str = "simrank-client: TCP client / load generator for simrank-serve --listen\n\
+  --connect ADDR   server address, e.g. 127.0.0.1:7878 (required)\n\
+  --bench N        bench mode: drive N requests and print qps/p50/p99 JSON\n\
+  --conns C        concurrent sockets in bench mode (default 4)\n\
+  --sources R      round-robin over R distinct source nodes (default 25)\n\
+  --topk K         issue `topk <src> K` requests; 0 = full `query` (default 10)\n\
+  --algo A         explicit algorithm per request (default: server default)\n\
+  --out PATH       also write the bench JSON to PATH (e.g. BENCH_tcp.json)\n\
+  --shutdown       send `shutdown` when done (graceful server drain)\n\
+without --bench: REPL — forward stdin lines, print reply lines";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    fn next_value(flag: &str, args: &mut dyn Iterator<Item = String>) -> Result<String, String> {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => opts.connect = next_value("--connect", &mut args)?,
+            "--bench" => {
+                let v = next_value("--bench", &mut args)?;
+                let n = v.parse().map_err(|_| format!("bad request count `{v}`"))?;
+                if n == 0 {
+                    return Err("--bench needs at least 1 request".into());
+                }
+                opts.bench = Some(n);
+            }
+            "--conns" => {
+                let v = next_value("--conns", &mut args)?;
+                opts.conns = v
+                    .parse()
+                    .ok()
+                    .filter(|&c: &usize| c > 0)
+                    .ok_or_else(|| format!("bad connection count `{v}`"))?;
+            }
+            "--sources" => {
+                let v = next_value("--sources", &mut args)?;
+                opts.sources = v
+                    .parse()
+                    .ok()
+                    .filter(|&r: &u32| r > 0)
+                    .ok_or_else(|| format!("bad source count `{v}`"))?;
+            }
+            "--topk" => {
+                let v = next_value("--topk", &mut args)?;
+                opts.topk = v.parse().map_err(|_| format!("bad k `{v}`"))?;
+            }
+            "--algo" => {
+                let v = next_value("--algo", &mut args)?;
+                opts.algo = Some(v.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--out" => opts.out = Some(next_value("--out", &mut args)?),
+            "--shutdown" => opts.shutdown = true,
+            "--help" | "-h" => {
+                eprintln!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if opts.connect.is_empty() {
+        return Err("--connect <addr> is required".into());
+    }
+    Ok(opts)
+}
+
+fn connect(addr: &str) -> Result<LineClient, String> {
+    LineClient::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("simrank-client: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match opts.bench {
+        Some(n) => bench(&opts, n),
+        None => repl(&opts),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("simrank-client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Interactive mode: forward stdin lines, print replies.
+fn repl(opts: &Options) -> Result<ExitCode, String> {
+    let mut session = connect(&opts.connect)?;
+    eprintln!(
+        "simrank-client: connected to {} (type `help`)",
+        opts.connect
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue; // the server sends no reply for these
+        }
+        // Only a *bare* quit/exit ends the session without a reply — a line
+        // like `quit extra` is a rejected request the server answers.
+        if matches!(trimmed, "quit" | "exit") {
+            let _ = session.send(trimmed);
+            return Ok(ExitCode::SUCCESS);
+        }
+        let reply = session
+            .round_trip(trimmed)
+            .map_err(|e| format!("{trimmed}: {e}"))?;
+        println!("{reply}");
+        // Exit only when the drain was actually accepted; a rejected
+        // `shutdown now` leaves the server running, so keep the session.
+        if trimmed == "shutdown" && !reply.contains("\"error\"") {
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+    if opts.shutdown {
+        let reply = session
+            .round_trip("shutdown")
+            .map_err(|e| format!("shutdown: {e}"))?;
+        println!("{reply}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Load-generator mode: `n` requests spread over `opts.conns` sockets.
+fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
+    let conns = opts.conns.min(n as usize).max(1);
+    let histogram = Arc::new(LatencyHistogram::default());
+    let errors = Arc::new(AtomicU64::new(0));
+    let algo_suffix = opts.algo.map(|a| format!(" {a}")).unwrap_or_default();
+
+    // Connect every socket before starting the clock: the bench measures
+    // serving, not connection setup, and a refused socket fails fast here.
+    let mut sessions = Vec::with_capacity(conns);
+    for _ in 0..conns {
+        sessions.push(connect(&opts.connect)?);
+    }
+
+    let started = Instant::now();
+    let threads: Vec<_> = sessions
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut session)| {
+            // Split the N requests over the sockets; the first few sockets
+            // absorb the remainder so exactly N requests go out in total.
+            let share = n / conns as u64 + u64::from((t as u64) < n % conns as u64);
+            let histogram = Arc::clone(&histogram);
+            let errors = Arc::clone(&errors);
+            let sources = opts.sources;
+            let topk = opts.topk;
+            let algo_suffix = algo_suffix.clone();
+            std::thread::spawn(move || {
+                for i in 0..share {
+                    let source = (t as u64 + i * conns as u64) % u64::from(sources);
+                    let request = if topk > 0 {
+                        format!("topk {source} {topk}{algo_suffix}")
+                    } else {
+                        format!("query {source}{algo_suffix}")
+                    };
+                    let sent = Instant::now();
+                    match session.round_trip(&request) {
+                        Ok(reply) if !reply.contains("\"error\"") => {
+                            histogram.record(sent.elapsed());
+                        }
+                        Ok(reply) => {
+                            eprintln!("simrank-client: request `{request}` failed: {reply}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("simrank-client: {request}: {e}");
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            return None;
+                        }
+                    }
+                }
+                // Hand the still-open session back: the tail requests below
+                // reuse it, so they cannot be load-shed the way a *fresh*
+                // connection could while the server is at --max-conns
+                // (handlers release their permits one read-poll tick after
+                // the bench sockets close).
+                Some(session)
+            })
+        })
+        .collect();
+    let mut survivors: Vec<LineClient> = Vec::new();
+    for thread in threads {
+        if let Ok(Some(session)) = thread.join() {
+            survivors.push(session);
+        }
+    }
+    let elapsed = started.elapsed();
+
+    // Server-side view (and the shutdown) over a surviving bench session.
+    let mut tail = survivors
+        .into_iter()
+        .next()
+        .ok_or("every bench connection died; no session left for stats")?;
+    let server_stats = tail
+        .round_trip("stats")
+        .map_err(|e| format!("stats: {e}"))?;
+    if server_stats.contains("\"error\"") || !server_stats.contains("\"queries\"") {
+        return Err(format!("unexpected stats reply: {server_stats}"));
+    }
+    let shutdown_reply = if opts.shutdown {
+        Some(
+            tail.round_trip("shutdown")
+                .map_err(|e| format!("shutdown: {e}"))?,
+        )
+    } else {
+        None
+    };
+
+    let completed = histogram.count();
+    let errored = errors.load(Ordering::Relaxed);
+    let qps = completed as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
+    let us = |d: Option<Duration>| d.map_or("null".to_string(), |d| d.as_micros().to_string());
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"tcp_serving\",\"schema_version\":1,",
+            "\"addr\":\"{}\",\"requests\":{},\"completed\":{},\"conns\":{},",
+            "\"sources\":{},\"topk\":{},",
+            "\"elapsed_ms\":{:.3},\"queries_per_sec\":{:.1},",
+            "\"p50_us\":{},\"p99_us\":{},\"errors\":{},",
+            "\"server_stats\":{}}}"
+        ),
+        escape_json(&opts.connect),
+        n,
+        completed,
+        conns,
+        opts.sources,
+        opts.topk,
+        elapsed.as_secs_f64() * 1e3,
+        qps,
+        us(histogram.quantile(0.50)),
+        us(histogram.quantile(0.99)),
+        errored,
+        server_stats,
+    );
+    println!("{json}");
+    if let Some(path) = &opts.out {
+        std::fs::write(path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+        eprintln!("simrank-client: wrote {path}");
+    }
+    if let Some(reply) = shutdown_reply {
+        eprintln!("simrank-client: server drain acknowledged: {reply}");
+    }
+
+    // The CI gate: every request answered, nonzero throughput.
+    if errored > 0 || completed != n {
+        eprintln!("simrank-client: {errored} errors, {completed}/{n} completed");
+        return Ok(ExitCode::FAILURE);
+    }
+    if qps <= 0.0 {
+        eprintln!("simrank-client: zero throughput");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

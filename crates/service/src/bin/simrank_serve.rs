@@ -1,17 +1,33 @@
-//! `simrank-serve` — a line-protocol REPL over [`exactsim_service::SimRankService`].
+//! `simrank-serve` — the [`exactsim_service::protocol`] server, on stdin or
+//! on the network.
 //!
 //! ```text
 //! simrank-serve [--dataset KEY | --ba N M] [--scale F] [--seed S]
 //!               [--algo exactsim|prsim|mc] [--epsilon E]
 //!               [--workers W] [--cache-capacity C] [--walk-budget B]
 //!               [--data-dir DIR]
+//!               [--listen ADDR] [--max-conns N] [--addr-file PATH]
 //! ```
 //!
-//! Protocol: one request per stdin line. Every command answers with exactly
-//! one JSON object per stdout line — `{"error": "..."}` for a rejected
-//! request (malformed input, out-of-range node ids, …; the server never
-//! panics on bad input) — so scripted clients can read stdout line-by-line.
-//! Startup banners and the human-oriented `help` output go to stderr only.
+//! Without `--listen`, the server is the original stdin/stdout REPL: one
+//! request per stdin line, exactly one JSON object per stdout line
+//! (`{"error": ..., "code": ...}` for a rejected request — the server never
+//! panics on bad input). Startup banners and the human-oriented `help`
+//! output go to stderr only.
+//!
+//! With `--listen ADDR` (e.g. `127.0.0.1:7878`, or port `0` for an
+//! ephemeral port), the same protocol is served over TCP: an acceptor
+//! thread spawns one handler thread per connection, bounded by a
+//! `--max-conns` semaphore, all multiplexed onto one shared
+//! [`exactsim_service::SimRankService`] — cache, in-flight dedup, and epoch
+//! refresh are shared across every connection. The bound address is printed
+//! as a `{"listening": ...}` JSON line on stdout (and to `--addr-file` when
+//! given, which is how scripts find an ephemeral port). The server drains
+//! gracefully on SIGTERM/SIGINT or on the `shutdown` protocol command from
+//! any client: in-flight requests finish, and with `--data-dir` the WAL is
+//! folded into a fresh snapshot before exit.
+//!
+//! Protocol commands (see `exactsim_service::protocol` for the grammar):
 //!
 //! ```text
 //! query <node> [algo]      full single-source column (scores truncated to 32)
@@ -22,16 +38,11 @@
 //! epoch                    current epoch + pending update counts
 //! save | snapshot          fold the WAL into a fresh snapshot file
 //! stats                    serving counters (hit rate, p50/p99, epoch,
-//!                          durability state) as JSON
-//! help                     this summary (stderr)
-//! quit                     exit (EOF also exits)
+//!                          connections, durability state) as JSON
+//! help                     this summary
+//! quit                     close this session (server keeps running)
+//! shutdown                 gracefully stop the whole server
 //! ```
-//!
-//! Updates flow over the same front-end as queries: `addedge`/`deledge`
-//! stage into the store's delta buffer (validated and deduplicated, no
-//! effect on serving), and `commit` atomically swaps in the new epoch —
-//! queries keep being answered throughout, and cached results from older
-//! epochs can no longer be returned.
 //!
 //! With `--data-dir DIR` the store is durable: every commit is WAL-logged
 //! and fsynced before it is published, and on boot the server recovers the
@@ -43,14 +54,17 @@
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 use exactsim::exactsim::ExactSimConfig;
-use exactsim::SimRankError;
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::DiGraph;
+use exactsim_service::net::{self, signal, NetOptions};
+use exactsim_service::protocol::{self, Outcome};
 use exactsim_service::{
-    AlgorithmKind, GraphStore, Opened, ServiceConfig, ServiceError, SimRankService, StoreError,
+    AlgorithmKind, GraphStore, Opened, ServiceConfig, SimRankService, StoreError,
 };
 
 struct Options {
@@ -64,6 +78,9 @@ struct Options {
     cache_capacity: usize,
     walk_budget: u64,
     data_dir: Option<PathBuf>,
+    listen: Option<String>,
+    max_conns: usize,
+    addr_file: Option<PathBuf>,
 }
 
 impl Default for Options {
@@ -79,6 +96,9 @@ impl Default for Options {
             cache_capacity: 1024,
             walk_budget: 2_000_000,
             data_dir: None,
+            listen: None,
+            max_conns: 64,
+            addr_file: None,
         }
     }
 }
@@ -131,8 +151,20 @@ fn parse_args() -> Result<Options, String> {
             "--data-dir" => {
                 opts.data_dir = Some(PathBuf::from(next_value("--data-dir", &mut args)?));
             }
+            "--listen" => opts.listen = Some(next_value("--listen", &mut args)?),
+            "--max-conns" => {
+                let v = next_value("--max-conns", &mut args)?;
+                opts.max_conns = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| format!("bad max-conns `{v}`"))?;
+            }
+            "--addr-file" => {
+                opts.addr_file = Some(PathBuf::from(next_value("--addr-file", &mut args)?));
+            }
             "--help" | "-h" => {
-                eprintln!("{HELP}");
+                eprintln!("{}", help_text());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag `{other}` (try --help)")),
@@ -141,10 +173,13 @@ fn parse_args() -> Result<Options, String> {
     if opts.dataset.is_some() && opts.ba.is_some() {
         return Err("--dataset and --ba are mutually exclusive".to_string());
     }
+    if opts.addr_file.is_some() && opts.listen.is_none() {
+        return Err("--addr-file only makes sense with --listen".to_string());
+    }
     Ok(opts)
 }
 
-const HELP: &str = "simrank-serve: line-protocol SimRank query server\n\
+const FLAG_HELP: &str = "simrank-serve: SimRank query server (stdin REPL or TCP)\n\
   --dataset KEY        serve a Table 2 dataset stand-in (GQ, WV, ...)\n\
   --ba N M             serve a Barabasi-Albert graph with N nodes, M edges/node\n\
   --scale F            dataset scale factor (default 0.01)\n\
@@ -158,9 +193,15 @@ const HELP: &str = "simrank-serve: line-protocol SimRank query server\n\
                        cap lifted or the error target will not be met)\n\
   --data-dir DIR       durable store: recover DIR on boot (or initialize it\n\
                        from the graph flags), WAL-log every commit\n\
-protocol: query <node> [algo] | topk <node> <k> [algo]\n\
-          addedge <u> <v> | deledge <u> <v> | commit | epoch\n\
-          save | snapshot | stats | help | quit";
+  --listen ADDR        serve the protocol over TCP (e.g. 127.0.0.1:7878;\n\
+                       port 0 picks an ephemeral port, reported on stdout)\n\
+  --max-conns N        concurrent TCP connection bound (default 64)\n\
+  --addr-file PATH     write the bound address to PATH once listening\n\
+protocol:";
+
+fn help_text() -> String {
+    format!("{FLAG_HELP}\n{}", protocol::PROTOCOL_HELP)
+}
 
 /// With `--data-dir`, recovery takes precedence: a directory that already
 /// holds a store restarts the server into its last committed epoch and the
@@ -215,10 +256,6 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // With --data-dir, recovery takes precedence: a directory that already
-    // holds a store restarts the server into its last committed epoch and
-    // the graph flags are not consulted. A fresh directory is initialized
-    // from the flags. Without --data-dir the store is in-memory.
     let store = match build_store(&opts) {
         Ok(store) => store,
         Err(msg) => {
@@ -259,6 +296,18 @@ fn main() -> ExitCode {
         service.workers(),
     );
 
+    let code = match &opts.listen {
+        Some(addr) => serve_tcp(&service, addr, &opts),
+        None => serve_stdin(&service, &opts),
+    };
+    eprintln!("--- final stats ---\n{}", service.stats());
+    code
+}
+
+/// The original stdin/stdout REPL. `help` goes to stderr (stdout stays pure
+/// JSON); `shutdown` behaves like `quit` plus — on a durable store — a final
+/// snapshot flush, mirroring the TCP drain.
+fn serve_stdin(service: &SimRankService, opts: &Options) -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     for line in stdin.lock().lines() {
@@ -267,210 +316,72 @@ fn main() -> ExitCode {
             Err(_) => break,
         };
         let mut out = stdout.lock();
-        match serve_line(&service, opts.algo, line.trim()) {
-            Action::Reply(reply) => {
+        match protocol::serve_line(service, opts.algo, line.trim()) {
+            None => {}
+            Some(Outcome::Reply(reply)) => {
                 let _ = writeln!(out, "{reply}");
                 let _ = out.flush();
             }
-            Action::Silent => {}
-            Action::Quit => break,
+            Some(Outcome::Help(_)) => eprintln!("{}", help_text()),
+            Some(Outcome::Quit) => break,
+            Some(Outcome::Shutdown(reply)) => {
+                let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+                net::flush_shutdown_snapshot(service);
+                break;
+            }
         }
     }
-    eprintln!("--- final stats ---\n{}", service.stats());
     ExitCode::SUCCESS
 }
 
-enum Action {
-    Reply(String),
-    Silent,
-    Quit,
-}
-
-/// A protocol-level failure: a stable machine-readable code plus a human
-/// message. Every rejected request — malformed input, unknown algorithms,
-/// out-of-range node ids — becomes one `{"error": ..., "code": ...}` reply
-/// line; the server never panics on request contents.
-struct ProtoError {
-    code: &'static str,
-    message: String,
-}
-
-fn bad_request(message: String) -> ProtoError {
-    ProtoError {
-        code: "bad_request",
-        message,
-    }
-}
-
-impl From<ServiceError> for ProtoError {
-    fn from(e: ServiceError) -> Self {
-        let code = match &e {
-            ServiceError::Algorithm(SimRankError::SourceOutOfRange { .. }) => "out_of_range",
-            ServiceError::Algorithm(_) => "algorithm",
-            ServiceError::UnknownAlgorithm(_) => "unknown_algorithm",
-            ServiceError::InvalidRequest(_) => "bad_request",
-            ServiceError::Internal(_) => "internal",
-        };
-        ProtoError {
-            code,
-            message: e.to_string(),
-        }
-    }
-}
-
-impl From<StoreError> for ProtoError {
-    fn from(e: StoreError) -> Self {
-        let code = match &e {
-            StoreError::NodeOutOfRange { .. } => "out_of_range",
-            StoreError::SelfLoop(_) => "bad_request",
-            StoreError::NotDurable => "not_durable",
-            StoreError::Io { .. } => "io",
-            // Recovery-time corruption classes; a running server only sees
-            // these if the disk goes bad underneath it.
-            StoreError::SnapshotCorrupt { .. }
-            | StoreError::WalCorrupt { .. }
-            | StoreError::UnsupportedVersion { .. }
-            | StoreError::NoSnapshot { .. }
-            | StoreError::StoreExists { .. }
-            | StoreError::Locked { .. }
-            | StoreError::InitFailed(_) => "storage",
-        };
-        ProtoError {
-            code,
-            message: e.to_string(),
-        }
-    }
-}
-
-fn serve_line(service: &SimRankService, default_algo: AlgorithmKind, line: &str) -> Action {
-    if line.is_empty() || line.starts_with('#') {
-        return Action::Silent;
-    }
-    let parts: Vec<&str> = line.split_whitespace().collect();
-    let algo_arg = |idx: usize| -> Result<AlgorithmKind, ProtoError> {
-        match parts.get(idx) {
-            Some(name) => name.parse().map_err(ProtoError::from),
-            None => Ok(default_algo),
+/// TCP mode: bind, report the address, then babysit the listener until a
+/// signal or a remote `shutdown` command asks for the drain.
+fn serve_tcp(service: &SimRankService, addr: &str, opts: &Options) -> ExitCode {
+    let handle = match net::serve(
+        service.clone(),
+        addr,
+        NetOptions {
+            max_conns: opts.max_conns,
+            default_algo: opts.algo,
+        },
+    ) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("simrank-serve: cannot listen on {addr}: {e}");
+            return ExitCode::FAILURE;
         }
     };
-    let node_arg = |s: &&str| -> Result<u32, ProtoError> {
-        s.parse::<u32>()
-            .map_err(|_| bad_request(format!("bad node id `{s}`")))
-    };
-    match parts[0] {
-        "quit" | "exit" => Action::Quit,
-        "help" => {
-            eprintln!("{HELP}");
-            Action::Silent
+    let bound = handle.local_addr();
+    println!("{{\"listening\":\"{bound}\"}}");
+    let _ = std::io::stdout().flush();
+    if let Some(path) = &opts.addr_file {
+        if let Err(e) = std::fs::write(path, format!("{bound}\n")) {
+            eprintln!("simrank-serve: cannot write {}: {e}", path.display());
+            handle.request_shutdown();
+            handle.join();
+            return ExitCode::FAILURE;
         }
-        "stats" => Action::Reply(service.stats().to_json()),
-        "addedge" | "deledge" => {
-            let deleting = parts[0] == "deledge";
-            let result = match (parts.get(1), parts.get(2)) {
-                (Some(u), Some(v)) => {
-                    node_arg(u)
-                        .and_then(|u| Ok((u, node_arg(v)?)))
-                        .and_then(|(u, v)| {
-                            if deleting {
-                                service.store().stage_delete(u, v)
-                            } else {
-                                service.store().stage_insert(u, v)
-                            }
-                            .map_err(ProtoError::from)
-                        })
-                }
-                _ => Err(bad_request(format!("usage: {} <u> <v>", parts[0]))),
-            };
-            match result {
-                Ok(staged) => {
-                    let staged = match staged {
-                        exactsim_service::Staged::Pending => "pending",
-                        exactsim_service::Staged::Cancelled => "cancelled",
-                        exactsim_service::Staged::NoOp => "noop",
-                    };
-                    let (ins, del) = service.store().pending_counts();
-                    Action::Reply(format!(
-                        "{{\"op\":\"{}\",\"staged\":\"{staged}\",\"pending_insertions\":{ins},\"pending_deletions\":{del}}}",
-                        parts[0],
-                    ))
-                }
-                Err(e) => error_reply(&e),
-            }
-        }
-        "commit" => match service.commit() {
-            Ok(report) => Action::Reply(format!(
-                "{{\"op\":\"commit\",\"epoch\":{},\"advanced\":{},\"edges_inserted\":{},\"edges_deleted\":{},\"num_edges\":{},\"build_us\":{}}}",
-                report.epoch,
-                report.advanced(),
-                report.edges_inserted,
-                report.edges_deleted,
-                report.num_edges,
-                report.build_time.as_micros(),
-            )),
-            Err(e) => error_reply(&ProtoError::from(e)),
-        },
-        "save" | "snapshot" => match service.store().save() {
-            Ok(epoch) => {
-                let wal_len = service
-                    .store()
-                    .durability()
-                    .map_or(0, |info| info.wal_records);
-                Action::Reply(format!(
-                    "{{\"op\":\"save\",\"last_snapshot_epoch\":{epoch},\"wal_len\":{wal_len}}}"
-                ))
-            }
-            Err(e) => error_reply(&ProtoError::from(e)),
-        },
-        "epoch" => {
-            let (ins, del) = service.store().pending_counts();
-            Action::Reply(format!(
-                "{{\"epoch\":{},\"pending_insertions\":{ins},\"pending_deletions\":{del}}}",
-                service.epoch(),
-            ))
-        }
-        "query" => {
-            let result = parts
-                .get(1)
-                .ok_or_else(|| bad_request("usage: query <node> [algo]".to_string()))
-                .and_then(node_arg)
-                .and_then(|node| Ok((node, algo_arg(2)?)))
-                .and_then(|(node, algo)| service.query(algo, node).map_err(ProtoError::from));
-            match result {
-                Ok(response) => Action::Reply(response.to_json(Some(32))),
-                Err(e) => error_reply(&e),
-            }
-        }
-        "topk" => {
-            let result = match (parts.get(1), parts.get(2)) {
-                (Some(node), Some(k)) => node_arg(node)
-                    .and_then(|node| {
-                        let k = k
-                            .parse::<usize>()
-                            .map_err(|_| bad_request(format!("bad k `{k}`")))?;
-                        Ok((node, k))
-                    })
-                    .and_then(|(node, k)| Ok((node, k, algo_arg(3)?)))
-                    .and_then(|(node, k, algo)| {
-                        service.top_k(algo, node, k).map_err(ProtoError::from)
-                    }),
-                _ => Err(bad_request("usage: topk <node> <k> [algo]".to_string())),
-            };
-            match result {
-                Ok(response) => Action::Reply(response.to_json()),
-                Err(e) => error_reply(&e),
-            }
-        }
-        other => error_reply(&ProtoError {
-            code: "unknown_command",
-            message: format!("unknown command `{other}` (try help)"),
-        }),
     }
-}
+    eprintln!(
+        "simrank-serve: listening on {bound} (max {} connections)",
+        opts.max_conns
+    );
 
-fn error_reply(e: &ProtoError) -> Action {
-    Action::Reply(format!(
-        "{{\"error\":\"{}\",\"code\":\"{}\"}}",
-        exactsim_service::stats::escape_json(&e.message),
-        e.code
-    ))
+    let signalled = signal::install();
+    loop {
+        if signalled.load(Ordering::SeqCst) {
+            eprintln!("simrank-serve: signal received, draining");
+            handle.request_shutdown();
+            break;
+        }
+        if handle.shutdown_requested() {
+            eprintln!("simrank-serve: shutdown command received, draining");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // join() drains handlers and — on a durable store — flushes a snapshot.
+    handle.join();
+    ExitCode::SUCCESS
 }

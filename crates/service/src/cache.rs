@@ -284,6 +284,7 @@ mod tests {
     fn resp(source: NodeId, tag: f64) -> Arc<QueryResponse> {
         Arc::new(QueryResponse {
             algorithm: AlgorithmKind::ExactSim,
+            epoch: 0,
             source,
             scores: vec![tag],
             query_time: Duration::ZERO,

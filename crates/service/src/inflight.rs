@@ -152,6 +152,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let published = Arc::new(QueryResponse {
             algorithm: AlgorithmKind::ExactSim,
+            epoch: 0,
             source: 1,
             scores: vec![1.0, 0.5],
             query_time: Duration::from_micros(5),

@@ -14,8 +14,10 @@
 //! | [`cache`] | sharded LRU result cache keyed by `(epoch, algorithm, source, epsilon-tier)` with generation invalidation |
 //! | `inflight` (private) | in-flight query deduplication: concurrent requests for the same key block on one computation |
 //! | [`executor`] | worker-pool batch executor (std threads + channels, no external deps) |
-//! | [`stats`] | [`ServiceStats`]: queries served, cache hit rate, p50/p99 latency from a fixed-bucket histogram |
+//! | [`stats`] | [`ServiceStats`]: queries served, cache hit rate, p50/p99 latency from a fixed-bucket histogram, per-connection counters |
 //! | [`response`] | serializable [`QueryResponse`] / [`TopKResponse`] wire types |
+//! | [`protocol`] | the line protocol itself: request grammar, parser, error codes, executor — shared by the stdin REPL, the TCP listener, and `simrank-client` |
+//! | [`net`] | TCP front-end: acceptor + per-connection handler threads bounded by a `max_conns` semaphore, graceful drain on `shutdown`/SIGTERM |
 //!
 //! ## Quickstart
 //!
@@ -88,6 +90,8 @@ pub mod cache;
 pub mod error;
 pub mod executor;
 pub(crate) mod inflight;
+pub mod net;
+pub mod protocol;
 pub mod response;
 pub mod service;
 pub mod stats;
@@ -95,6 +99,8 @@ pub mod stats;
 pub use cache::{epsilon_tier, CacheKey, ShardedLruCache};
 pub use error::ServiceError;
 pub use executor::WorkerPool;
+pub use net::{NetOptions, NetServerHandle};
+pub use protocol::{Outcome, ProtoError, Request};
 pub use response::{AlgorithmKind, QueryResponse, TopKResponse};
 pub use service::{BatchAnswer, BatchItem, BatchRequest, ServiceConfig, SimRankService};
 pub use stats::{ServiceStats, StatsSnapshot};

@@ -1,0 +1,55 @@
+//! A minimal blocking client session for the newline-framed line protocol.
+//!
+//! One implementation shared by `simrank-client`, the end-to-end tests, and
+//! the network demo, so a framing change cannot silently drift between
+//! them.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A blocking line-protocol session over one TCP connection: send one
+/// request line, read one JSON reply line (see [`crate::protocol`] for the
+/// grammar and [`crate::net`] for the framing).
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl LineClient {
+    /// Connects to a `simrank-serve --listen` server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<LineClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(LineClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request line (the newline is appended here).
+    pub fn send(&mut self, request: &str) -> io::Result<()> {
+        writeln!(self.writer, "{request}")?;
+        self.writer.flush()
+    }
+
+    /// Reads one reply line, without sending anything first — capacity
+    /// rejections arrive proactively, before any request.
+    /// [`io::ErrorKind::UnexpectedEof`] means the server closed the
+    /// connection.
+    pub fn receive(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line)? {
+            0 => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            _ => Ok(line.trim_end().to_string()),
+        }
+    }
+
+    /// Sends one request and reads its one-line reply.
+    pub fn round_trip(&mut self, request: &str) -> io::Result<String> {
+        self.send(request)?;
+        self.receive()
+    }
+}

@@ -1,0 +1,341 @@
+//! Listener, acceptor, and per-connection handler threads.
+
+use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{self, Outcome, ProtoError};
+use crate::response::AlgorithmKind;
+use crate::service::SimRankService;
+use crate::stats::{escape_json, ServiceStats};
+
+/// Handlers poll the shutdown flag at this cadence between blocking reads.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// The acceptor polls for shutdown at this cadence when no client connects.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Request lines longer than this are rejected and the connection closed —
+/// the protocol has no business with multi-kilobyte commands, and the cap
+/// keeps a hostile client from growing an unbounded buffer.
+const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Configuration of the TCP front-end.
+#[derive(Clone, Debug)]
+pub struct NetOptions {
+    /// Maximum concurrently-served connections (the semaphore bound).
+    /// Connections past the bound are answered with a `capacity` error and
+    /// closed.
+    pub max_conns: usize,
+    /// Algorithm used when a request names none.
+    pub default_algo: AlgorithmKind,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            max_conns: 64,
+            default_algo: AlgorithmKind::ExactSim,
+        }
+    }
+}
+
+/// A counting semaphore over connection-handler permits. `try_acquire` never
+/// blocks: the acceptor load-sheds instead of queueing, so the listener can
+/// always make progress whatever the handlers are doing.
+struct Semaphore {
+    permits: usize,
+    active: AtomicUsize,
+}
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.active
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < self.permits).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+struct Shared {
+    service: SimRankService,
+    options: NetOptions,
+    shutdown: AtomicBool,
+    permits: Semaphore,
+}
+
+impl Shared {
+    fn stats(&self) -> &ServiceStats {
+        self.service.raw_stats()
+    }
+}
+
+/// Handle to a running TCP server. Dropping the handle does **not** stop the
+/// server; call [`NetServerHandle::request_shutdown`] then
+/// [`NetServerHandle::join`] for a graceful stop.
+pub struct NetServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: JoinHandle<()>,
+}
+
+impl NetServerHandle {
+    /// The address the listener is bound to (resolves `:0` to the real
+    /// ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a shutdown has been requested (by this handle, or by a
+    /// `shutdown` protocol command on any connection).
+    pub fn shutdown_requested(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Asks the server to stop: the acceptor closes, handlers drain their
+    /// in-flight request and hang up. Idempotent; returns immediately —
+    /// [`NetServerHandle::join`] observes completion.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the acceptor and every handler thread have finished and
+    /// the final snapshot flush (durable stores only) has happened. Call
+    /// after [`NetServerHandle::request_shutdown`], or let a remote
+    /// `shutdown` command trigger the drain.
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+    }
+}
+
+/// Binds `addr` and serves the [`crate::protocol`] grammar over TCP until a
+/// shutdown is requested. Returns once the listener is bound and accepting —
+/// queries can race the returned handle immediately.
+pub fn serve(
+    service: SimRankService,
+    addr: impl ToSocketAddrs,
+    options: NetOptions,
+) -> io::Result<NetServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        permits: Semaphore::new(options.max_conns.max(1)),
+        options,
+        shutdown: AtomicBool::new(false),
+    });
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("simrank-net-acceptor".into())
+            .spawn(move || accept_loop(listener, shared))?
+    };
+    Ok(NetServerHandle {
+        addr,
+        shared,
+        acceptor,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                // The listener is non-blocking (so this loop can poll the
+                // shutdown flag); handler sockets do their own timed reads.
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                if !shared.permits.try_acquire() {
+                    ServiceStats::bump(&shared.stats().connections_rejected);
+                    reject_at_capacity(stream, shared.options.max_conns);
+                    continue;
+                }
+                ServiceStats::bump(&shared.stats().connections_accepted);
+                let conn_shared = Arc::clone(&shared);
+                let spawned = std::thread::Builder::new()
+                    .name(format!("simrank-conn-{peer}"))
+                    .spawn(move || {
+                        handle_connection(&stream, &conn_shared);
+                        // Permit + close accounting live together on every
+                        // exit path (EOF, quit, error, drain) — the handler
+                        // owns its permit for its whole lifetime.
+                        conn_shared.permits.release();
+                        ServiceStats::bump(&conn_shared.stats().connections_closed);
+                    });
+                match spawned {
+                    Ok(handle) => handlers.push(handle),
+                    Err(_) => {
+                        // Could not spawn a thread: undo the accept.
+                        shared.permits.release();
+                        ServiceStats::bump(&shared.stats().connections_closed);
+                    }
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // Transient accept errors (ECONNABORTED and friends) — keep
+            // listening; a dead listener ends with the shutdown flag anyway.
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Drain: the flag is set, handlers finish their in-flight request and
+    // exit within one READ_POLL tick.
+    drop(listener);
+    for handle in handlers {
+        let _ = handle.join();
+    }
+    flush_shutdown_snapshot(&shared.service);
+}
+
+/// Folds the WAL into a fresh snapshot on durable stores, logging the
+/// outcome to stderr; a silent no-op on in-memory ones. A clean stop leaves
+/// nothing to replay on the next boot. Shared by the TCP drain and the
+/// stdin front-end's `shutdown` path so the two cannot diverge.
+pub fn flush_shutdown_snapshot(service: &SimRankService) {
+    if service.store().durability().is_some() {
+        match service.store().save() {
+            Ok(epoch) => eprintln!("simrank-serve: shutdown snapshot at epoch {epoch}"),
+            Err(e) => eprintln!("simrank-serve: shutdown snapshot failed: {e}"),
+        }
+    }
+}
+
+/// Answers an over-capacity connection with one `capacity` error line.
+fn reject_at_capacity(stream: TcpStream, max_conns: usize) {
+    let error = ProtoError {
+        code: protocol::codes::CAPACITY,
+        message: format!("server at connection capacity ({max_conns}); retry later"),
+    };
+    let mut writer = BufWriter::new(stream);
+    let _ = writeln!(writer, "{}", error.to_json());
+    let _ = writer.flush();
+}
+
+/// Serves one connection until EOF, `quit`, a fatal socket error, or server
+/// shutdown. Never panics on request contents; a panicking computation is
+/// answered as an `internal` protocol error and the connection lives on.
+fn handle_connection(stream: &TcpStream, shared: &Shared) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // `take` bounds how much one `read_until` call can pull: a client
+    // streaming bytes with no newline would otherwise keep the call (and
+    // the buffer) growing forever — with continuous data the read timeout
+    // never fires. The limit is re-armed per iteration, so `buf` is capped
+    // at one limit's worth past MAX_LINE_BYTES before the oversized check
+    // fires.
+    let mut reader = BufReader::new(read_half.take(MAX_LINE_BYTES as u64 + 1));
+    let mut writer = BufWriter::new(stream);
+    // Raw bytes, not `read_line`: on a timeout mid-line, `read_until` keeps
+    // the partial bytes in `buf` for the next attempt (read_line's UTF-8
+    // guard would drop a partially-read multi-byte character).
+    let mut buf: Vec<u8> = Vec::new();
+    while !shared.shutdown.load(Ordering::Acquire) {
+        reader.get_mut().set_limit(MAX_LINE_BYTES as u64 + 1);
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                // Also the exhausted-limit case: the limit is one past the
+                // cap, so an over-long line trips this before a newline.
+                if buf.len() > MAX_LINE_BYTES {
+                    oversized_line(&mut writer);
+                    break;
+                }
+                let line = String::from_utf8_lossy(&buf).into_owned();
+                let done = serve_one(&line, shared, &mut writer);
+                buf.clear();
+                if done {
+                    break;
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                // Timed out waiting for (the rest of) a line: keep whatever
+                // partial bytes arrived and re-check the shutdown flag.
+                if buf.len() > MAX_LINE_BYTES {
+                    oversized_line(&mut writer);
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn oversized_line(writer: &mut BufWriter<&TcpStream>) {
+    let error = ProtoError::bad_request(format!(
+        "request line exceeds {MAX_LINE_BYTES} bytes; closing connection"
+    ));
+    let _ = writeln!(writer, "{}", error.to_json());
+    let _ = writer.flush();
+}
+
+/// Parses, executes, and answers one request line. Returns `true` when the
+/// connection (or the whole server) should stop.
+fn serve_one(line: &str, shared: &Shared, writer: &mut BufWriter<&TcpStream>) -> bool {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return false;
+    }
+    ServiceStats::bump(&shared.stats().net_requests);
+    // The in-flight leader re-raises computation panics (after waking its
+    // followers); over TCP that must cost an `internal` error reply, not the
+    // handler thread (which would leak the permit and hang up mid-session).
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        protocol::serve_line(&shared.service, shared.options.default_algo, trimmed)
+    }))
+    .unwrap_or_else(|_| {
+        Some(Outcome::Reply(
+            ProtoError {
+                code: protocol::codes::INTERNAL,
+                message: "computation panicked".into(),
+            }
+            .to_json(),
+        ))
+    });
+    match outcome {
+        None => false,
+        Some(Outcome::Reply(reply)) => write_reply(writer, &reply),
+        Some(Outcome::Help(text)) => {
+            write_reply(writer, &format!("{{\"help\":\"{}\"}}", escape_json(text)))
+        }
+        Some(Outcome::Quit) => true,
+        Some(Outcome::Shutdown(reply)) => {
+            let _ = write_reply(writer, &reply);
+            shared.shutdown.store(true, Ordering::Release);
+            true
+        }
+    }
+}
+
+/// Writes one reply line; returns `true` (stop serving) on a dead socket.
+fn write_reply(writer: &mut BufWriter<&TcpStream>, reply: &str) -> bool {
+    if writeln!(writer, "{reply}").is_err() {
+        return true;
+    }
+    writer.flush().is_err()
+}

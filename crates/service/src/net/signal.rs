@@ -1,0 +1,55 @@
+//! Minimal SIGTERM/SIGINT-to-flag plumbing for the serving binaries.
+//!
+//! The offline build has no `libc`/`signal-hook` crates, so this declares
+//! `signal(2)` directly (std already links libc on every unix target). The
+//! handler does the only async-signal-safe thing there is to do: set a
+//! static atomic flag. The binary's supervision loop polls the flag and
+//! turns it into a graceful [`crate::net`] drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the signal handler; read via [`install`]'s returned reference.
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{AtomicBool, Ordering, SHUTDOWN_SIGNAL};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() -> &'static AtomicBool {
+        // SAFETY: `signal` is the POSIX libc entry point std itself links;
+        // the handler only touches a static atomic (async-signal-safe).
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+        &SHUTDOWN_SIGNAL
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use super::AtomicBool;
+
+    pub(super) fn install() -> &'static AtomicBool {
+        // No signal wiring off-unix; the flag simply never trips and
+        // shutdown comes from the `shutdown` protocol command instead.
+        &super::SHUTDOWN_SIGNAL
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers (unix; a no-op elsewhere) and returns
+/// the flag they set. Idempotent — safe to call more than once.
+pub fn install() -> &'static AtomicBool {
+    imp::install()
+}

@@ -1,0 +1,476 @@
+//! The `simrank-serve` wire protocol, shared by every front-end.
+//!
+//! One request per newline-terminated line; every request is answered with
+//! exactly one JSON object on one line (the only exceptions: `help`, whose
+//! rendering is front-end specific, and `quit`, which just closes). The same
+//! grammar is spoken on stdin (the original REPL), over TCP
+//! ([`crate::net`]), and by `simrank-client` — extracting it here is what
+//! lets all of them share one parser and one error-code vocabulary.
+//!
+//! ```text
+//! request   = query | topk | addedge | deledge | commit | epoch
+//!           | save | stats | help | quit | shutdown
+//! query     = "query" node [algo]
+//! topk      = "topk" node k [algo]
+//! addedge   = "addedge" node node
+//! deledge   = "deledge" node node
+//! node      = u32        k = usize      algo = "exactsim" | "prsim" | "mc"
+//! ```
+//!
+//! Rejected requests never panic and never close the connection; they answer
+//! `{"error": "<message>", "code": "<code>"}` with a stable machine-readable
+//! code from the table below.
+//!
+//! | code | meaning |
+//! |---|---|
+//! | [`codes::BAD_REQUEST`] | malformed request line (usage errors, bad numbers) |
+//! | [`codes::UNKNOWN_COMMAND`] | first word is not a command |
+//! | [`codes::UNKNOWN_ALGORITHM`] | an algorithm name the service does not know |
+//! | [`codes::OUT_OF_RANGE`] | node id outside the graph's id space |
+//! | [`codes::ALGORITHM`] | the algorithm rejected the request for another reason |
+//! | [`codes::NOT_DURABLE`] | `save` on a store without a `--data-dir` |
+//! | [`codes::IO`] | persistence I/O failure |
+//! | [`codes::STORAGE`] | store-level failure (corruption classes, lock) |
+//! | [`codes::INTERNAL`] | the serving machinery itself failed |
+//! | [`codes::CAPACITY`] | TCP listener at `--max-conns`, connection refused |
+
+use std::fmt;
+
+use exactsim::SimRankError;
+
+use crate::error::ServiceError;
+use crate::response::AlgorithmKind;
+use crate::service::SimRankService;
+use crate::stats::escape_json;
+use exactsim_store::StoreError;
+
+/// The stable machine-readable error codes of `{"error","code"}` replies.
+pub mod codes {
+    /// Malformed request line: usage errors, unparsable numbers.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// The first word of the line is not a protocol command.
+    pub const UNKNOWN_COMMAND: &str = "unknown_command";
+    /// An algorithm name the service does not serve.
+    pub const UNKNOWN_ALGORITHM: &str = "unknown_algorithm";
+    /// A node id outside the graph's id space.
+    pub const OUT_OF_RANGE: &str = "out_of_range";
+    /// The algorithm rejected the request for a non-range reason.
+    pub const ALGORITHM: &str = "algorithm";
+    /// `save` was asked of an in-memory (no `--data-dir`) store.
+    pub const NOT_DURABLE: &str = "not_durable";
+    /// Persistence I/O failure underneath a durable store.
+    pub const IO: &str = "io";
+    /// Store-level failure: recovery-time corruption classes, WAL lock, …
+    pub const STORAGE: &str = "storage";
+    /// The serving machinery itself failed (panicked computation, lost
+    /// worker) — never caused by request contents.
+    pub const INTERNAL: &str = "internal";
+    /// The TCP listener is at its `--max-conns` bound; the connection is
+    /// answered with this error and closed without serving requests.
+    pub const CAPACITY: &str = "capacity";
+}
+
+/// One parsed protocol request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `query <node> [algo]` — full single-source column.
+    Query {
+        /// Query source node.
+        node: u32,
+        /// Explicit algorithm, or `None` for the server default.
+        algo: Option<AlgorithmKind>,
+    },
+    /// `topk <node> <k> [algo]` — the k most similar nodes.
+    TopK {
+        /// Query source node.
+        node: u32,
+        /// How many results.
+        k: usize,
+        /// Explicit algorithm, or `None` for the server default.
+        algo: Option<AlgorithmKind>,
+    },
+    /// `addedge <u> <v>` — stage the insertion of edge `u -> v`.
+    AddEdge {
+        /// Edge tail.
+        u: u32,
+        /// Edge head.
+        v: u32,
+    },
+    /// `deledge <u> <v>` — stage the deletion of edge `u -> v`.
+    DelEdge {
+        /// Edge tail.
+        u: u32,
+        /// Edge head.
+        v: u32,
+    },
+    /// `commit` — publish staged updates as a new graph epoch.
+    Commit,
+    /// `epoch` — current epoch plus pending update counts.
+    Epoch,
+    /// `save` (alias `snapshot`) — fold the WAL into a fresh snapshot.
+    Save,
+    /// `stats` — serving counters as one JSON line.
+    Stats,
+    /// `help` — the protocol summary (rendering is front-end specific).
+    Help,
+    /// `quit` (alias `exit`) — close this session; the server keeps running.
+    Quit,
+    /// `shutdown` — gracefully stop the *whole server*: stop accepting,
+    /// drain in-flight work, flush a snapshot when the store is durable.
+    Shutdown,
+}
+
+impl Request {
+    /// The canonical wire line for this request (no trailing newline).
+    /// Parsing the result always round-trips: `parse_line(&r.to_line())`
+    /// yields `r` again.
+    pub fn to_line(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Query { node, algo: None } => write!(f, "query {node}"),
+            Request::Query {
+                node,
+                algo: Some(a),
+            } => write!(f, "query {node} {a}"),
+            Request::TopK {
+                node,
+                k,
+                algo: None,
+            } => write!(f, "topk {node} {k}"),
+            Request::TopK {
+                node,
+                k,
+                algo: Some(a),
+            } => write!(f, "topk {node} {k} {a}"),
+            Request::AddEdge { u, v } => write!(f, "addedge {u} {v}"),
+            Request::DelEdge { u, v } => write!(f, "deledge {u} {v}"),
+            Request::Commit => f.write_str("commit"),
+            Request::Epoch => f.write_str("epoch"),
+            Request::Save => f.write_str("save"),
+            Request::Stats => f.write_str("stats"),
+            Request::Help => f.write_str("help"),
+            Request::Quit => f.write_str("quit"),
+            Request::Shutdown => f.write_str("shutdown"),
+        }
+    }
+}
+
+/// A protocol-level failure: a stable machine-readable code (see [`codes`])
+/// plus a human message. Every rejected request becomes one
+/// `{"error": ..., "code": ...}` reply line; a server never panics on
+/// request contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError {
+    /// One of the [`codes`] constants.
+    pub code: &'static str,
+    /// Human-readable description (JSON-escaped on the wire).
+    pub message: String,
+}
+
+impl ProtoError {
+    /// A [`codes::BAD_REQUEST`] error.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ProtoError {
+            code: codes::BAD_REQUEST,
+            message: message.into(),
+        }
+    }
+
+    /// The one-line `{"error","code"}` JSON reply for this failure.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"error\":\"{}\",\"code\":\"{}\"}}",
+            escape_json(&self.message),
+            self.code
+        )
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.code)
+    }
+}
+
+impl From<ServiceError> for ProtoError {
+    fn from(e: ServiceError) -> Self {
+        let code = match &e {
+            ServiceError::Algorithm(SimRankError::SourceOutOfRange { .. }) => codes::OUT_OF_RANGE,
+            ServiceError::Algorithm(_) => codes::ALGORITHM,
+            ServiceError::UnknownAlgorithm(_) => codes::UNKNOWN_ALGORITHM,
+            ServiceError::InvalidRequest(_) => codes::BAD_REQUEST,
+            ServiceError::Internal(_) => codes::INTERNAL,
+        };
+        ProtoError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<StoreError> for ProtoError {
+    fn from(e: StoreError) -> Self {
+        let code = match &e {
+            StoreError::NodeOutOfRange { .. } => codes::OUT_OF_RANGE,
+            StoreError::SelfLoop(_) => codes::BAD_REQUEST,
+            StoreError::NotDurable => codes::NOT_DURABLE,
+            StoreError::Io { .. } => codes::IO,
+            // Recovery-time corruption classes; a running server only sees
+            // these if the disk goes bad underneath it.
+            StoreError::SnapshotCorrupt { .. }
+            | StoreError::WalCorrupt { .. }
+            | StoreError::UnsupportedVersion { .. }
+            | StoreError::NoSnapshot { .. }
+            | StoreError::StoreExists { .. }
+            | StoreError::Locked { .. }
+            | StoreError::InitFailed(_) => codes::STORAGE,
+        };
+        ProtoError {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// The protocol command summary, shown by `help` (front-ends decide where:
+/// the stdin REPL prints it to stderr, the TCP path replies `{"help": ...}`).
+pub const PROTOCOL_HELP: &str = "\
+query <node> [algo]      full single-source column (scores truncated to 32)
+topk <node> <k> [algo]   top-k most similar nodes
+addedge <u> <v>          stage the insertion of edge u -> v
+deledge <u> <v>          stage the deletion of edge u -> v
+commit                   publish staged updates as a new graph epoch
+epoch                    current epoch + pending update counts
+save | snapshot          fold the WAL into a fresh snapshot file
+stats                    serving counters (hit rate, p50/p99, epoch,
+                         connections, durability state) as JSON
+help                     this summary
+quit                     close this session (EOF too); server keeps running
+shutdown                 gracefully stop the server: drain in-flight work,
+                         flush a snapshot when durable";
+
+/// Parses one request line. Returns `Ok(None)` for lines the protocol
+/// ignores (empty lines and `#` comments), `Err` for malformed input.
+pub fn parse_line(line: &str) -> Result<Option<Request>, ProtoError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let node_arg = |s: &&str| -> Result<u32, ProtoError> {
+        s.parse::<u32>()
+            .map_err(|_| ProtoError::bad_request(format!("bad node id `{s}`")))
+    };
+    let algo_arg = |idx: usize| -> Result<Option<AlgorithmKind>, ProtoError> {
+        match parts.get(idx) {
+            Some(name) => name.parse().map(Some).map_err(ProtoError::from),
+            None => Ok(None),
+        }
+    };
+    let arity = |max: usize, usage: &str| -> Result<(), ProtoError> {
+        if parts.len() > max {
+            Err(ProtoError::bad_request(format!("usage: {usage}")))
+        } else {
+            Ok(())
+        }
+    };
+    let request = match parts[0] {
+        "query" => {
+            arity(3, "query <node> [algo]")?;
+            let node = parts
+                .get(1)
+                .ok_or_else(|| ProtoError::bad_request("usage: query <node> [algo]"))
+                .and_then(node_arg)?;
+            Request::Query {
+                node,
+                algo: algo_arg(2)?,
+            }
+        }
+        "topk" => {
+            arity(4, "topk <node> <k> [algo]")?;
+            let (node, k) = match (parts.get(1), parts.get(2)) {
+                (Some(node), Some(k)) => {
+                    let node = node_arg(node)?;
+                    let k = k
+                        .parse::<usize>()
+                        .map_err(|_| ProtoError::bad_request(format!("bad k `{k}`")))?;
+                    (node, k)
+                }
+                _ => return Err(ProtoError::bad_request("usage: topk <node> <k> [algo]")),
+            };
+            Request::TopK {
+                node,
+                k,
+                algo: algo_arg(3)?,
+            }
+        }
+        "addedge" | "deledge" => {
+            arity(3, "addedge|deledge <u> <v>")?;
+            let (u, v) = match (parts.get(1), parts.get(2)) {
+                (Some(u), Some(v)) => (node_arg(u)?, node_arg(v)?),
+                _ => {
+                    return Err(ProtoError::bad_request(format!(
+                        "usage: {} <u> <v>",
+                        parts[0]
+                    )))
+                }
+            };
+            if parts[0] == "addedge" {
+                Request::AddEdge { u, v }
+            } else {
+                Request::DelEdge { u, v }
+            }
+        }
+        // Bare commands are as strict as the argument-taking ones: `commit 5`
+        // or `shutdown now` is a typo to reject, not a request to execute.
+        "commit" => {
+            arity(1, "commit")?;
+            Request::Commit
+        }
+        "epoch" => {
+            arity(1, "epoch")?;
+            Request::Epoch
+        }
+        "save" | "snapshot" => {
+            arity(1, "save")?;
+            Request::Save
+        }
+        "stats" => {
+            arity(1, "stats")?;
+            Request::Stats
+        }
+        "help" => {
+            arity(1, "help")?;
+            Request::Help
+        }
+        "quit" | "exit" => {
+            arity(1, "quit")?;
+            Request::Quit
+        }
+        "shutdown" => {
+            arity(1, "shutdown")?;
+            Request::Shutdown
+        }
+        other => {
+            return Err(ProtoError {
+                code: codes::UNKNOWN_COMMAND,
+                message: format!("unknown command `{other}` (try help)"),
+            })
+        }
+    };
+    Ok(Some(request))
+}
+
+/// What a front-end should do after executing one request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Send this one-line reply and keep serving.
+    Reply(String),
+    /// Render the protocol help (payload = [`PROTOCOL_HELP`]); the stdin
+    /// REPL prints it to stderr, the TCP path replies `{"help": ...}`.
+    Help(&'static str),
+    /// Close this session; the server keeps running.
+    Quit,
+    /// Send this one-line acknowledgment, then gracefully stop the whole
+    /// server (drain handlers, flush a snapshot when durable).
+    Shutdown(String),
+}
+
+/// Executes one parsed request against a service. Every failure becomes a
+/// `{"error","code"}` [`Outcome::Reply`]; this function never panics on
+/// request contents.
+pub fn execute(
+    service: &SimRankService,
+    default_algo: AlgorithmKind,
+    request: &Request,
+) -> Outcome {
+    match request {
+        Request::Help => Outcome::Help(PROTOCOL_HELP),
+        Request::Quit => Outcome::Quit,
+        Request::Shutdown => Outcome::Shutdown("{\"op\":\"shutdown\",\"draining\":true}".into()),
+        Request::Stats => Outcome::Reply(service.stats().to_json()),
+        Request::Epoch => {
+            let (ins, del) = service.store().pending_counts();
+            Outcome::Reply(format!(
+                "{{\"epoch\":{},\"pending_insertions\":{ins},\"pending_deletions\":{del}}}",
+                service.epoch(),
+            ))
+        }
+        Request::AddEdge { u, v } | Request::DelEdge { u, v } => {
+            let (op, result) = if matches!(request, Request::AddEdge { .. }) {
+                ("addedge", service.store().stage_insert(*u, *v))
+            } else {
+                ("deledge", service.store().stage_delete(*u, *v))
+            };
+            match result {
+                Ok(staged) => {
+                    let staged = match staged {
+                        exactsim_store::Staged::Pending => "pending",
+                        exactsim_store::Staged::Cancelled => "cancelled",
+                        exactsim_store::Staged::NoOp => "noop",
+                    };
+                    let (ins, del) = service.store().pending_counts();
+                    Outcome::Reply(format!(
+                        "{{\"op\":\"{op}\",\"staged\":\"{staged}\",\"pending_insertions\":{ins},\"pending_deletions\":{del}}}",
+                    ))
+                }
+                Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+            }
+        }
+        Request::Commit => match service.commit() {
+            Ok(report) => Outcome::Reply(format!(
+                "{{\"op\":\"commit\",\"epoch\":{},\"advanced\":{},\"edges_inserted\":{},\"edges_deleted\":{},\"num_edges\":{},\"build_us\":{}}}",
+                report.epoch,
+                report.advanced(),
+                report.edges_inserted,
+                report.edges_deleted,
+                report.num_edges,
+                report.build_time.as_micros(),
+            )),
+            Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+        },
+        Request::Save => match service.store().save() {
+            Ok(epoch) => {
+                let wal_len = service
+                    .store()
+                    .durability()
+                    .map_or(0, |info| info.wal_records);
+                Outcome::Reply(format!(
+                    "{{\"op\":\"save\",\"last_snapshot_epoch\":{epoch},\"wal_len\":{wal_len}}}"
+                ))
+            }
+            Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+        },
+        Request::Query { node, algo } => {
+            match service.query(algo.unwrap_or(default_algo), *node) {
+                Ok(response) => Outcome::Reply(response.to_json(Some(32))),
+                Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+            }
+        }
+        Request::TopK { node, k, algo } => {
+            match service.top_k(algo.unwrap_or(default_algo), *node, *k) {
+                Ok(response) => Outcome::Reply(response.to_json()),
+                Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+            }
+        }
+    }
+}
+
+/// Parses and executes one raw line: the shared serve loop body of every
+/// front-end. `Ok(None)` means the line was empty/comment (no reply).
+pub fn serve_line(
+    service: &SimRankService,
+    default_algo: AlgorithmKind,
+    line: &str,
+) -> Option<Outcome> {
+    match parse_line(line) {
+        Ok(None) => None,
+        Ok(Some(request)) => Some(execute(service, default_algo, &request)),
+        Err(e) => Some(Outcome::Reply(e.to_json())),
+    }
+}

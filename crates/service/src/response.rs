@@ -89,6 +89,11 @@ impl FromStr for AlgorithmKind {
 pub struct QueryResponse {
     /// Which algorithm produced the answer.
     pub algorithm: AlgorithmKind,
+    /// The graph epoch the answer was computed at. Answers of one epoch are
+    /// bit-identical to direct library calls on that epoch's graph, so a
+    /// client racing a commit can tell exactly which graph it was answered
+    /// about.
+    pub epoch: u64,
     /// The query source node.
     pub source: NodeId,
     /// `scores[j] = S(source, j)` for every node `j`.
@@ -100,9 +105,15 @@ pub struct QueryResponse {
 
 impl QueryResponse {
     /// Wraps a library [`QueryOutput`] with its request metadata.
-    pub fn from_output(algorithm: AlgorithmKind, source: NodeId, output: QueryOutput) -> Self {
+    pub fn from_output(
+        algorithm: AlgorithmKind,
+        epoch: u64,
+        source: NodeId,
+        output: QueryOutput,
+    ) -> Self {
         QueryResponse {
             algorithm,
+            epoch,
             source,
             scores: output.scores,
             query_time: output.query_time,
@@ -113,6 +124,7 @@ impl QueryResponse {
     pub fn top_k(&self, k: usize) -> TopKResponse {
         TopKResponse {
             algorithm: self.algorithm,
+            epoch: self.epoch,
             source: self.source,
             k,
             entries: top_k(&self.scores, self.source, k),
@@ -130,7 +142,9 @@ impl QueryResponse {
         let mut out = String::with_capacity(64 + 24 * limit);
         out.push_str("{\"algorithm\":\"");
         out.push_str(self.algorithm.wire_name());
-        out.push_str("\",\"source\":");
+        out.push_str("\",\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push_str(",\"source\":");
         out.push_str(&self.source.to_string());
         out.push_str(",\"num_nodes\":");
         out.push_str(&self.scores.len().to_string());
@@ -159,6 +173,8 @@ impl QueryResponse {
 pub struct TopKResponse {
     /// Which algorithm produced the answer.
     pub algorithm: AlgorithmKind,
+    /// The graph epoch the underlying single-source answer was computed at.
+    pub epoch: u64,
     /// The query source node.
     pub source: NodeId,
     /// The requested `k` (the entry list may be shorter on tiny graphs).
@@ -175,7 +191,9 @@ impl TopKResponse {
         let mut out = String::with_capacity(64 + 32 * self.entries.len());
         out.push_str("{\"algorithm\":\"");
         out.push_str(self.algorithm.wire_name());
-        out.push_str("\",\"source\":");
+        out.push_str("\",\"epoch\":");
+        out.push_str(&self.epoch.to_string());
+        out.push_str(",\"source\":");
         out.push_str(&self.source.to_string());
         out.push_str(",\"k\":");
         out.push_str(&self.k.to_string());
@@ -233,12 +251,14 @@ mod tests {
     fn query_response_json_shape_and_truncation() {
         let resp = QueryResponse {
             algorithm: AlgorithmKind::ExactSim,
+            epoch: 4,
             source: 2,
             scores: vec![0.5, 1.0, 0.25, 0.125],
             query_time: Duration::from_micros(1234),
         };
         let full = resp.to_json(None);
         assert!(full.contains("\"algorithm\":\"exactsim\""));
+        assert!(full.contains("\"epoch\":4"));
         assert!(full.contains("\"source\":2"));
         assert!(full.contains("\"query_time_us\":1234"));
         assert!(full.contains("0.5,1.0,0.25,0.125"));
@@ -252,16 +272,19 @@ mod tests {
     fn topk_json_lists_entries_in_order() {
         let resp = QueryResponse {
             algorithm: AlgorithmKind::PrSim,
+            epoch: 1,
             source: 0,
             scores: vec![1.0, 0.1, 0.9, 0.5],
             query_time: Duration::from_micros(10),
         };
         let top = resp.top_k(2);
+        assert_eq!(top.epoch, 1);
         assert_eq!(top.entries.len(), 2);
         assert_eq!(top.entries[0].node, 2);
         assert_eq!(top.entries[1].node, 3);
         let json = top.to_json();
         assert!(json.contains("{\"node\":2,\"score\":0.9}"));
+        assert!(json.contains("\"epoch\":1"));
         assert!(json.contains("\"k\":2"));
     }
 

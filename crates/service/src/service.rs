@@ -257,7 +257,10 @@ impl Inner {
         // queries = cache_hits + dedup_joins + computations + errors.
         ServiceStats::bump(&self.stats.computations);
         Ok(Arc::new(QueryResponse::from_output(
-            algorithm, source, output,
+            algorithm,
+            state.epoch,
+            source,
+            output,
         )))
     }
 
@@ -537,6 +540,13 @@ impl SimRankService {
     /// Number of keys currently being computed (diagnostics).
     pub fn in_flight(&self) -> usize {
         self.inner.inflight.len()
+    }
+
+    /// The live counters, for in-crate front-ends (the `net` listener bumps
+    /// its per-connection counters here so `stats` replies are uniform
+    /// across the stdin and TCP paths).
+    pub(crate) fn raw_stats(&self) -> &ServiceStats {
+        &self.inner.stats
     }
 }
 

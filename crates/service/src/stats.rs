@@ -12,20 +12,43 @@ use std::time::Duration;
 
 use exactsim_store::DurabilityInfo;
 
-/// Number of histogram buckets: bucket `i` covers latencies in
-/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`). 2^38 µs ≈ 3.2 days —
-/// nothing a query-serving path produces overflows the last bucket.
+/// Number of histogram buckets.
+///
+/// **Bucket bounds** (the contract every p50/p99 this crate reports is
+/// resolved against): bucket `0` counts observations of `0 µs` (sub-µs),
+/// and bucket `i ≥ 1` counts observations in `[2^(i-1), 2^i)` microseconds.
+/// The last bucket (`i = 39`) therefore covers `[2^38, 2^39)` µs, putting
+/// the histogram's nominal upper bound at `2^39 µs ≈ 6.4 days`.
 const BUCKETS: usize = 40;
 
-/// Fixed-bucket latency histogram over microseconds.
+/// Observations at or above this bound (`2^39 µs ≈ 6.4 days`) do not fit any
+/// bucket and are counted in a separate saturation counter instead of being
+/// silently folded into the top bucket (which would make the reported p99 a
+/// false upper bound).
+pub const SATURATION_BOUND_US: u64 = 1u64 << (BUCKETS - 1);
+
+/// Fixed-bucket latency histogram over microseconds (HdrHistogram-lite).
+///
+/// Quantiles are resolved to the **upper bound of the containing bucket**:
+/// bucket `0` counts sub-µs observations, bucket `i ≥ 1` covers
+/// `[2^(i-1), 2^i)` µs, 40 buckets total — so a reported quantile
+/// over-reports by at most a factor of two, the standard fixed-memory
+/// trade-off. Observations
+/// `≥` [`SATURATION_BOUND_US`] saturate: they are tallied in
+/// [`LatencyHistogram::saturated`] and a quantile landing among them is
+/// reported as the saturation bound itself (a *lower* bound, flagged by the
+/// nonzero saturation count rather than silently miscounted).
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Observations `≥ 2^39 µs` that no bucket can represent.
+    overflow: AtomicU64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
         LatencyHistogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
         }
     }
 }
@@ -33,24 +56,30 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Records one observation.
     pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
         let idx = if us == 0 {
             0
         } else {
-            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+            (64 - us.leading_zeros()) as usize
         };
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        if idx < BUCKETS {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The `q`-quantile (0 ≤ q ≤ 1) as the upper bound of its bucket, or
-    /// `None` if nothing has been recorded.
+    /// `None` if nothing has been recorded. A quantile that lands among
+    /// saturated observations returns [`SATURATION_BOUND_US`] — a lower
+    /// bound; check [`LatencyHistogram::saturated`] to tell the two apart.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
         let counts: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let total: u64 = counts.iter().sum();
+        let total: u64 = counts.iter().sum::<u64>() + self.saturated();
         if total == 0 {
             return None;
         }
@@ -62,16 +91,36 @@ impl LatencyHistogram {
                 return Some(Duration::from_micros(1u64 << i));
             }
         }
-        Some(Duration::from_micros(1u64 << (BUCKETS - 1)))
+        Some(Duration::from_micros(SATURATION_BOUND_US))
     }
 
-    /// Total recorded observations.
+    /// Observations that exceeded the histogram's nominal range and were
+    /// saturated rather than bucketed.
+    pub fn saturated(&self) -> u64 {
+        self.overflow.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded observations (including saturated ones).
     pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.saturated()
     }
 }
 
 /// Live counters of a [`crate::SimRankService`].
+///
+/// Latency quantiles come from a [`LatencyHistogram`]: bucket `0` is sub-µs,
+/// bucket `i ≥ 1` covers `[2^(i-1), 2^i)` µs, and the reported p50/p99 are
+/// bucket *upper* bounds (within 2× of the true quantile). Observations past
+/// the top bucket (`≥ 2^39 µs`) saturate into an explicit counter surfaced
+/// as [`StatsSnapshot::latency_saturated`] instead of being folded into the
+/// top bucket.
+///
+/// The `connections_*` / `net_requests` counters are bumped by the
+/// [`crate::net`] listener; on a stdin-only server they stay zero.
 #[derive(Default)]
 pub struct ServiceStats {
     pub(crate) queries: AtomicU64,
@@ -81,6 +130,10 @@ pub struct ServiceStats {
     pub(crate) index_builds: AtomicU64,
     pub(crate) errors: AtomicU64,
     pub(crate) epoch_refreshes: AtomicU64,
+    pub(crate) connections_accepted: AtomicU64,
+    pub(crate) connections_closed: AtomicU64,
+    pub(crate) connections_rejected: AtomicU64,
+    pub(crate) net_requests: AtomicU64,
     pub(crate) latency: LatencyHistogram,
 }
 
@@ -131,6 +184,11 @@ impl ServiceStats {
             },
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
+            latency_saturated: self.latency.saturated(),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            net_requests: self.net_requests.load(Ordering::Relaxed),
         }
     }
 }
@@ -175,6 +233,19 @@ pub struct StatsSnapshot {
     pub p50: Option<Duration>,
     /// 99th-percentile serve latency (bucket upper bound).
     pub p99: Option<Duration>,
+    /// Observations past the histogram's top bucket (`≥ 2^39 µs`). When this
+    /// is nonzero, a reported quantile of `2^39 µs` is a *lower* bound.
+    pub latency_saturated: u64,
+    /// TCP connections accepted by the network listener (0 without one).
+    pub connections_accepted: u64,
+    /// TCP connections that have finished (EOF, `quit`, error, or drain);
+    /// `connections_accepted - connections_closed` is the live gauge.
+    pub connections_closed: u64,
+    /// TCP connections turned away because `--max-conns` handlers were busy.
+    pub connections_rejected: u64,
+    /// Protocol requests served over TCP connections (a subset of the
+    /// activity in `queries`: updates/stats/etc. count here too).
+    pub net_requests: u64,
 }
 
 impl StatsSnapshot {
@@ -201,6 +272,9 @@ impl StatsSnapshot {
                 "\"computations\":{},\"index_builds\":{},\"errors\":{},",
                 "\"epoch_refreshes\":{},\"evictions\":{},\"invalidations\":{},",
                 "\"cached_entries\":{},\"hit_rate\":{:.4},\"p50_us\":{},\"p99_us\":{},",
+                "\"latency_saturated\":{},",
+                "\"connections_accepted\":{},\"connections_closed\":{},",
+                "\"connections_rejected\":{},\"net_requests\":{},",
                 "\"data_dir\":{},\"wal_len\":{},\"last_snapshot_epoch\":{}}}"
             ),
             self.epoch,
@@ -217,6 +291,11 @@ impl StatsSnapshot {
             self.hit_rate,
             us(self.p50),
             us(self.p99),
+            self.latency_saturated,
+            self.connections_accepted,
+            self.connections_closed,
+            self.connections_rejected,
+            self.net_requests,
             data_dir,
             opt_u64(self.wal_len),
             opt_u64(self.last_snapshot_epoch),
@@ -263,6 +342,17 @@ impl fmt::Display for StatsSnapshot {
         )?;
         writeln!(f, "epoch refreshes:    {}", self.epoch_refreshes)?;
         writeln!(f, "errors:             {}", self.errors)?;
+        if self.connections_accepted > 0 || self.connections_rejected > 0 {
+            writeln!(
+                f,
+                "tcp connections:    {} accepted, {} live, {} rejected, {} requests",
+                self.connections_accepted,
+                self.connections_accepted
+                    .saturating_sub(self.connections_closed),
+                self.connections_rejected,
+                self.net_requests
+            )?;
+        }
         match (&self.data_dir, self.wal_len, self.last_snapshot_epoch) {
             (Some(dir), Some(wal), Some(snap)) => writeln!(
                 f,
@@ -275,7 +365,15 @@ impl fmt::Display for StatsSnapshot {
             None => "n/a".to_string(),
         };
         writeln!(f, "latency p50:        {}", fmt_latency(self.p50))?;
-        write!(f, "latency p99:        {}", fmt_latency(self.p99))
+        write!(f, "latency p99:        {}", fmt_latency(self.p99))?;
+        if self.latency_saturated > 0 {
+            write!(
+                f,
+                "\nlatency saturated:  {} observations past the top bucket",
+                self.latency_saturated
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -297,6 +395,56 @@ mod tests {
         let p100 = h.quantile(1.0).unwrap();
         assert!(p100 >= Duration::from_micros(100_000));
         assert!(p100 <= Duration::from_micros(262_144));
+    }
+
+    #[test]
+    fn latencies_past_the_top_bucket_saturate_instead_of_clamping() {
+        let h = LatencyHistogram::default();
+        // One bucketable observation and two past the nominal 2^39 µs bound.
+        h.record(Duration::from_micros(10));
+        h.record(Duration::from_micros(SATURATION_BOUND_US));
+        h.record(Duration::from_micros(u64::MAX));
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.saturated(), 2);
+        // The median is the bucketable observation; the max quantile lands in
+        // the saturated tail and reports the saturation bound (a lower
+        // bound, flagged by saturated() > 0 — not a fake upper bound).
+        assert_eq!(h.quantile(0.0), Some(Duration::from_micros(16)));
+        assert_eq!(
+            h.quantile(1.0),
+            Some(Duration::from_micros(SATURATION_BOUND_US))
+        );
+
+        let stats = ServiceStats::new();
+        stats.latency.record(Duration::from_micros(u64::MAX));
+        let snap = stats.snapshot(0, 0, 0, 0, None);
+        assert_eq!(snap.latency_saturated, 1);
+        assert!(snap.to_json().contains("\"latency_saturated\":1"));
+        assert!(snap.to_string().contains("latency saturated:  1"));
+    }
+
+    #[test]
+    fn connection_counters_surface_in_json_and_display() {
+        let stats = ServiceStats::new();
+        stats.connections_accepted.store(5, Ordering::Relaxed);
+        stats.connections_closed.store(3, Ordering::Relaxed);
+        stats.connections_rejected.store(2, Ordering::Relaxed);
+        stats.net_requests.store(40, Ordering::Relaxed);
+        let snap = stats.snapshot(0, 0, 0, 0, None);
+        assert_eq!(snap.connections_accepted, 5);
+        assert_eq!(snap.net_requests, 40);
+        let json = snap.to_json();
+        assert!(json.contains("\"connections_accepted\":5"), "{json}");
+        assert!(json.contains("\"connections_rejected\":2"), "{json}");
+        assert!(json.contains("\"net_requests\":40"), "{json}");
+        let rendered = snap.to_string();
+        assert!(
+            rendered.contains("5 accepted, 2 live, 2 rejected, 40 requests"),
+            "{rendered}"
+        );
+        // A stdin-only server never shows the TCP line.
+        let quiet = ServiceStats::new().snapshot(0, 0, 0, 0, None).to_string();
+        assert!(!quiet.contains("tcp connections"));
     }
 
     #[test]

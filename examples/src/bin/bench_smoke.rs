@@ -10,6 +10,10 @@
 //! benchmark trajectory CI uploads as an artifact on every run. The numbers
 //! are smoke-sized (seconds, not minutes): the point is a continuous record
 //! with a stable schema, not a rigorous benchmark.
+//!
+//! The reported p50/p99 are power-of-two **bucket upper bounds** (within 2×
+//! of the true quantile; see `exactsim_service::stats::LatencyHistogram` for
+//! the exact bucket bounds and the saturation rule past the top bucket).
 
 use std::sync::Arc;
 use std::time::Instant;
