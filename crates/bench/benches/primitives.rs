@@ -93,7 +93,7 @@ fn bench_diagonal_estimators(c: &mut Criterion) {
         b.iter(|| black_box(estimate_bernoulli(&graph, 3, 5_000, SQRT_C, 60, &mut rng)));
     });
     group.bench_function("algorithm3_local_deterministic", |b| {
-        let mut ws = Workspace::new(graph.num_nodes());
+        let mut ws = exactsim::scratch::DiagonalScratch::new(graph.num_nodes());
         let mut rng = walks::make_rng(3);
         b.iter(|| {
             black_box(estimate_local_deterministic(

@@ -1,0 +1,598 @@
+//! `simrank-bench` — the core-algorithm benchmark harness.
+//!
+//! Times every single-source solver on a fixed family of generated graphs
+//! (Erdős–Rényi, stochastic block model, preferential attachment at several
+//! sizes) plus a set of allocation-sensitive kernel microbenches, and emits
+//! `BENCH_core.json`. This file is the perf baseline every PR is measured
+//! against: CI runs it with `--quick` and fails if any tracked per-op p50
+//! regresses more than `--max-regression` (default 2.5×) against the
+//! checked-in `bench/baseline_core.json`.
+//!
+//! Run it locally with
+//!
+//! ```text
+//! cargo bench -p exactsim --bench simrank_bench -- --quick --out BENCH_core.json
+//! cargo bench -p exactsim --bench simrank_bench -- \
+//!     --baseline bench/baseline_core.json --quick
+//! ```
+//!
+//! The binary is a plain `harness = false` bench target: no criterion (the
+//! vendored stub has no JSON output or baselines), just wall-clock sampling
+//! with p50/p99 over per-query samples.
+
+use std::time::Instant;
+
+use exactsim::config::SimRankConfig;
+use exactsim::exactsim::{ExactSim, ExactSimConfig, ExactSimVariant};
+use exactsim::linearization::{Linearization, LinearizationConfig};
+use exactsim::mc::{MonteCarlo, MonteCarloConfig};
+use exactsim::parsim::{ParSim, ParSimConfig};
+use exactsim::prsim::{PrSim, PrSimConfig};
+use exactsim_graph::generators::{
+    barabasi_albert, gnm_directed, stochastic_block_model, SbmConfig,
+};
+use exactsim_graph::linalg::{p_multiply_sparse, pt_multiply, SparseVec, Workspace};
+use exactsim_graph::{DiGraph, NodeId};
+
+/// One measured configuration of `BENCH_core.json`.
+struct Record {
+    /// "query" (per-query latency), "kernel" (per-op latency) or "build"
+    /// (index construction, reported in ms and exempt from regression gates).
+    kind: &'static str,
+    algo: String,
+    graph: String,
+    n: usize,
+    m: usize,
+    eps: f64,
+    threads: usize,
+    samples: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    build_ms: f64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kind\":\"{}\",\"algo\":\"{}\",\"graph\":\"{}\",\"n\":{},\"m\":{},",
+                "\"eps\":{:e},\"threads\":{},\"samples\":{},\"p50_us\":{:.2},",
+                "\"p99_us\":{:.2},\"mean_us\":{:.2},\"build_ms\":{:.3}}}"
+            ),
+            self.kind,
+            self.algo,
+            self.graph,
+            self.n,
+            self.m,
+            self.eps,
+            self.threads,
+            self.samples,
+            self.p50_us,
+            self.p99_us,
+            self.mean_us,
+            self.build_ms,
+        )
+    }
+
+    /// The identity a baseline record is matched on. `eps` uses the same
+    /// `{:e}` rendering as the JSON field so parsed baselines match exactly.
+    fn key(&self) -> String {
+        format!(
+            "{}/{}/{}/{:e}/{}",
+            self.kind, self.algo, self.graph, self.eps, self.threads
+        )
+    }
+}
+
+/// Per-op latency summary over a set of samples (µs).
+struct Summary {
+    samples: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+}
+
+/// Runs `op` once for warmup and then `samples` timed times; each sample may
+/// batch `iters` inner iterations (for sub-µs kernels) and reports per-op µs.
+fn measure<F: FnMut()>(samples: usize, iters: usize, mut op: F) -> Summary {
+    op(); // warmup: first-touch allocations, page faults, lazy pools
+    let mut us: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            op();
+        }
+        us.push(start.elapsed().as_secs_f64() * 1e6 / iters as f64);
+    }
+    us.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let pick = |q: f64| us[((q * (us.len() - 1) as f64).round() as usize).min(us.len() - 1)];
+    Summary {
+        samples,
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        mean_us: us.iter().sum::<f64>() / us.len() as f64,
+    }
+}
+
+struct BenchGraph {
+    name: &'static str,
+    graph: DiGraph,
+    /// `true` for the graph the acceptance criterion tracks.
+    mid_size: bool,
+}
+
+fn graphs(quick: bool) -> Vec<BenchGraph> {
+    let mut out = vec![
+        BenchGraph {
+            name: "er-1k",
+            graph: gnm_directed(1_000, 6_000, 11).expect("generator"),
+            mid_size: false,
+        },
+        BenchGraph {
+            name: "sbm-1k2",
+            graph: stochastic_block_model(SbmConfig {
+                block_sizes: vec![400, 400, 400],
+                p_within: 0.015,
+                p_between: 0.001,
+                seed: 13,
+            })
+            .expect("generator")
+            .graph,
+            mid_size: false,
+        },
+        BenchGraph {
+            name: "ba-5k",
+            graph: barabasi_albert(5_000, 5, true, 17).expect("generator"),
+            mid_size: true,
+        },
+    ];
+    if !quick {
+        out.push(BenchGraph {
+            name: "er-20k",
+            graph: gnm_directed(20_000, 120_000, 19).expect("generator"),
+            mid_size: false,
+        });
+        out.push(BenchGraph {
+            name: "ba-20k",
+            graph: barabasi_albert(20_000, 5, true, 23).expect("generator"),
+            mid_size: false,
+        });
+    }
+    out
+}
+
+/// Query sources spread deterministically over the node range.
+fn sources(n: usize, count: usize) -> Vec<NodeId> {
+    (0..count).map(|i| ((i * n) / count) as NodeId).collect()
+}
+
+fn simrank_config(threads: usize) -> SimRankConfig {
+    SimRankConfig {
+        threads,
+        ..SimRankConfig::default()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_query_record(
+    records: &mut Vec<Record>,
+    algo: &str,
+    bg: &BenchGraph,
+    eps: f64,
+    threads: usize,
+    build_ms: f64,
+    summary: Summary,
+) {
+    records.push(Record {
+        kind: "query",
+        algo: algo.to_string(),
+        graph: bg.name.to_string(),
+        n: bg.graph.num_nodes(),
+        m: bg.graph.num_edges(),
+        eps,
+        threads,
+        samples: summary.samples,
+        p50_us: summary.p50_us,
+        p99_us: summary.p99_us,
+        mean_us: summary.mean_us,
+        build_ms,
+    });
+}
+
+fn bench_algorithms(records: &mut Vec<Record>, bg: &BenchGraph, quick: bool, threads: usize) {
+    let n = bg.graph.num_nodes();
+    let samples = if quick { 9 } else { 25 };
+    let srcs = sources(n, samples);
+    let mut next = {
+        let mut i = 0usize;
+        let srcs = srcs.clone();
+        move || {
+            let s = srcs[i % srcs.len()];
+            i += 1;
+            s
+        }
+    };
+
+    // ExactSim optimized — the tentpole target. Budgeted like the serving
+    // configuration so a query is ms-scale, not the paper's 1e-7 regime.
+    let eps_opt = 1e-3;
+    let opt = ExactSim::new(
+        &bg.graph,
+        ExactSimConfig {
+            simrank: simrank_config(1),
+            epsilon: eps_opt,
+            variant: ExactSimVariant::Optimized,
+            walk_budget: Some(200_000),
+            ..Default::default()
+        },
+    )
+    .expect("exactsim");
+    let summary = measure(samples, 1, || {
+        let s = next();
+        std::hint::black_box(opt.query(s).expect("query"));
+    });
+    push_query_record(records, "exactsim_opt", bg, eps_opt, 1, 0.0, summary);
+
+    if threads > 1 {
+        let opt_mt = ExactSim::new(
+            &bg.graph,
+            ExactSimConfig {
+                simrank: simrank_config(threads),
+                epsilon: eps_opt,
+                variant: ExactSimVariant::Optimized,
+                walk_budget: Some(200_000),
+                ..Default::default()
+            },
+        )
+        .expect("exactsim");
+        let summary = measure(samples, 1, || {
+            let s = next();
+            std::hint::black_box(opt_mt.query(s).expect("query"));
+        });
+        push_query_record(records, "exactsim_opt", bg, eps_opt, threads, 0.0, summary);
+    }
+
+    // ExactSim basic (dense hop vectors, Bernoulli D).
+    let eps_basic = 1e-2;
+    let basic = ExactSim::new(
+        &bg.graph,
+        ExactSimConfig {
+            simrank: simrank_config(1),
+            epsilon: eps_basic,
+            variant: ExactSimVariant::Basic,
+            walk_budget: Some(100_000),
+            ..Default::default()
+        },
+    )
+    .expect("exactsim basic");
+    let summary = measure(samples, 1, || {
+        let s = next();
+        std::hint::black_box(basic.query(s).expect("query"));
+    });
+    push_query_record(records, "exactsim_basic", bg, eps_basic, 1, 0.0, summary);
+
+    // ParSim (index-free, deterministic).
+    let parsim = ParSim::new(
+        &bg.graph,
+        ParSimConfig {
+            simrank: simrank_config(1),
+            iterations: 30,
+        },
+    )
+    .expect("parsim");
+    let summary = measure(samples, 1, || {
+        let s = next();
+        std::hint::black_box(parsim.query(s).expect("query"));
+    });
+    push_query_record(records, "parsim", bg, 1e-2, 1, 0.0, summary);
+
+    // Linearization (Monte-Carlo D preprocessing).
+    let eps_lin = 0.05;
+    let build = Instant::now();
+    let lin = Linearization::build(
+        &bg.graph,
+        LinearizationConfig {
+            simrank: simrank_config(1),
+            epsilon: eps_lin,
+            walk_budget: Some(500_000),
+        },
+    )
+    .expect("linearization");
+    let lin_build_ms = build.elapsed().as_secs_f64() * 1e3;
+    let summary = measure(samples, 1, || {
+        let s = next();
+        std::hint::black_box(lin.query(s).expect("query"));
+    });
+    push_query_record(
+        records,
+        "linearization",
+        bg,
+        eps_lin,
+        1,
+        lin_build_ms,
+        summary,
+    );
+
+    // MC (stored-walk index).
+    let build = Instant::now();
+    let mc = MonteCarlo::build(
+        &bg.graph,
+        MonteCarloConfig {
+            simrank: simrank_config(1),
+            walks_per_node: if quick { 100 } else { 200 },
+            walk_length: 10,
+        },
+    )
+    .expect("mc");
+    let mc_build_ms = build.elapsed().as_secs_f64() * 1e3;
+    let summary = measure(samples, 1, || {
+        let s = next();
+        std::hint::black_box(mc.query(s).expect("query"));
+    });
+    push_query_record(records, "mc", bg, 1e-1, 1, mc_build_ms, summary);
+
+    // PRSim (inverted hop-column index).
+    let eps_prsim = 1e-2;
+    let build = Instant::now();
+    let prsim = PrSim::build(
+        &bg.graph,
+        PrSimConfig {
+            simrank: simrank_config(1),
+            epsilon: eps_prsim,
+            walk_budget: Some(200_000),
+            max_index_entries: Some(20_000_000),
+        },
+    )
+    .expect("prsim");
+    let prsim_build_ms = build.elapsed().as_secs_f64() * 1e3;
+    let summary = measure(samples, 1, || {
+        let s = next();
+        std::hint::black_box(prsim.query(s).expect("query"));
+    });
+    push_query_record(records, "prsim", bg, eps_prsim, 1, prsim_build_ms, summary);
+}
+
+/// Allocation-sensitive kernel microbenches on the mid-size graph: these are
+/// the per-op costs the Scratch/Workspace reuse work targets.
+fn bench_kernels(records: &mut Vec<Record>, bg: &BenchGraph, quick: bool) {
+    let g = &bg.graph;
+    let n = g.num_nodes();
+    let samples = if quick { 9 } else { 25 };
+    let mut push = |algo: &str, summary: Summary| {
+        records.push(Record {
+            kind: "kernel",
+            algo: algo.to_string(),
+            graph: bg.name.to_string(),
+            n,
+            m: g.num_edges(),
+            eps: 0.0,
+            threads: 1,
+            samples: summary.samples,
+            p50_us: summary.p50_us,
+            p99_us: summary.p99_us,
+            mean_us: summary.mean_us,
+            build_ms: 0.0,
+        });
+    };
+
+    // Sparse P·x with a reused workspace, on a support that has spread for a
+    // few levels (the shape the diagonal exploration sees).
+    let mut ws = Workspace::new(n);
+    let mut x = SparseVec::unit(0, 1.0);
+    for _ in 0..3 {
+        x = p_multiply_sparse(g, &x, &mut ws);
+    }
+    push(
+        "p_multiply_sparse",
+        measure(samples, 50, || {
+            std::hint::black_box(p_multiply_sparse(g, &x, &mut ws));
+        }),
+    );
+
+    // Dense Pᵀ·x — the accumulation step of every Linearization-style solver.
+    let xd = vec![1.0 / n as f64; n];
+    let mut yd = vec![0.0; n];
+    push(
+        "pt_multiply_dense",
+        measure(samples, 20, || {
+            pt_multiply(g, &xd, &mut yd);
+            std::hint::black_box(&yd);
+        }),
+    );
+
+    // SparseVec::from_unsorted on a duplicate-heavy unsorted entry list (the
+    // aggregate-vector build path of sparse_hop_vectors).
+    let entries: Vec<(NodeId, f64)> = (0..20_000)
+        .map(|i| (((i * 7919) % n) as NodeId, 1e-4))
+        .collect();
+    push(
+        "sparse_vec_from_unsorted",
+        measure(samples, 20, || {
+            std::hint::black_box(SparseVec::from_unsorted(entries.clone()));
+        }),
+    );
+
+    // Repeated identical optimized queries: after the Scratch work this path
+    // performs no per-query accumulator allocation.
+    let opt = ExactSim::new(
+        g,
+        ExactSimConfig {
+            simrank: simrank_config(1),
+            epsilon: 1e-3,
+            variant: ExactSimVariant::Optimized,
+            walk_budget: Some(200_000),
+            ..Default::default()
+        },
+    )
+    .expect("exactsim");
+    push(
+        "exactsim_opt_repeat",
+        measure(samples, 1, || {
+            std::hint::black_box(opt.query(0).expect("query"));
+        }),
+    );
+}
+
+/// Minimal extraction of `"key":value` number pairs from the baseline JSON —
+/// enough to read back the file this binary writes (no serde offline).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for obj in text.split('{').skip(1) {
+        let field = |name: &str| -> Option<String> {
+            let tag = format!("\"{name}\":");
+            let rest = &obj[obj.find(&tag)? + tag.len()..];
+            let rest = rest.trim_start_matches('"');
+            let end = rest.find([',', '}', '"']).unwrap_or(rest.len());
+            Some(rest[..end].to_string())
+        };
+        let (Some(kind), Some(algo), Some(graph), Some(eps), Some(threads), Some(p50)) = (
+            field("kind"),
+            field("algo"),
+            field("graph"),
+            field("eps"),
+            field("threads"),
+            field("p50_us"),
+        ) else {
+            continue;
+        };
+        if kind == "meta" {
+            continue;
+        }
+        let Ok(p50) = p50.parse::<f64>() else {
+            continue;
+        };
+        out.push((format!("{kind}/{algo}/{graph}/{eps}/{threads}"), p50));
+    }
+    out
+}
+
+/// Resolves a path argument. `cargo bench` runs this binary with the package
+/// directory (`crates/core`) as cwd, but the documented interface — the CI
+/// job, the README recipes, the checked-in baseline — is repo-root-relative,
+/// so relative paths are anchored at the workspace root.
+fn resolve_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::PathBuf::from(path);
+    if p.is_absolute() {
+        return p;
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/core has a workspace root two levels up")
+        .join(p)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_core.json");
+    let mut baseline: Option<String> = None;
+    let mut max_regression = 2.5f64;
+    let mut threads = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .expect("--max-regression needs a factor")
+                    .parse()
+                    .expect("--max-regression must be a number")
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .expect("--threads needs a count")
+                    .parse()
+                    .expect("--threads must be a number")
+            }
+            // `cargo bench` may forward harness flags; ignore them.
+            other => eprintln!("simrank-bench: ignoring unknown argument {other:?}"),
+        }
+    }
+
+    let mut records = Vec::new();
+    for bg in &graphs(quick) {
+        eprintln!(
+            "[simrank-bench] {} (n={}, m={})",
+            bg.name,
+            bg.graph.num_nodes(),
+            bg.graph.num_edges()
+        );
+        bench_algorithms(&mut records, bg, quick, threads);
+        if bg.mid_size {
+            bench_kernels(&mut records, bg, quick);
+        }
+    }
+
+    let body: Vec<String> = records.iter().map(Record::to_json).collect();
+    let json = format!(
+        "{{\"suite\":\"core\",\"mode\":\"{}\",\"records\":[\n  {}\n]}}\n",
+        if quick { "quick" } else { "full" },
+        body.join(",\n  ")
+    );
+    let out_path = resolve_path(&out_path);
+    std::fs::write(&out_path, &json).expect("write BENCH_core.json");
+    eprintln!(
+        "[simrank-bench] wrote {} records to {}",
+        records.len(),
+        out_path.display()
+    );
+    for r in &records {
+        eprintln!(
+            "  {:<8} {:<24} {:<8} p50 {:>10.1}µs  p99 {:>10.1}µs  build {:>8.1}ms",
+            r.kind,
+            format!("{}@{}", r.algo, r.graph),
+            format!("t={}", r.threads),
+            r.p50_us,
+            r.p99_us,
+            r.build_ms
+        );
+    }
+
+    if let Some(path) = baseline {
+        let path = resolve_path(&path);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
+        let base = parse_baseline(&text);
+        let mut failures = Vec::new();
+        let mut compared = 0usize;
+        for r in &records {
+            let Some((_, base_p50)) = base.iter().find(|(k, _)| *k == r.key()) else {
+                continue;
+            };
+            compared += 1;
+            // Floor the baseline at 100µs before applying the ratio: the
+            // sub-100µs records (PRSim queries, kernel microbenches) are
+            // dominated by scheduler noise across machines — the checked-in
+            // baseline and the CI runner are different hardware — and a raw
+            // ratio there gates noise, not code. The tentpole targets are
+            // ms-scale and unaffected by the floor.
+            let allowed = base_p50.max(100.0) * max_regression;
+            if r.p50_us > allowed {
+                failures.push(format!(
+                    "{}: p50 {:.1}µs exceeds {:.1}µs ({}µs baseline × {max_regression})",
+                    r.key(),
+                    r.p50_us,
+                    allowed,
+                    base_p50
+                ));
+            }
+        }
+        eprintln!("[simrank-bench] baseline check: {compared} records compared");
+        if compared == 0 {
+            eprintln!("[simrank-bench] FAIL: no baseline records matched (stale baseline?)");
+            std::process::exit(1);
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("[simrank-bench] REGRESSION {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("[simrank-bench] baseline check passed (max allowed {max_regression}x)");
+    }
+}

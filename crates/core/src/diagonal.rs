@@ -23,12 +23,12 @@
 //!   [`crate::power_method::PowerMethod::exact_diagonal`]), used for
 //!   validation and ablations.
 
-use std::collections::BTreeMap;
-
-use exactsim_graph::linalg::{p_multiply_sparse, SparseVec, Workspace};
+use exactsim_graph::linalg::{p_multiply_sparse_into, SparseVec};
 use exactsim_graph::{DiGraph, NodeId};
 use rand::rngs::SmallRng;
 
+use crate::parallel::split_ranges;
+use crate::scratch::DiagonalScratch;
 use crate::walks::{self, PairOutcome};
 
 /// Hard engineering caps for the local deterministic exploitation
@@ -153,6 +153,15 @@ pub fn estimate_bernoulli(
 /// at the `1/R(k)` level the paper's analysis assumes while avoiding
 /// astronomically many walks; (2) the engineering caps in
 /// [`LocalExploreCaps`].
+///
+/// All intermediate state lives in the caller-owned [`DiagonalScratch`]:
+/// walk distributions in an epoch-stamped [`crate::scratch::DistTable`], the
+/// per-level `Z` accumulation in an epoch-stamped dense workspace drained in
+/// sorted index order. The seed-era implementation accumulated through
+/// `BTreeMap`s, which sum in exactly that ascending-key order — so this
+/// version is bit-identical (pinned by `tests/properties.rs` against a
+/// verbatim port of the old code) while performing no per-node allocation in
+/// steady state.
 #[allow(clippy::too_many_arguments)]
 pub fn estimate_local_deterministic(
     graph: &DiGraph,
@@ -161,7 +170,7 @@ pub fn estimate_local_deterministic(
     sqrt_c: f64,
     tail_skip_threshold: f64,
     caps: LocalExploreCaps,
-    workspace: &mut Workspace,
+    scratch: &mut DiagonalScratch,
     rng: &mut SmallRng,
 ) -> (f64, LocalNodeStats) {
     let c = sqrt_c * sqrt_c;
@@ -180,87 +189,96 @@ pub fn estimate_local_deterministic(
     };
     let edge_budget = edge_budget.min(caps.max_edges);
 
-    // Lazily grown walk distributions: dist[s][t] = P^t · e_s (no decay).
-    // BTreeMaps (not HashMaps) throughout: the float accumulations below sum
-    // in iteration order, and randomized hashing would make D̂ — and hence
-    // every ExactSim answer — differ at ULP level between identical calls.
-    let mut dist: BTreeMap<NodeId, Vec<SparseVec>> = BTreeMap::new();
-    dist.insert(node, vec![SparseVec::unit(node, 1.0)]);
+    let DiagonalScratch {
+        ws,
+        z,
+        z_levels,
+        dist,
+    } = scratch;
+
+    // Lazily grown walk distributions: dist.slot(s).level(t) = P^t · e_s (no
+    // decay), logically reset per node, storage retained across nodes.
+    dist.begin_node(graph.num_nodes());
+    dist.slot_mut(node).ensure_unit(node);
 
     let mut edges_used = 0u64;
-    // Z[t] (t >= 1) as a map q -> Z_t(node, q).
-    let mut z_levels: Vec<BTreeMap<NodeId, f64>> = Vec::new();
+    // Z[t] (t >= 1) lives in z_levels[t - 1] as a sorted sparse vector of the
+    // strictly positive entries (zero and clamped-negative entries carry no
+    // weight downstream; the seed-era BTreeMap kept and then filtered them).
+    let mut z_len = 0usize;
     let mut met_probability = 0.0f64;
 
     let mut level = 0usize;
-    // Helper closure cost model: extending a distribution by one level costs
-    // Σ din(j) over its current support.
-    let extend_cost = |v: &SparseVec, graph: &DiGraph| -> u64 {
+    // Cost model: extending a distribution by one level costs Σ din(j) over
+    // its current support.
+    fn extend_cost(v: &SparseVec, graph: &DiGraph) -> u64 {
         v.iter().map(|(j, _)| graph.in_degree(j) as u64).sum()
-    };
+    }
 
     while level < caps.max_levels {
         let next_level = level + 1;
         // Make sure the distribution from `node` reaches `next_level`.
         {
-            let node_dist = dist.get_mut(&node).expect("source distribution present");
+            let node_dist = dist.slot_mut(node);
+            node_dist.ensure_unit(node);
             while node_dist.len() <= next_level {
-                let last = node_dist.last().expect("at least level 0");
+                let (last, next) = node_dist.split_for_extend();
                 edges_used += extend_cost(last, graph);
-                let next = p_multiply_sparse(graph, last, workspace);
-                node_dist.push(next);
+                p_multiply_sparse_into(graph, last, ws, next);
             }
         }
 
         // Z_{next_level}(node, q) = c^ℓ (P^ℓ e_node)(q)²
         //   − Σ_{t=1}^{ℓ-1} Σ_{q'} c^{ℓ-t} (P^{ℓ-t} e_{q'})(q)² · Z_t(node, q').
-        let mut z_next: BTreeMap<NodeId, f64> = BTreeMap::new();
         {
-            let node_dist = &dist[&node];
-            let base = &node_dist[next_level];
+            let node_dist = dist.slot_mut(node);
+            let base = node_dist.level(next_level);
             let scale = c.powi(next_level as i32);
             for (q, v) in base.iter() {
-                z_next.insert(q, scale * v * v);
+                z.add(q, scale * v * v);
             }
         }
         for t in 1..next_level {
             let remaining = next_level - t;
-            // Clone the support of Z_t to avoid holding a borrow on z_levels
-            // while we mutate `dist`.
-            let entries: Vec<(NodeId, f64)> = z_levels[t - 1]
-                .iter()
-                .map(|(&q, &v)| (q, v))
-                .filter(|&(_, v)| v > 0.0)
-                .collect();
-            for (q_prime, z_val) in entries {
-                let q_dist = dist
-                    .entry(q_prime)
-                    .or_insert_with(|| vec![SparseVec::unit(q_prime, 1.0)]);
+            for idx in 0..z_levels[t - 1].nnz() {
+                let (q_prime, z_val) = (
+                    z_levels[t - 1].indices()[idx],
+                    z_levels[t - 1].values()[idx],
+                );
+                let q_dist = dist.slot_mut(q_prime);
+                q_dist.ensure_unit(q_prime);
                 while q_dist.len() <= remaining {
-                    let last = q_dist.last().expect("at least level 0");
+                    let (last, next) = q_dist.split_for_extend();
                     edges_used += extend_cost(last, graph);
-                    let next = p_multiply_sparse(graph, last, workspace);
-                    q_dist.push(next);
+                    p_multiply_sparse_into(graph, last, ws, next);
                 }
-                let spread = &q_dist[remaining];
+                let spread = q_dist.level(remaining);
                 let factor = c.powi(remaining as i32) * z_val;
                 if factor == 0.0 {
                     continue;
                 }
                 for (q, v) in spread.iter() {
-                    *z_next.entry(q).or_insert(0.0) -= factor * v * v;
+                    z.add(q, -(factor * v * v));
                 }
             }
         }
-        // Numerical guard: Z is a probability, clamp tiny negatives.
-        let level_mass: f64 = z_next.values().map(|&v| v.max(0.0)).sum();
-        for v in z_next.values_mut() {
-            if *v < 0.0 {
-                *v = 0.0;
-            }
+        // Drain in sorted index order (the BTreeMap iteration order):
+        // accumulate the level mass with tiny negatives clamped — Z is a
+        // probability — and store the strictly positive entries as Z_t.
+        if z_levels.len() == z_len {
+            z_levels.push(SparseVec::new());
         }
+        let stored = &mut z_levels[z_len];
+        stored.clear();
+        let mut level_mass = 0.0f64;
+        z.drain_sorted(|q, v| {
+            level_mass += v.max(0.0);
+            if v > 0.0 {
+                stored.push_sorted(q, v);
+            }
+        });
+        z_len += 1;
         met_probability += level_mass;
-        z_levels.push(z_next);
         level = next_level;
 
         let tail_bound = c.powi(level as i32);
@@ -353,12 +371,98 @@ fn sample_tail_pair(
     false
 }
 
-/// Estimates `D̂(k,k)` for every node with a positive sample allocation.
-///
-/// `allocation[k]` is the paper's `R(k)`; nodes with zero allocation keep the
-/// prior `1 − c` (their contribution to the caller's result is zero anyway).
-/// The walk budget is consumed sequentially over nodes using a per-node seed
-/// derived from `seed`, so the result is independent of call order.
+/// Per-shard tallies of a sharded diagonal estimation, merged by summing
+/// (order-independent integer counters).
+#[derive(Clone, Copy, Debug, Default)]
+struct ShardTallies {
+    walk_pairs: u64,
+    explore_edges: u64,
+    tails_skipped: usize,
+}
+
+/// One shard of the Bernoulli estimation: fills `values[k - range.start]`
+/// for every `k` in `range` with a positive allocation.
+fn bernoulli_shard(
+    graph: &DiGraph,
+    allocation: &[u64],
+    range: std::ops::Range<usize>,
+    sqrt_c: f64,
+    seed: u64,
+    values: &mut [f64],
+) -> ShardTallies {
+    let c = sqrt_c * sqrt_c;
+    let max_steps = 10 * ((1.0 / (1.0 - sqrt_c)).ceil() as usize).max(10);
+    let mut tallies = ShardTallies::default();
+    for k in range.clone() {
+        let r = allocation[k];
+        if r == 0 {
+            continue;
+        }
+        let slot = &mut values[k - range.start];
+        let din = graph.in_degree(k as NodeId);
+        if din == 0 {
+            *slot = 1.0;
+            continue;
+        }
+        if din == 1 {
+            *slot = 1.0 - c;
+            continue;
+        }
+        let mut rng = walks::make_rng(walks::derive_seed(seed, k as u64));
+        *slot = estimate_bernoulli(graph, k as NodeId, r, sqrt_c, max_steps, &mut rng);
+        tallies.walk_pairs += r;
+    }
+    tallies
+}
+
+/// One shard of the Algorithm 3 estimation.
+#[allow(clippy::too_many_arguments)]
+fn local_deterministic_shard(
+    graph: &DiGraph,
+    allocation: &[u64],
+    range: std::ops::Range<usize>,
+    sqrt_c: f64,
+    tail_skip_threshold: f64,
+    caps: LocalExploreCaps,
+    seed: u64,
+    scratch: &mut DiagonalScratch,
+    values: &mut [f64],
+) -> ShardTallies {
+    let mut tallies = ShardTallies::default();
+    for k in range.clone() {
+        let r = allocation[k];
+        if r == 0 {
+            continue;
+        }
+        let mut rng = walks::make_rng(walks::derive_seed(seed, k as u64));
+        let node_threshold = if tail_skip_threshold > 0.0 {
+            tail_skip_threshold.max(0.25 / (r as f64).sqrt())
+        } else {
+            0.0
+        };
+        let (value, stats) = estimate_local_deterministic(
+            graph,
+            k as NodeId,
+            r,
+            sqrt_c,
+            node_threshold,
+            caps,
+            scratch,
+            &mut rng,
+        );
+        values[k - range.start] = value;
+        tallies.walk_pairs += stats.tail_pairs;
+        tallies.explore_edges += stats.edges;
+        if stats.tail_skipped {
+            tallies.tails_skipped += 1;
+        }
+    }
+    tallies
+}
+
+/// Estimates `D̂(k,k)` for every node with a positive sample allocation,
+/// allocating its own per-shard scratches (convenience wrapper around
+/// [`estimate_diagonal_with`] for index-build-time callers).
 pub fn estimate_diagonal(
     graph: &DiGraph,
     allocation: &[u64],
@@ -366,6 +470,41 @@ pub fn estimate_diagonal(
     sqrt_c: f64,
     tail_skip_threshold: f64,
     seed: u64,
+    threads: usize,
+) -> DiagonalEstimate {
+    let mut scratches = Vec::new();
+    estimate_diagonal_with(
+        graph,
+        allocation,
+        estimator,
+        sqrt_c,
+        tail_skip_threshold,
+        seed,
+        threads,
+        &mut scratches,
+    )
+}
+
+/// Estimates `D̂(k,k)` for every node with a positive sample allocation.
+///
+/// `allocation[k]` is the paper's `R(k)`; nodes with zero allocation keep the
+/// prior `1 − c` (their contribution to the caller's result is zero anyway).
+/// Every node derives its own RNG stream from `(seed, k)` and its exploration
+/// state lives entirely in one shard's [`DiagonalScratch`], so the node range
+/// can be sharded across `threads` worker threads — each shard writes its own
+/// disjoint slice of the output — and the result is **bit-identical for any
+/// thread count** (and independent of call order). `scratches` is grown to
+/// the shard count and reused across calls.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_diagonal_with(
+    graph: &DiGraph,
+    allocation: &[u64],
+    estimator: &DiagonalEstimator,
+    sqrt_c: f64,
+    tail_skip_threshold: f64,
+    seed: u64,
+    threads: usize,
+    scratches: &mut Vec<DiagonalScratch>,
 ) -> DiagonalEstimate {
     let n = graph.num_nodes();
     assert_eq!(allocation.len(), n, "allocation must cover every node");
@@ -374,6 +513,7 @@ pub fn estimate_diagonal(
         values: vec![1.0 - c; n],
         ..Default::default()
     };
+    let ranges = split_ranges(n, threads.max(1));
     match estimator {
         DiagonalEstimator::Exact(values) => {
             assert_eq!(values.len(), n, "exact diagonal must cover every node");
@@ -383,58 +523,76 @@ pub fn estimate_diagonal(
             // values already initialised to 1 - c.
         }
         DiagonalEstimator::Bernoulli => {
-            let max_steps = 10 * ((1.0 / (1.0 - sqrt_c)).ceil() as usize).max(10);
-            for (k, &r) in allocation.iter().enumerate() {
-                if r == 0 {
-                    continue;
-                }
-                let din = graph.in_degree(k as NodeId);
-                if din == 0 {
-                    out.values[k] = 1.0;
-                    continue;
-                }
-                if din == 1 {
-                    out.values[k] = 1.0 - c;
-                    continue;
-                }
-                let mut rng = walks::make_rng(walks::derive_seed(seed, k as u64));
-                out.values[k] =
-                    estimate_bernoulli(graph, k as NodeId, r, sqrt_c, max_steps, &mut rng);
-                out.walk_pairs += r;
-            }
+            let mut units = vec![(); ranges.len()];
+            let tallies =
+                shard_over_values(&mut out.values, &ranges, &mut units, |range, (), values| {
+                    bernoulli_shard(graph, allocation, range, sqrt_c, seed, values)
+                });
+            apply_tallies(&mut out, tallies);
         }
         DiagonalEstimator::LocalDeterministic(caps) => {
-            let mut workspace = Workspace::new(n);
-            for (k, &r) in allocation.iter().enumerate() {
-                if r == 0 {
-                    continue;
-                }
-                let mut rng = walks::make_rng(walks::derive_seed(seed, k as u64));
-                let node_threshold = if tail_skip_threshold > 0.0 {
-                    tail_skip_threshold.max(0.25 / (r as f64).sqrt())
-                } else {
-                    0.0
-                };
-                let (value, stats) = estimate_local_deterministic(
-                    graph,
-                    k as NodeId,
-                    r,
-                    sqrt_c,
-                    node_threshold,
-                    *caps,
-                    &mut workspace,
-                    &mut rng,
-                );
-                out.values[k] = value;
-                out.walk_pairs += stats.tail_pairs;
-                out.explore_edges += stats.edges;
-                if stats.tail_skipped {
-                    out.tails_skipped += 1;
-                }
+            while scratches.len() < ranges.len() {
+                scratches.push(DiagonalScratch::new(n));
             }
+            let shard_count = ranges.len();
+            // A scratch retained from a *different* graph would index out of
+            // bounds deep inside the kernels; fail loudly at the boundary.
+            for scratch in &scratches[..shard_count] {
+                assert_eq!(
+                    scratch.num_nodes(),
+                    n,
+                    "diagonal scratch was created for a graph with {} nodes, \
+                     but this graph has {n}",
+                    scratch.num_nodes()
+                );
+            }
+            let tallies = shard_over_values(
+                &mut out.values,
+                &ranges,
+                &mut scratches[..shard_count],
+                |range, scratch, values| {
+                    local_deterministic_shard(
+                        graph,
+                        allocation,
+                        range,
+                        sqrt_c,
+                        tail_skip_threshold,
+                        *caps,
+                        seed,
+                        scratch,
+                        values,
+                    )
+                },
+            );
+            apply_tallies(&mut out, tallies);
         }
     }
     out
+}
+
+fn apply_tallies(out: &mut DiagonalEstimate, tallies: ShardTallies) {
+    out.walk_pairs += tallies.walk_pairs;
+    out.explore_edges += tallies.explore_edges;
+    out.tails_skipped += tallies.tails_skipped;
+}
+
+/// Runs `work` over every shard of `values` through the crate's one
+/// deterministic sharding primitive ([`crate::parallel`]'s `shard_slices`),
+/// summing the per-shard tallies in shard order. An empty `ranges` (empty
+/// graph) is a no-op.
+fn shard_over_values<C: Send>(
+    values: &mut [f64],
+    ranges: &[std::ops::Range<usize>],
+    contexts: &mut [C],
+    work: impl Fn(std::ops::Range<usize>, &mut C, &mut [f64]) -> ShardTallies + Sync,
+) -> ShardTallies {
+    let mut tallies = ShardTallies::default();
+    for t in crate::parallel::shard_slices(values, ranges, contexts, work) {
+        tallies.walk_pairs += t.walk_pairs;
+        tallies.explore_edges += t.explore_edges;
+        tallies.tails_skipped += t.tails_skipped;
+    }
+    tallies
 }
 
 #[cfg(test)]
@@ -443,6 +601,10 @@ mod tests {
     use crate::power_method::{PowerMethod, PowerMethodConfig};
     use crate::walks::make_rng;
     use exactsim_graph::generators::{barabasi_albert, complete, cycle, star};
+
+    fn scratch(n: usize) -> DiagonalScratch {
+        DiagonalScratch::new(n)
+    }
 
     const SQRT_C: f64 = 0.774_596_669_241_483_4; // sqrt(0.6)
     const C: f64 = 0.6;
@@ -465,7 +627,7 @@ mod tests {
         );
         let cyc = cycle(6);
         assert!((estimate_bernoulli(&cyc, 0, 100, SQRT_C, 50, &mut rng) - (1.0 - C)).abs() < 1e-12);
-        let mut ws = Workspace::new(6);
+        let mut ws = scratch(6);
         let (d, stats) = estimate_local_deterministic(
             &cyc,
             0,
@@ -511,7 +673,7 @@ mod tests {
         // deterministic and should nail D to ~1e-6.
         let g = barabasi_albert(40, 2, true, 9).unwrap();
         let exact = exact_d(&g);
-        let mut ws = Workspace::new(g.num_nodes());
+        let mut ws = scratch(g.num_nodes());
         let mut rng = make_rng(4);
         let caps = LocalExploreCaps {
             max_levels: 40,
@@ -537,7 +699,7 @@ mod tests {
         // beat the raw Bernoulli estimator for the same sample count.
         let g = barabasi_albert(50, 3, true, 11).unwrap();
         let exact = exact_d(&g);
-        let mut ws = Workspace::new(g.num_nodes());
+        let mut ws = scratch(g.num_nodes());
         let caps = LocalExploreCaps {
             max_levels: 3,
             max_edges: u64::MAX,
@@ -560,7 +722,7 @@ mod tests {
     #[test]
     fn exploration_respects_edge_budget() {
         let g = barabasi_albert(200, 3, true, 13).unwrap();
-        let mut ws = Workspace::new(g.num_nodes());
+        let mut ws = scratch(g.num_nodes());
         let mut rng = make_rng(5);
         let caps = LocalExploreCaps {
             max_levels: 40,
@@ -588,6 +750,7 @@ mod tests {
             SQRT_C,
             0.0,
             9,
+            1,
         );
         assert_eq!(est.walk_pairs, 10_000);
         let exact = exact_d(&g);
@@ -609,6 +772,7 @@ mod tests {
             SQRT_C,
             0.0,
             1,
+            1,
         );
         assert_eq!(e.values, exact);
         assert_eq!(e.walk_pairs, 0);
@@ -618,6 +782,7 @@ mod tests {
             &DiagonalEstimator::ParSimApprox,
             SQRT_C,
             0.0,
+            1,
             1,
         );
         assert!(p.values.iter().all(|&v| (v - (1.0 - C)).abs() < 1e-15));
@@ -634,6 +799,7 @@ mod tests {
             SQRT_C,
             1e-3,
             77,
+            1,
         );
         let exact = exact_d(&g);
         for (k, (est_k, exact_k)) in est.values.iter().zip(&exact).enumerate() {
@@ -658,6 +824,7 @@ mod tests {
             SQRT_C,
             1e-4,
             3,
+            1,
         );
         assert_eq!(est.tails_skipped, 6);
         assert_eq!(est.walk_pairs, 0);
@@ -668,9 +835,51 @@ mod tests {
     }
 
     #[test]
+    fn empty_graph_returns_an_empty_estimate() {
+        let g = exactsim_graph::GraphBuilder::new(0).build();
+        for estimator in [
+            DiagonalEstimator::Bernoulli,
+            DiagonalEstimator::ParSimApprox,
+            DiagonalEstimator::LocalDeterministic(LocalExploreCaps::default()),
+        ] {
+            let est = estimate_diagonal(&g, &[], &estimator, SQRT_C, 0.0, 1, 4);
+            assert!(est.values.is_empty());
+            assert_eq!(est.walk_pairs, 0);
+        }
+    }
+
+    #[test]
+    fn sharded_estimation_is_bit_identical_for_any_thread_count() {
+        let g = barabasi_albert(90, 3, true, 31).unwrap();
+        let allocation = vec![20_000u64; g.num_nodes()];
+        for estimator in [
+            DiagonalEstimator::Bernoulli,
+            DiagonalEstimator::LocalDeterministic(LocalExploreCaps::default()),
+        ] {
+            let single = estimate_diagonal(&g, &allocation, &estimator, SQRT_C, 1e-3, 5, 1);
+            for threads in [2usize, 3, 7] {
+                let sharded =
+                    estimate_diagonal(&g, &allocation, &estimator, SQRT_C, 1e-3, 5, threads);
+                assert_eq!(single.values, sharded.values, "threads = {threads}");
+                assert_eq!(single.walk_pairs, sharded.walk_pairs);
+                assert_eq!(single.explore_edges, sharded.explore_edges);
+                assert_eq!(single.tails_skipped, sharded.tails_skipped);
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "allocation must cover every node")]
     fn allocation_length_is_checked() {
         let g = complete(4);
-        estimate_diagonal(&g, &[1, 2], &DiagonalEstimator::Bernoulli, SQRT_C, 0.0, 1);
+        estimate_diagonal(
+            &g,
+            &[1, 2],
+            &DiagonalEstimator::Bernoulli,
+            SQRT_C,
+            0.0,
+            1,
+            1,
+        );
     }
 }

@@ -37,13 +37,15 @@ pub use result::{ExactSimResult, ExactSimStats};
 
 use std::borrow::Borrow;
 
-use exactsim_graph::linalg::{pt_multiply, SparseVec, Workspace};
+use exactsim_graph::linalg::SparseVec;
 use exactsim_graph::{DiGraph, NodeId};
 
 use crate::config::SimRankConfig;
-use crate::diagonal::{estimate_diagonal, DiagonalEstimator, LocalExploreCaps};
+use crate::diagonal::{estimate_diagonal_with, DiagonalEstimator, LocalExploreCaps};
 use crate::error::SimRankError;
-use crate::ppr::{dense_hop_vectors, sparse_hop_vectors};
+use crate::parallel::pt_multiply_threaded;
+use crate::ppr::{dense_hop_vectors_into, sparse_hop_vectors_into};
+use crate::scratch::{Scratch, ScratchPool};
 
 /// Which ExactSim variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -153,32 +155,43 @@ impl ExactSimConfig {
 /// graph (`ExactSim<&DiGraph>`, the usual library usage) or share ownership
 /// of it (`ExactSim<Arc<DiGraph>>`, which is `'static + Send + Sync` and what
 /// the `exactsim-service` query engine holds behind trait objects).
+///
+/// The solver owns a [`ScratchPool`]: concurrent queries each check out a
+/// reusable [`Scratch`] workspace, so steady-state query traffic performs no
+/// accumulator allocation. Callers that manage their own workspaces (the
+/// benchmark harness, batch drivers) can use [`ExactSim::query_with`].
 #[derive(Clone, Debug)]
 pub struct ExactSim<G: Borrow<DiGraph>> {
     graph: G,
     config: ExactSimConfig,
+    pool: ScratchPool,
 }
 
 impl<G: Borrow<DiGraph>> ExactSim<G> {
     /// Creates a solver for `graph` with the given configuration.
     pub fn new(graph: G, config: ExactSimConfig) -> Result<Self, SimRankError> {
         config.validate()?;
-        if graph.borrow().num_nodes() == 0 {
+        let n = graph.borrow().num_nodes();
+        if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
         if let DiagonalMode::Exact(values) = &config.diagonal {
-            if values.len() != graph.borrow().num_nodes() {
+            if values.len() != n {
                 return Err(SimRankError::InvalidParameter {
                     name: "diagonal",
                     message: format!(
                         "exact diagonal has {} entries but the graph has {} nodes",
                         values.len(),
-                        graph.borrow().num_nodes()
+                        n
                     ),
                 });
             }
         }
-        Ok(ExactSim { graph, config })
+        Ok(ExactSim {
+            graph,
+            config,
+            pool: ScratchPool::new(n),
+        })
     }
 
     /// The configuration this solver was built with.
@@ -186,9 +199,36 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
         &self.config
     }
 
-    /// Answers a single-source SimRank query for `source`.
+    /// Answers a single-source SimRank query for `source`, using a pooled
+    /// [`Scratch`] workspace (allocation-free in steady state).
     pub fn query(&self, source: NodeId) -> Result<ExactSimResult, SimRankError> {
+        let mut scratch = self.pool.checkout();
+        let result = self.query_with(source, &mut scratch);
+        self.pool.give_back(scratch);
+        result
+    }
+
+    /// Answers a single-source SimRank query with a caller-owned workspace.
+    ///
+    /// The result is bit-identical to [`ExactSim::query`] regardless of the
+    /// scratch's history or the configured thread count. The scratch must
+    /// have been created for a graph of the same size (a mismatch is an
+    /// error here instead of an index panic deep inside a kernel).
+    pub fn query_with(
+        &self,
+        source: NodeId,
+        scratch: &mut Scratch,
+    ) -> Result<ExactSimResult, SimRankError> {
         let n = self.graph.borrow().num_nodes();
+        if scratch.num_nodes() != n {
+            return Err(SimRankError::InvalidParameter {
+                name: "scratch",
+                message: format!(
+                    "scratch was created for {} nodes but the graph has {n}",
+                    scratch.num_nodes()
+                ),
+            });
+        }
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -196,8 +236,8 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
             });
         }
         match self.config.variant {
-            ExactSimVariant::Basic => self.query_basic(source),
-            ExactSimVariant::Optimized => self.query_optimized(source),
+            ExactSimVariant::Basic => self.query_basic(source, scratch),
+            ExactSimVariant::Optimized => self.query_optimized(source, scratch),
         }
     }
 
@@ -232,8 +272,8 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
     }
 
     /// Scales the per-node allocation down proportionally when a walk budget
-    /// is configured. Returns (allocation, requested_total, actual_total).
-    fn apply_budget(&self, mut allocation: Vec<u64>) -> (Vec<u64>, u64, u64) {
+    /// is configured. Returns (requested_total, actual_total).
+    fn apply_budget(&self, allocation: &mut [u64]) -> (u64, u64) {
         let requested: u64 = allocation
             .iter()
             .fold(0u64, |acc, &r| acc.saturating_add(r));
@@ -251,51 +291,76 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
             }
             _ => requested,
         };
-        (allocation, requested, actual)
+        (requested, actual)
     }
 
-    fn query_basic(&self, source: NodeId) -> Result<ExactSimResult, SimRankError> {
+    fn query_basic(
+        &self,
+        source: NodeId,
+        scratch: &mut Scratch,
+    ) -> Result<ExactSimResult, SimRankError> {
         let n = self.graph.borrow().num_nodes();
         let cfg = &self.config.simrank;
         let sqrt_c = cfg.sqrt_decay();
         let eps = self.effective_epsilon();
         let levels = cfg.iterations_for_epsilon(eps);
+        let Scratch {
+            dense_hops,
+            dense_walk,
+            dense_tmp,
+            allocation,
+            diag: diag_scratch,
+            ..
+        } = scratch;
 
         // Lines 2–5: ℓ-hop PPR vectors and their aggregate.
-        let hops = dense_hop_vectors(self.graph.borrow(), source, sqrt_c, levels);
+        dense_hop_vectors_into(
+            self.graph.borrow(),
+            source,
+            sqrt_c,
+            levels,
+            cfg.threads,
+            dense_walk,
+            dense_tmp,
+            dense_hops,
+        );
+        let hops = &*dense_hops;
         let ppr_norm_sq = hops.aggregate_l2_norm_sq();
 
         // Lines 6–8: allocate R(k) = ⌈R·π_i(k)⌉ and estimate D.
         let r_total = self.theoretical_sample_count();
-        let allocation: Vec<u64> = hops
-            .aggregate
-            .iter()
-            .map(|&p| {
-                if p > 0.0 {
-                    (r_total * p).ceil().min(9.0e18) as u64
-                } else {
-                    0
-                }
-            })
-            .collect();
-        let (allocation, requested, actual) = self.apply_budget(allocation);
+        allocation.clear();
+        allocation.resize(n, 0);
+        for (slot, &p) in allocation.iter_mut().zip(hops.aggregate.iter()) {
+            if p > 0.0 {
+                *slot = (r_total * p).ceil().min(9.0e18) as u64;
+            }
+        }
+        let (requested, actual) = self.apply_budget(allocation);
         let estimator = self.diagonal_estimator();
-        let diag = estimate_diagonal(
+        let diag = estimate_diagonal_with(
             self.graph.borrow(),
-            &allocation,
+            allocation,
             &estimator,
             sqrt_c,
             0.0,
             cfg.seed ^ source as u64,
+            cfg.threads,
+            diag_scratch,
         );
 
-        // Memory accounting: hop vectors + diagonal + two dense accumulators.
-        let aux_memory_bytes = hops.memory_bytes()
-            + diag.values.len() * std::mem::size_of::<f64>()
-            + 2 * n * std::mem::size_of::<f64>();
+        let aux_memory_bytes =
+            aux_memory_bytes(hops.memory_bytes(), diag.values.len(), allocation.len(), n);
 
         // Lines 9–12: the Linearization recurrence.
-        let scores = accumulate_dense(self.graph.borrow(), &hops.hops, &diag.values, sqrt_c);
+        let scores = accumulate_dense(
+            self.graph.borrow(),
+            &hops.hops,
+            &diag.values,
+            sqrt_c,
+            cfg.threads,
+            dense_tmp,
+        );
 
         Ok(ExactSimResult {
             scores,
@@ -313,57 +378,85 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
         })
     }
 
-    fn query_optimized(&self, source: NodeId) -> Result<ExactSimResult, SimRankError> {
+    fn query_optimized(
+        &self,
+        source: NodeId,
+        scratch: &mut Scratch,
+    ) -> Result<ExactSimResult, SimRankError> {
         let n = self.graph.borrow().num_nodes();
         let cfg = &self.config.simrank;
         let sqrt_c = cfg.sqrt_decay();
         let eps = self.effective_epsilon();
         let levels = cfg.iterations_for_epsilon(eps);
-        let mut workspace = Workspace::new(n);
+        let Scratch {
+            ws,
+            walk,
+            walk_tmp,
+            entries,
+            sparse_hops,
+            dense_tmp,
+            allocation,
+            diag: diag_scratch,
+            ..
+        } = scratch;
 
         // Sparse Linearization: prune hop entries below (1−√c)²·ε.
         let prune_threshold = self
             .config
             .prune_threshold_override
             .unwrap_or((1.0 - sqrt_c).powi(2) * eps);
-        let hops = sparse_hop_vectors(
+        sparse_hop_vectors_into(
             self.graph.borrow(),
             source,
             sqrt_c,
             levels,
             prune_threshold,
-            &mut workspace,
+            ws,
+            walk,
+            walk_tmp,
+            entries,
+            sparse_hops,
         );
+        let hops = &*sparse_hops;
         let ppr_norm_sq = hops.aggregate_l2_norm_sq();
 
         // Lemma 3: R is scaled down by ‖π_i‖², i.e. R(k) = ⌈R_base·π_i(k)²⌉.
         let r_base = self.theoretical_sample_count();
-        let mut allocation = vec![0u64; n];
+        allocation.clear();
+        allocation.resize(n, 0);
         for (k, p) in hops.aggregate.iter() {
             if p > 0.0 {
                 allocation[k as usize] = (r_base * p * p).ceil().min(9.0e18) as u64;
             }
         }
-        let (allocation, requested, actual) = self.apply_budget(allocation);
+        let (requested, actual) = self.apply_budget(allocation);
 
         // Bias budget for skipping Algorithm 3 tails: a uniform bias of
         // (1−√c)²·ε/4 across all D(k,k) adds at most ε/4 to the result.
         let tail_skip = (1.0 - sqrt_c).powi(2) * eps / 4.0;
         let estimator = self.diagonal_estimator();
-        let diag = estimate_diagonal(
+        let diag = estimate_diagonal_with(
             self.graph.borrow(),
-            &allocation,
+            allocation,
             &estimator,
             sqrt_c,
             tail_skip,
             cfg.seed ^ source as u64,
+            cfg.threads,
+            diag_scratch,
         );
 
-        let aux_memory_bytes = hops.memory_bytes()
-            + diag.values.len() * std::mem::size_of::<f64>()
-            + 2 * n * std::mem::size_of::<f64>();
+        let aux_memory_bytes =
+            aux_memory_bytes(hops.memory_bytes(), diag.values.len(), allocation.len(), n);
 
-        let scores = accumulate_sparse(self.graph.borrow(), &hops.hops, &diag.values, sqrt_c);
+        let scores = accumulate_sparse(
+            self.graph.borrow(),
+            &hops.hops,
+            &diag.values,
+            sqrt_c,
+            cfg.threads,
+            dense_tmp,
+        );
 
         Ok(ExactSimResult {
             scores,
@@ -382,28 +475,64 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
     }
 }
 
+/// Peak auxiliary memory of one query, in bytes — the paper's Table 3
+/// accounting, audited to cover every *per-query* data structure the
+/// algorithm materialises: the hop vectors (including their aggregate —
+/// both [`crate::ppr::DenseHopVectors::memory_bytes`] and
+/// [`crate::ppr::SparseHopVectors::memory_bytes`] count it), the diagonal
+/// estimate, the per-node walk allocation `R(k)`, and the two dense
+/// accumulators of the Linearization recurrence (the output column and its
+/// ping-pong temporary).
+///
+/// Deliberately *excluded*: the capacity retained inside pooled [`Scratch`]
+/// workspaces between queries (the [`crate::scratch::DistTable`] keeps the
+/// exploration distributions' buffers alive by design so later queries can
+/// reuse them). That retention is a property of the solver's pool — it
+/// scales with concurrency × threads, not with one query — and counting it
+/// here would make identical queries report different numbers depending on
+/// pool history, which is exactly what a per-query Table 3 column must not
+/// do.
+fn aux_memory_bytes(
+    hop_bytes: usize,
+    diagonal_len: usize,
+    allocation_len: usize,
+    n: usize,
+) -> usize {
+    hop_bytes
+        + diagonal_len * std::mem::size_of::<f64>()
+        + allocation_len * std::mem::size_of::<u64>()
+        + 2 * n * std::mem::size_of::<f64>()
+}
+
 /// Runs the recurrence `s^ℓ = √c·Pᵀ·s^{ℓ-1} + D̂·π^{L-ℓ}_i / (1−√c)` with
 /// dense hop vectors (Algorithm 1, lines 9–12). Shared with the ParSim and
 /// Linearization baselines, which differ only in how `D̂` is produced.
+///
+/// Only the returned score column is allocated; the ping-pong temporary is
+/// the caller-owned `tmp`, and the `Pᵀ` multiplies shard over `threads`
+/// workers (bit-identical for any thread count).
 pub(crate) fn accumulate_dense(
     graph: &DiGraph,
     hops: &[Vec<f64>],
     diagonal: &[f64],
     sqrt_c: f64,
+    threads: usize,
+    tmp: &mut Vec<f64>,
 ) -> Vec<f64> {
     let n = graph.num_nodes();
     let stop = 1.0 - sqrt_c;
     let levels = hops.len() - 1;
     let mut s = vec![0.0; n];
-    let mut scratch = vec![0.0; n];
+    tmp.clear();
+    tmp.resize(n, 0.0);
     for step in 0..=levels {
         // s ← √c·Pᵀ·s   (skipped on the first step where s = 0)
         if step > 0 {
-            pt_multiply(graph, &s, &mut scratch);
-            for v in scratch.iter_mut() {
+            pt_multiply_threaded(graph, &s, tmp, threads);
+            for v in tmp.iter_mut() {
                 *v *= sqrt_c;
             }
-            std::mem::swap(&mut s, &mut scratch);
+            std::mem::swap(&mut s, tmp);
         }
         // s ← s + D̂·π^{L-step} / (1−√c)
         let hop = &hops[levels - step];
@@ -423,19 +552,22 @@ pub(crate) fn accumulate_sparse(
     hops: &[SparseVec],
     diagonal: &[f64],
     sqrt_c: f64,
+    threads: usize,
+    tmp: &mut Vec<f64>,
 ) -> Vec<f64> {
     let n = graph.num_nodes();
     let stop = 1.0 - sqrt_c;
     let levels = hops.len() - 1;
     let mut s = vec![0.0; n];
-    let mut scratch = vec![0.0; n];
+    tmp.clear();
+    tmp.resize(n, 0.0);
     for step in 0..=levels {
         if step > 0 {
-            pt_multiply(graph, &s, &mut scratch);
-            for v in scratch.iter_mut() {
+            pt_multiply_threaded(graph, &s, tmp, threads);
+            for v in tmp.iter_mut() {
                 *v *= sqrt_c;
             }
-            std::mem::swap(&mut s, &mut scratch);
+            std::mem::swap(&mut s, tmp);
         }
         for (k, value) in hops[levels - step].iter() {
             s[k as usize] += diagonal[k as usize] * value / stop;

@@ -9,6 +9,20 @@ pub struct ExactSimResult {
     pub stats: ExactSimStats,
 }
 
+impl ExactSimResult {
+    /// Peak auxiliary memory of the query in bytes (the paper's Table 3
+    /// metric) — hop vectors *including the aggregate PPR vector*, the
+    /// diagonal estimate, the per-node walk allocation, and both dense
+    /// accumulators of the recurrence. Capacity retained in pooled `Scratch`
+    /// workspaces between queries is intentionally excluded (it is pool
+    /// state, not per-query cost — see the accounting note in the solver
+    /// module). Surfaced here so benchmark memory columns read it through
+    /// one audited accessor instead of recomputing.
+    pub fn memory_bytes(&self) -> usize {
+        self.stats.aux_memory_bytes
+    }
+}
+
 /// Per-query cost diagnostics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ExactSimStats {
@@ -28,8 +42,10 @@ pub struct ExactSimStats {
     pub explore_edges: u64,
     /// Nodes whose tail sampling was skipped entirely.
     pub tails_skipped: usize,
-    /// Peak auxiliary memory (hop vectors + diagonal + accumulators), in
-    /// bytes — the quantity reported in the paper's Table 3.
+    /// Peak auxiliary memory in bytes — the quantity reported in the paper's
+    /// Table 3. Audited to cover hop vectors (with their aggregate), the
+    /// diagonal estimate, the `R(k)` allocation vector, and the two dense
+    /// recurrence accumulators; see `ExactSimResult::memory_bytes`.
     pub aux_memory_bytes: usize,
     /// `‖π_i‖²` of the source's Personalized PageRank vector (drives the
     /// Lemma 3 speed-up).

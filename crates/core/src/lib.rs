@@ -33,6 +33,7 @@
 //! | [`diagonal`] | estimators for the diagonal correction matrix `D` | Algorithms 2 and 3 |
 //! | [`ppr`] | ℓ-hop Personalized PageRank vectors | shared substrate (eq. 8) |
 //! | [`walks`] | √c-walk sampling engine | shared substrate (eq. 2) |
+//! | [`scratch`] | reusable per-query workspaces ([`scratch::Scratch`]) | engineering: allocation-free, deterministic kernels |
 //! | [`topk`], [`metrics`], [`pooling`] | top-k extraction, MaxError / Precision@k, pooling | evaluation methodology |
 //!
 //! Every solver is generic over its graph handle (`&DiGraph` for borrowing
@@ -79,6 +80,7 @@ pub mod pooling;
 pub mod power_method;
 pub mod ppr;
 pub mod prsim;
+pub mod scratch;
 pub mod suite;
 pub mod topk;
 pub mod walks;
@@ -97,6 +99,7 @@ pub mod prelude {
     pub use crate::parsim::{ParSim, ParSimConfig};
     pub use crate::power_method::{PowerMethod, PowerMethodConfig};
     pub use crate::prsim::{PrSim, PrSimConfig};
+    pub use crate::scratch::{Scratch, ScratchPool};
     pub use crate::suite::{QueryOutput, SingleSourceAlgorithm};
     pub use crate::topk::{top_k, TopKEntry};
 }

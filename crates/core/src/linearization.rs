@@ -20,7 +20,8 @@ use crate::config::SimRankConfig;
 use crate::diagonal::{estimate_diagonal, DiagonalEstimate, DiagonalEstimator};
 use crate::error::SimRankError;
 use crate::exactsim::accumulate_dense;
-use crate::ppr::dense_hop_vectors;
+use crate::ppr::dense_hop_vectors_into;
+use crate::scratch::ScratchPool;
 
 /// Configuration for [`Linearization`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,6 +58,7 @@ pub struct Linearization<G: Borrow<DiGraph>> {
     config: LinearizationConfig,
     diagonal: Vec<f64>,
     preprocessing_walks: u64,
+    pool: ScratchPool,
 }
 
 impl<G: Borrow<DiGraph>> Linearization<G> {
@@ -89,12 +91,14 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
             config.simrank.sqrt_decay(),
             0.0,
             config.simrank.seed,
+            config.simrank.threads,
         );
         Ok(Linearization {
             graph,
             config,
             diagonal: estimate.values,
             preprocessing_walks: estimate.walk_pairs,
+            pool: ScratchPool::new(n),
         })
     }
 
@@ -128,18 +132,30 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
                 num_nodes: n,
             });
         }
-        let sqrt_c = self.config.simrank.sqrt_decay();
-        let levels = self
-            .config
-            .simrank
-            .iterations_for_epsilon(self.config.epsilon);
-        let hops = dense_hop_vectors(self.graph.borrow(), source, sqrt_c, levels);
-        Ok(accumulate_dense(
+        let cfg = &self.config.simrank;
+        let sqrt_c = cfg.sqrt_decay();
+        let levels = cfg.iterations_for_epsilon(self.config.epsilon);
+        let mut scratch = self.pool.checkout();
+        dense_hop_vectors_into(
             self.graph.borrow(),
-            &hops.hops,
+            source,
+            sqrt_c,
+            levels,
+            cfg.threads,
+            &mut scratch.dense_walk,
+            &mut scratch.dense_tmp,
+            &mut scratch.dense_hops,
+        );
+        let scores = accumulate_dense(
+            self.graph.borrow(),
+            &scratch.dense_hops.hops,
             &self.diagonal,
             sqrt_c,
-        ))
+            cfg.threads,
+            &mut scratch.dense_tmp,
+        );
+        self.pool.give_back(scratch);
+        Ok(scores)
     }
 }
 

@@ -145,6 +145,11 @@ impl<G: Borrow<DiGraph>> MonteCarlo<G> {
     }
 
     /// Answers a single-source query by pairing stored walks.
+    ///
+    /// The per-node tally loop is sharded over the configured thread count:
+    /// every node's score is computed independently from the stored walks, so
+    /// each shard writes a disjoint slice of the output and the result is
+    /// bit-identical for any thread count.
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
         let n = self.graph.borrow().num_nodes();
         if source as usize >= n {
@@ -154,22 +159,31 @@ impl<G: Borrow<DiGraph>> MonteCarlo<G> {
             });
         }
         let r = self.config.walks_per_node;
-        let source_walks = &self.walks[source as usize * r..(source as usize + 1) * r];
+        let all_walks = &self.walks;
+        let source_walks = &all_walks[source as usize * r..(source as usize + 1) * r];
         let mut scores = vec![0.0; n];
-        scores[source as usize] = 1.0;
-        for (j, score) in scores.iter_mut().enumerate() {
-            if j == source as usize {
-                continue;
-            }
-            let other = &self.walks[j * r..(j + 1) * r];
-            let mut meets = 0usize;
-            for (a, b) in source_walks.iter().zip(other.iter()) {
-                if walks::walks_meet(a, b) {
-                    meets += 1;
+        let tally_range = |range: std::ops::Range<usize>, out: &mut [f64]| {
+            for (j, score) in range.clone().zip(out.iter_mut()) {
+                if j == source as usize {
+                    *score = 1.0;
+                    continue;
                 }
+                let other = &all_walks[j * r..(j + 1) * r];
+                let mut meets = 0usize;
+                for (a, b) in source_walks.iter().zip(other.iter()) {
+                    if walks::walks_meet(a, b) {
+                        meets += 1;
+                    }
+                }
+                *score = meets as f64 / r as f64;
             }
-            *score = meets as f64 / r as f64;
-        }
+        };
+        let threads = self.config.simrank.threads.max(1);
+        let ranges = crate::parallel::split_ranges(n, threads);
+        let mut units = vec![(); ranges.len()];
+        crate::parallel::shard_slices(&mut scores, &ranges, &mut units, |range, (), out| {
+            tally_range(range, out)
+        });
         Ok(scores)
     }
 }

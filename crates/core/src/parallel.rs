@@ -72,6 +72,111 @@ where
     init
 }
 
+/// Below this many edges a dense multiply is cheaper than the spawn/join of
+/// a scoped thread shard (tens of µs per scope vs a fraction of a ns per
+/// edge), so small multiplies run sequentially even when `threads > 1`. The
+/// fallback is safe because the gather-form row kernels are bit-identical to
+/// the sequential scatter/gather kernels — the threshold changes only
+/// wall-clock, never a single output bit.
+pub(crate) const MIN_PARALLEL_EDGES: usize = 200_000;
+
+/// Dense `y ← P·x` across `threads` workers: the output rows are split into
+/// contiguous shards and each shard is computed independently with the
+/// gather-form row kernel. Because each output slot is written by exactly one
+/// shard, accumulating its terms in the same ascending order as the
+/// sequential kernel, the result is **bit-identical for any thread count**.
+/// Graphs under [`MIN_PARALLEL_EDGES`] stay sequential (spawn cost would
+/// exceed the multiply).
+pub fn p_multiply_threaded(
+    graph: &exactsim_graph::DiGraph,
+    x: &[f64],
+    y: &mut [f64],
+    threads: usize,
+) {
+    use exactsim_graph::linalg::{p_multiply, p_multiply_rows};
+    if threads <= 1 || graph.num_edges() < MIN_PARALLEL_EDGES {
+        p_multiply(graph, x, y);
+        return;
+    }
+    shard_rows(y, graph.num_nodes(), threads, |range, out| {
+        p_multiply_rows(graph, x, range, out)
+    });
+}
+
+/// Dense `y ← Pᵀ·x` across `threads` workers; same determinism contract and
+/// small-graph fallback as [`p_multiply_threaded`].
+pub fn pt_multiply_threaded(
+    graph: &exactsim_graph::DiGraph,
+    x: &[f64],
+    y: &mut [f64],
+    threads: usize,
+) {
+    use exactsim_graph::linalg::{pt_multiply, pt_multiply_rows};
+    if threads <= 1 || graph.num_edges() < MIN_PARALLEL_EDGES {
+        pt_multiply(graph, x, y);
+        return;
+    }
+    shard_rows(y, graph.num_nodes(), threads, |range, out| {
+        pt_multiply_rows(graph, x, range, out)
+    });
+}
+
+/// Splits `y` (length `len`) into per-thread row shards and runs `work` on
+/// each disjoint shard from a scoped thread.
+fn shard_rows(
+    y: &mut [f64],
+    len: usize,
+    threads: usize,
+    work: impl Fn(std::ops::Range<usize>, &mut [f64]) + Sync,
+) {
+    assert_eq!(y.len(), len, "output vector length must equal num_nodes");
+    let ranges = split_ranges(len, threads.max(1));
+    let mut units = vec![(); ranges.len()];
+    shard_slices(y, &ranges, &mut units, |range, (), out| work(range, out));
+}
+
+/// The one audited implementation of deterministic output sharding: every
+/// range of `ranges` owns the matching disjoint slice of `out` plus its own
+/// mutable per-shard context (`contexts[i]`, e.g. a scratch workspace), and
+/// the per-shard results come back **in shard order**, so both the writes
+/// and the merge are independent of thread scheduling. One shard (or an
+/// empty `ranges`) runs inline on the caller's thread.
+pub(crate) fn shard_slices<C: Send, T: Send>(
+    out: &mut [f64],
+    ranges: &[std::ops::Range<usize>],
+    contexts: &mut [C],
+    work: impl Fn(std::ops::Range<usize>, &mut C, &mut [f64]) -> T + Sync,
+) -> Vec<T> {
+    assert_eq!(ranges.len(), contexts.len(), "one context per shard");
+    if ranges.len() <= 1 {
+        return match ranges.first() {
+            Some(range) => vec![work(
+                range.clone(),
+                &mut contexts[0],
+                &mut out[range.clone()],
+            )],
+            None => Vec::new(),
+        };
+    }
+    let mut results: Vec<Option<T>> = Vec::new();
+    results.resize_with(ranges.len(), || None);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let mut handles = Vec::with_capacity(ranges.len());
+        let mut rest: &mut [f64] = out;
+        for (range, context) in ranges.iter().zip(contexts.iter_mut()) {
+            let (head, tail) = rest.split_at_mut(range.len());
+            rest = tail;
+            let range = range.clone();
+            handles.push(scope.spawn(move || work(range, context, head)));
+        }
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("shard worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
 /// Element-wise sum of per-chunk dense vectors — the common reduction for
 /// parallel walk sampling, where each chunk accumulates into its own buffer.
 pub fn merge_sum(mut acc: Vec<f64>, part: Vec<f64>) -> Vec<f64> {
@@ -136,6 +241,30 @@ mod tests {
         assert_eq!(a, vec![1.0, 2.0]);
         let b = merge_sum(a, vec![0.5, 0.5]);
         assert_eq!(b, vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn threaded_dense_multiplies_are_bit_identical_to_sequential() {
+        use exactsim_graph::generators::barabasi_albert;
+        use exactsim_graph::linalg::{p_multiply, pt_multiply};
+        // Large enough to clear MIN_PARALLEL_EDGES so the sharded path (not
+        // the sequential fallback) is what gets exercised.
+        let g = barabasi_albert(25_000, 5, true, 5).unwrap();
+        assert!(g.num_edges() >= MIN_PARALLEL_EDGES);
+        let n = g.num_nodes();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let mut seq = vec![0.0; n];
+        let mut par = vec![0.0; n];
+        p_multiply(&g, &x, &mut seq);
+        for threads in [1usize, 2, 3, 7] {
+            p_multiply_threaded(&g, &x, &mut par, threads);
+            assert_eq!(seq, par, "P·x threads={threads}");
+        }
+        pt_multiply(&g, &x, &mut seq);
+        for threads in [1usize, 2, 3, 7] {
+            pt_multiply_threaded(&g, &x, &mut par, threads);
+            assert_eq!(seq, par, "Pᵀ·x threads={threads}");
+        }
     }
 
     #[test]

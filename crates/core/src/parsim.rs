@@ -16,7 +16,8 @@ use exactsim_graph::{DiGraph, NodeId};
 use crate::config::SimRankConfig;
 use crate::error::SimRankError;
 use crate::exactsim::accumulate_dense;
-use crate::ppr::dense_hop_vectors;
+use crate::ppr::dense_hop_vectors_into;
+use crate::scratch::ScratchPool;
 
 /// Configuration for [`ParSim`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -45,6 +46,9 @@ impl Default for ParSimConfig {
 pub struct ParSim<G: Borrow<DiGraph>> {
     graph: G,
     config: ParSimConfig,
+    /// The constant `(1 − c)·I` diagonal, materialised once.
+    diagonal: Vec<f64>,
+    pool: ScratchPool,
 }
 
 impl<G: Borrow<DiGraph>> ParSim<G> {
@@ -57,10 +61,17 @@ impl<G: Borrow<DiGraph>> ParSim<G> {
                 message: "ParSim needs at least one iteration".into(),
             });
         }
-        if graph.borrow().num_nodes() == 0 {
+        let n = graph.borrow().num_nodes();
+        if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
-        Ok(ParSim { graph, config })
+        let diagonal = vec![1.0 - config.simrank.decay; n];
+        Ok(ParSim {
+            graph,
+            config,
+            diagonal,
+            pool: ScratchPool::new(n),
+        })
     }
 
     /// The configuration this solver was built with.
@@ -77,11 +88,28 @@ impl<G: Borrow<DiGraph>> ParSim<G> {
                 num_nodes: n,
             });
         }
-        let sqrt_c = self.config.simrank.sqrt_decay();
-        let c = self.config.simrank.decay;
-        let hops = dense_hop_vectors(self.graph.borrow(), source, sqrt_c, self.config.iterations);
-        let diagonal = vec![1.0 - c; n];
-        let mut scores = accumulate_dense(self.graph.borrow(), &hops.hops, &diagonal, sqrt_c);
+        let cfg = &self.config.simrank;
+        let sqrt_c = cfg.sqrt_decay();
+        let mut scratch = self.pool.checkout();
+        dense_hop_vectors_into(
+            self.graph.borrow(),
+            source,
+            sqrt_c,
+            self.config.iterations,
+            cfg.threads,
+            &mut scratch.dense_walk,
+            &mut scratch.dense_tmp,
+            &mut scratch.dense_hops,
+        );
+        let mut scores = accumulate_dense(
+            self.graph.borrow(),
+            &scratch.dense_hops.hops,
+            &self.diagonal,
+            sqrt_c,
+            cfg.threads,
+            &mut scratch.dense_tmp,
+        );
+        self.pool.give_back(scratch);
         // S(i, i) = 1 by definition; without the correct D the accumulation
         // underestimates the source's own similarity, so pin it (the standard
         // convention for D = (1-c)I implementations — the bias the paper

@@ -12,11 +12,13 @@
 //! stops there prematurely, so `Σ_ℓ ‖π^ℓ_i‖₁ ≤ 1` with equality only when no
 //! walk from `v_i` can get stuck.
 
-use exactsim_graph::linalg::{p_multiply, p_multiply_sparse, SparseVec, Workspace};
+use exactsim_graph::linalg::{p_multiply_sparse_into, SparseVec, Workspace};
 use exactsim_graph::{DiGraph, NodeId};
 
+use crate::parallel::p_multiply_threaded;
+
 /// The ℓ-hop Personalized PageRank vectors of one source node, in dense form.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DenseHopVectors {
     /// `hops[ℓ]` is the dense vector `π^ℓ_i` (length `n`).
     pub hops: Vec<Vec<f64>>,
@@ -49,35 +51,68 @@ pub fn dense_hop_vectors(
     sqrt_c: f64,
     levels: usize,
 ) -> DenseHopVectors {
+    let mut out = DenseHopVectors::default();
+    let mut walk = Vec::new();
+    let mut tmp = Vec::new();
+    dense_hop_vectors_into(
+        graph, source, sqrt_c, levels, 1, &mut walk, &mut tmp, &mut out,
+    );
+    out
+}
+
+/// [`dense_hop_vectors`] into caller-owned storage: `out`'s per-level vectors
+/// and the two dense walk buffers are reused across calls, and the `P`
+/// multiplies are sharded over `threads` workers (bit-identical for any
+/// thread count — see [`crate::parallel::p_multiply_threaded`]).
+#[allow(clippy::too_many_arguments)]
+pub fn dense_hop_vectors_into(
+    graph: &DiGraph,
+    source: NodeId,
+    sqrt_c: f64,
+    levels: usize,
+    threads: usize,
+    walk: &mut Vec<f64>,
+    tmp: &mut Vec<f64>,
+    out: &mut DenseHopVectors,
+) {
     let n = graph.num_nodes();
     let stop = 1.0 - sqrt_c;
-    let mut hops = Vec::with_capacity(levels + 1);
+    out.hops.truncate(levels + 1);
+    while out.hops.len() < levels + 1 {
+        out.hops.push(Vec::new());
+    }
+    out.aggregate.clear();
+    out.aggregate.resize(n, 0.0);
 
-    // walk_dist holds (√c·P)^ℓ · e_i  (the *surviving* walk distribution).
-    let mut walk_dist = vec![0.0; n];
-    walk_dist[source as usize] = 1.0;
-    let mut scratch = vec![0.0; n];
+    // `walk` holds (√c·P)^ℓ · e_i  (the *surviving* walk distribution).
+    walk.clear();
+    walk.resize(n, 0.0);
+    walk[source as usize] = 1.0;
+    tmp.clear();
+    tmp.resize(n, 0.0);
 
-    let mut aggregate = vec![0.0; n];
-    for _level in 0..=levels {
-        let hop: Vec<f64> = walk_dist.iter().map(|&v| v * stop).collect();
-        for (agg, h) in aggregate.iter_mut().zip(hop.iter()) {
+    for level in 0..=levels {
+        let hop = &mut out.hops[level];
+        hop.clear();
+        hop.extend(walk.iter().map(|&v| v * stop));
+        for (agg, h) in out.aggregate.iter_mut().zip(hop.iter()) {
             *agg += h;
         }
-        hops.push(hop);
-        // Advance: walk_dist ← √c · P · walk_dist.
-        p_multiply(graph, &walk_dist, &mut scratch);
-        for v in scratch.iter_mut() {
+        if level == levels {
+            break;
+        }
+        // Advance: walk ← √c · P · walk.
+        p_multiply_threaded(graph, walk, tmp, threads);
+        for v in tmp.iter_mut() {
             *v *= sqrt_c;
         }
-        std::mem::swap(&mut walk_dist, &mut scratch);
+        std::mem::swap(walk, tmp);
     }
-    DenseHopVectors { hops, aggregate }
 }
 
 /// The ℓ-hop Personalized PageRank vectors of one source node, in sparse form
 /// with pruning — the data structure of the *sparse Linearization* (§3.2).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SparseHopVectors {
     /// `hops[ℓ]` is the pruned sparse vector `π^ℓ_i`.
     pub hops: Vec<SparseVec>,
@@ -126,9 +161,47 @@ pub fn sparse_hop_vectors(
     threshold: f64,
     workspace: &mut Workspace,
 ) -> SparseHopVectors {
+    let mut out = SparseHopVectors::default();
+    let mut walk = SparseVec::new();
+    let mut walk_tmp = SparseVec::new();
+    let mut entries = Vec::new();
+    sparse_hop_vectors_into(
+        graph,
+        source,
+        sqrt_c,
+        levels,
+        threshold,
+        workspace,
+        &mut walk,
+        &mut walk_tmp,
+        &mut entries,
+        &mut out,
+    );
+    out
+}
+
+/// [`sparse_hop_vectors`] into caller-owned storage: the per-level vectors of
+/// `out`, the two ping-pong walk buffers, and the aggregate entry buffer are
+/// all reused across calls, so a steady-state query allocates nothing here.
+#[allow(clippy::too_many_arguments)]
+pub fn sparse_hop_vectors_into(
+    graph: &DiGraph,
+    source: NodeId,
+    sqrt_c: f64,
+    levels: usize,
+    threshold: f64,
+    workspace: &mut Workspace,
+    walk: &mut SparseVec,
+    walk_tmp: &mut SparseVec,
+    entries: &mut Vec<(NodeId, f64)>,
+    out: &mut SparseHopVectors,
+) {
     let stop = 1.0 - sqrt_c;
-    let mut hops = Vec::with_capacity(levels + 1);
-    let mut pruned_mass = 0.0;
+    out.hops.truncate(levels + 1);
+    while out.hops.len() < levels + 1 {
+        out.hops.push(SparseVec::new());
+    }
+    out.pruned_mass = 0.0;
 
     // Surviving walk distribution (√c·P)^ℓ·e_i, kept sparse. Pruning is done
     // on the *hop* scale (entries of π^ℓ = stop · walk_dist), so the walk
@@ -138,39 +211,32 @@ pub fn sparse_hop_vectors(
     } else {
         threshold
     };
-    let mut walk_dist = SparseVec::unit(source, 1.0);
+    walk.clear();
+    walk.push_sorted(source, 1.0);
+    entries.clear();
 
-    let mut aggregate_entries: Vec<(NodeId, f64)> = Vec::new();
     for level in 0..=levels {
-        let mut hop = walk_dist.clone();
-        hop.scale(stop);
+        let hop = &mut out.hops[level];
+        hop.assign_scaled(walk, stop);
         for (k, v) in hop.iter() {
-            aggregate_entries.push((k, v));
+            entries.push((k, v));
         }
-        hops.push(hop);
         if level == levels {
             break;
         }
-        let mut next = p_multiply_sparse(graph, &walk_dist, workspace);
-        next.scale(sqrt_c);
-        pruned_mass += next.prune(walk_threshold);
-        walk_dist = next;
-        if walk_dist.is_empty() {
+        p_multiply_sparse_into(graph, walk, workspace, walk_tmp);
+        walk_tmp.scale(sqrt_c);
+        out.pruned_mass += walk_tmp.prune(walk_threshold);
+        std::mem::swap(walk, walk_tmp);
+        if walk.is_empty() {
             // All remaining mass leaked or was pruned; later levels are zero.
-            for _ in level + 1..levels {
-                hops.push(SparseVec::new());
+            for later in out.hops.iter_mut().skip(level + 1) {
+                later.clear();
             }
             break;
         }
     }
-    while hops.len() < levels + 1 {
-        hops.push(SparseVec::new());
-    }
-    SparseHopVectors {
-        hops,
-        aggregate: SparseVec::from_unsorted(aggregate_entries),
-        pruned_mass,
-    }
+    out.aggregate.rebuild_from_unsorted(entries);
 }
 
 #[cfg(test)]

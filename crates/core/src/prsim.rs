@@ -32,7 +32,8 @@ use exactsim_graph::{DiGraph, NodeId};
 use crate::config::SimRankConfig;
 use crate::diagonal::{estimate_diagonal, DiagonalEstimator};
 use crate::error::SimRankError;
-use crate::ppr::sparse_hop_vectors;
+use crate::ppr::{sparse_hop_vectors, sparse_hop_vectors_into};
+use crate::scratch::ScratchPool;
 
 /// Configuration for [`PrSim`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -101,6 +102,7 @@ pub struct PrSim<G: Borrow<DiGraph>> {
     diagonal: Vec<f64>,
     preprocessing_walks: u64,
     index_entries: usize,
+    pool: ScratchPool,
 }
 
 impl<G: Borrow<DiGraph>> PrSim<G> {
@@ -149,6 +151,7 @@ impl<G: Borrow<DiGraph>> PrSim<G> {
             sqrt_c,
             0.0,
             config.simrank.seed ^ 0x9E37,
+            config.simrank.threads,
         );
 
         Ok(PrSim {
@@ -159,6 +162,7 @@ impl<G: Borrow<DiGraph>> PrSim<G> {
             diagonal: diag.values,
             preprocessing_walks: diag.walk_pairs,
             index_entries,
+            pool: ScratchPool::new(n),
         })
     }
 
@@ -200,17 +204,23 @@ impl<G: Borrow<DiGraph>> PrSim<G> {
         }
         let sqrt_c = self.config.simrank.sqrt_decay();
         let stop = 1.0 - sqrt_c;
-        let mut workspace = Workspace::new(n);
         // The source's own hop vectors are computed at query time with a finer
-        // threshold than the index so the query-side truncation is negligible.
-        let source_hops = sparse_hop_vectors(
+        // threshold than the index so the query-side truncation is negligible;
+        // the pooled scratch makes repeated queries allocation-free here.
+        let mut scratch = self.pool.checkout();
+        sparse_hop_vectors_into(
             self.graph.borrow(),
             source,
             sqrt_c,
             self.levels,
             stop * self.config.epsilon * 0.1,
-            &mut workspace,
+            &mut scratch.ws,
+            &mut scratch.walk,
+            &mut scratch.walk_tmp,
+            &mut scratch.entries,
+            &mut scratch.sparse_hops,
         );
+        let source_hops = &scratch.sparse_hops;
         let mut scores = vec![0.0; n];
         let scale = 1.0 / (stop * stop);
         for (level, hop) in source_hops.hops.iter().enumerate() {
@@ -226,6 +236,7 @@ impl<G: Borrow<DiGraph>> PrSim<G> {
                 }
             }
         }
+        self.pool.give_back(scratch);
         scores[source as usize] = 1.0;
         Ok(scores)
     }

@@ -43,22 +43,55 @@ impl SparseVec {
     /// Builds a sparse vector from possibly unsorted, possibly duplicated
     /// `(index, value)` pairs; duplicate indices are summed, zeros dropped.
     pub fn from_unsorted(mut entries: Vec<(NodeId, f64)>) -> Self {
+        let mut out = SparseVec::with_capacity(entries.len());
+        out.rebuild_from_unsorted(&mut entries);
+        out
+    }
+
+    /// The `clear()`-and-reuse form of [`SparseVec::from_unsorted`]: rebuilds
+    /// `self` in place from `entries`, which is drained (emptied, capacity
+    /// kept) so the caller can refill and reuse it without reallocating.
+    ///
+    /// Duplicates are accumulated in one pass over the sorted entries — each
+    /// run of equal indices is summed in its post-sort order and emitted once
+    /// its total is known, with exact-zero (and non-finite-comparing, i.e.
+    /// NaN) totals dropped — which is bit-identical to the historical
+    /// sort-merge-then-prune construction but touches each entry once.
+    pub fn rebuild_from_unsorted(&mut self, entries: &mut Vec<(NodeId, f64)>) {
+        self.indices.clear();
+        self.values.clear();
         entries.sort_unstable_by_key(|&(i, _)| i);
-        let mut indices = Vec::with_capacity(entries.len());
-        let mut values = Vec::with_capacity(entries.len());
-        for (i, v) in entries {
-            if let Some(&last) = indices.last() {
-                if last == i {
-                    *values.last_mut().expect("values parallel to indices") += v;
-                    continue;
+        let mut run: Option<(NodeId, f64)> = None;
+        for (i, v) in entries.drain(..) {
+            match &mut run {
+                Some((ri, rv)) if *ri == i => *rv += v,
+                _ => {
+                    if let Some((ri, rv)) = run.take() {
+                        if rv.abs() > 0.0 {
+                            self.indices.push(ri);
+                            self.values.push(rv);
+                        }
+                    }
+                    run = Some((i, v));
                 }
             }
-            indices.push(i);
-            values.push(v);
         }
-        let mut out = SparseVec { indices, values };
-        out.drop_zeros();
-        out
+        if let Some((ri, rv)) = run {
+            if rv.abs() > 0.0 {
+                self.indices.push(ri);
+                self.values.push(rv);
+            }
+        }
+    }
+
+    /// Rebuilds `self` as a copy of `src` with every value scaled by `a`
+    /// (reusing this vector's capacity) — the hop-vector materialisation step
+    /// (`π^ℓ = (1-√c)·walk_dist`) without a fresh allocation per level.
+    pub fn assign_scaled(&mut self, src: &SparseVec, a: f64) {
+        self.indices.clear();
+        self.values.clear();
+        self.indices.extend_from_slice(&src.indices);
+        self.values.extend(src.values.iter().map(|&v| v * a));
     }
 
     /// Builds a sparse vector from a dense slice, keeping entries with
@@ -245,6 +278,32 @@ mod tests {
         assert_eq!(v.indices(), &[1, 3]);
         assert_eq!(v.values(), &[2.0, 1.5]);
         assert_eq!(v.nnz(), 2);
+        // Duplicates that cancel to exactly zero are dropped like explicit
+        // zeros are.
+        let w = SparseVec::from_unsorted(vec![(5, 1.0), (5, -1.0), (6, 2.0)]);
+        assert_eq!(w.indices(), &[6]);
+    }
+
+    #[test]
+    fn rebuild_from_unsorted_reuses_both_buffers() {
+        let mut v = SparseVec::from_unsorted(vec![(0, 1.0), (9, 2.0)]);
+        let mut entries = vec![(4, 0.5), (2, 1.5), (4, 0.25)];
+        let cap = entries.capacity();
+        v.rebuild_from_unsorted(&mut entries);
+        assert_eq!(v.indices(), &[2, 4]);
+        assert_eq!(v.values(), &[1.5, 0.75]);
+        // The entry buffer is drained, not dropped.
+        assert!(entries.is_empty());
+        assert_eq!(entries.capacity(), cap);
+    }
+
+    #[test]
+    fn assign_scaled_copies_and_scales() {
+        let src = SparseVec::from_unsorted(vec![(1, 2.0), (7, 4.0)]);
+        let mut dst = SparseVec::unit(0, 9.0);
+        dst.assign_scaled(&src, 0.5);
+        assert_eq!(dst.indices(), &[1, 7]);
+        assert_eq!(dst.values(), &[1.0, 2.0]);
     }
 
     #[test]

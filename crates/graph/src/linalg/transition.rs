@@ -71,15 +71,28 @@ pub fn pt_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// Reusable dense scratch space for the sparse kernels.
+/// Reusable dense scratch space for the sparse kernels: the epoch-stamped
+/// sparse accumulator every Scratch-based kernel in this workspace builds on.
 ///
 /// The sparse kernels accumulate into a dense `f64` buffer plus a "touched"
 /// list (the classic sparse-accumulator pattern), so a sequence of
 /// sparse-matrix × sparse-vector products performs no per-call allocation
-/// beyond the output vector.
+/// beyond the output vector. Slots are *epoch-stamped* rather than zeroed on
+/// drain: a slot belongs to the current accumulation iff its stamp equals the
+/// current epoch, so resetting the workspace is `O(touched)` regardless of
+/// `n`, and a value that cancels to exactly `0.0` cannot re-enter the touched
+/// list twice.
+///
+/// Draining always visits the touched indices in **sorted order** — that is
+/// the determinism contract: float accumulations performed through a
+/// workspace reduce in ascending-index order, exactly like the `BTreeMap`
+/// accumulators these workspaces replaced, so results are bit-identical
+/// between the two representations.
 #[derive(Clone, Debug)]
 pub struct Workspace {
     accum: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
     touched: Vec<NodeId>,
 }
 
@@ -88,6 +101,8 @@ impl Workspace {
     pub fn new(n: usize) -> Self {
         Workspace {
             accum: vec![0.0; n],
+            stamp: vec![0; n],
+            epoch: 1,
             touched: Vec::new(),
         }
     }
@@ -102,28 +117,82 @@ impl Workspace {
         self.accum.is_empty()
     }
 
-    fn add(&mut self, i: NodeId, v: f64) {
-        let slot = &mut self.accum[i as usize];
-        if *slot == 0.0 {
-            self.touched.push(i);
-        }
-        *slot += v;
+    /// Number of distinct indices touched since the last drain/reset.
+    pub fn num_touched(&self) -> usize {
+        self.touched.len()
     }
 
-    /// Drains the accumulated entries into a sorted [`SparseVec`] and resets
-    /// the workspace for reuse. Entries that cancelled to exactly 0.0 are kept
-    /// out of the result.
-    fn drain_sparse(&mut self) -> SparseVec {
+    /// Adds `v` into slot `i`. The first touch of a slot in the current
+    /// epoch *assigns* (it does not read the stale value), so no zeroing pass
+    /// is ever needed.
+    #[inline]
+    pub fn add(&mut self, i: NodeId, v: f64) {
+        let idx = i as usize;
+        if self.stamp[idx] == self.epoch {
+            self.accum[idx] += v;
+        } else {
+            self.stamp[idx] = self.epoch;
+            self.accum[idx] = v;
+            self.touched.push(i);
+        }
+    }
+
+    /// Current value of slot `i` (`0.0` if untouched this epoch).
+    pub fn value(&self, i: NodeId) -> f64 {
+        let idx = i as usize;
+        if self.stamp[idx] == self.epoch {
+            self.accum[idx]
+        } else {
+            0.0
+        }
+    }
+
+    /// Discards any accumulated entries and starts a fresh epoch.
+    pub fn reset(&mut self) {
+        self.touched.clear();
+        if self.epoch == u32::MAX {
+            // Stamp wrap-around: invalidate everything explicitly once every
+            // ~4 billion epochs instead of letting stale stamps collide.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// Visits every touched `(index, value)` pair in ascending index order —
+    /// including entries that cancelled to `0.0` — then resets the workspace.
+    /// This is the primitive the deterministic kernels reduce through.
+    pub fn drain_sorted(&mut self, mut f: impl FnMut(NodeId, f64)) {
         self.touched.sort_unstable();
-        let mut out = SparseVec::with_capacity(self.touched.len());
-        for &i in &self.touched {
+        for idx in 0..self.touched.len() {
+            let i = self.touched[idx];
+            f(i, self.accum[i as usize]);
+        }
+        self.reset();
+    }
+
+    /// Drains the accumulated entries into `out` (cleared first) in sorted
+    /// index order and resets the workspace for reuse. Entries that cancelled
+    /// to exactly 0.0 are kept out of the result.
+    pub fn drain_into(&mut self, out: &mut SparseVec) {
+        out.clear();
+        self.touched.sort_unstable();
+        for idx in 0..self.touched.len() {
+            let i = self.touched[idx];
             let v = self.accum[i as usize];
-            self.accum[i as usize] = 0.0;
             if v != 0.0 {
                 out.push_sorted(i, v);
             }
         }
-        self.touched.clear();
+        self.reset();
+    }
+
+    /// Drains the accumulated entries into a freshly allocated sorted
+    /// [`SparseVec`] and resets the workspace for reuse.
+    fn drain_sparse(&mut self) -> SparseVec {
+        let mut out = SparseVec::with_capacity(self.touched.len());
+        self.drain_into(&mut out);
         out
     }
 }
@@ -133,6 +202,24 @@ impl Workspace {
 /// Cost is `O(Σ_{j ∈ supp(x)} din(j) + |out| log |out|)` — independent of `n`,
 /// which is what makes the sparse Linearization of §3.2 scale.
 pub fn p_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> SparseVec {
+    accumulate_p_multiply(graph, x, ws);
+    ws.drain_sparse()
+}
+
+/// Sparse `P·x` into a caller-owned output vector (cleared first): the
+/// allocation-free variant the Scratch-based kernels use. `out` must be a
+/// different vector from `x`.
+pub fn p_multiply_sparse_into(
+    graph: &DiGraph,
+    x: &SparseVec,
+    ws: &mut Workspace,
+    out: &mut SparseVec,
+) {
+    accumulate_p_multiply(graph, x, ws);
+    ws.drain_into(out);
+}
+
+fn accumulate_p_multiply(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) {
     debug_assert_eq!(ws.len(), graph.num_nodes());
     for (j, xj) in x.iter() {
         let din = graph.in_degree(j);
@@ -144,7 +231,6 @@ pub fn p_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> 
             ws.add(i, share);
         }
     }
-    ws.drain_sparse()
 }
 
 /// Sparse `Pᵀ·x` using a reusable [`Workspace`]; returns a sorted [`SparseVec`].
@@ -152,6 +238,23 @@ pub fn p_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> 
 /// For every node `j` in the support of `x`, its contribution `x(j)` is spread
 /// to each out-neighbor `i` of `j` with weight `1/din(i)`.
 pub fn pt_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> SparseVec {
+    accumulate_pt_multiply(graph, x, ws);
+    ws.drain_sparse()
+}
+
+/// Sparse `Pᵀ·x` into a caller-owned output vector (cleared first). `out`
+/// must be a different vector from `x`.
+pub fn pt_multiply_sparse_into(
+    graph: &DiGraph,
+    x: &SparseVec,
+    ws: &mut Workspace,
+    out: &mut SparseVec,
+) {
+    accumulate_pt_multiply(graph, x, ws);
+    ws.drain_into(out);
+}
+
+fn accumulate_pt_multiply(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) {
     debug_assert_eq!(ws.len(), graph.num_nodes());
     for (j, xj) in x.iter() {
         if xj == 0.0 {
@@ -163,7 +266,71 @@ pub fn pt_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) ->
             ws.add(i, xj / din as f64);
         }
     }
-    ws.drain_sparse()
+}
+
+/// Dense `P·x` restricted to the output rows `rows`, in *gather* form:
+/// `out[i - rows.start] = Σ_{j ∈ O(i)} x(j)/din(j)`.
+///
+/// Because out-neighbor lists are sorted ascending, each output slot
+/// accumulates its terms in exactly the same ascending-`j` order as the
+/// scatter-form [`p_multiply`] — so a row-sharded parallel multiply built on
+/// this kernel is bit-identical to the sequential one for any shard split.
+///
+/// # Panics
+/// Panics if `x` is not `num_nodes` long, `rows` is out of range, or `out`
+/// does not have exactly `rows.len()` elements.
+pub fn p_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>, out: &mut [f64]) {
+    let n = graph.num_nodes();
+    assert_eq!(x.len(), n, "input vector length must equal num_nodes");
+    assert!(rows.end <= n, "row range out of bounds");
+    assert_eq!(
+        out.len(),
+        rows.len(),
+        "output slice must match the row range"
+    );
+    for (slot, i) in out.iter_mut().zip(rows) {
+        let mut acc = 0.0;
+        for &j in graph.out_neighbors(i as NodeId) {
+            let xj = x[j as usize];
+            if xj == 0.0 {
+                continue;
+            }
+            // j ∈ O(i) implies din(j) ≥ 1 (the edge i → j ends at j).
+            acc += xj / graph.in_degree(j) as f64;
+        }
+        *slot = acc;
+    }
+}
+
+/// Dense `Pᵀ·x` restricted to the output rows `rows` — the per-row loop of
+/// [`pt_multiply`], exposed so callers can shard the output deterministically
+/// across threads.
+///
+/// # Panics
+/// Panics if `x` is not `num_nodes` long, `rows` is out of range, or `out`
+/// does not have exactly `rows.len()` elements.
+pub fn pt_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>, out: &mut [f64]) {
+    let n = graph.num_nodes();
+    assert_eq!(x.len(), n, "input vector length must equal num_nodes");
+    assert!(rows.end <= n, "row range out of bounds");
+    assert_eq!(
+        out.len(),
+        rows.len(),
+        "output slice must match the row range"
+    );
+    for (slot, i) in out.iter_mut().zip(rows) {
+        let i = i as NodeId;
+        let din = graph.in_degree(i);
+        if din == 0 {
+            *slot = 0.0;
+            continue;
+        }
+        let mut acc = 0.0;
+        for &j in graph.in_neighbors(i) {
+            acc += x[j as usize];
+        }
+        *slot = acc / din as f64;
+    }
 }
 
 #[cfg(test)]
@@ -260,8 +427,78 @@ mod tests {
         let a = p_multiply_sparse(&g, &SparseVec::unit(2, 1.0), &mut ws);
         let b = p_multiply_sparse(&g, &SparseVec::unit(2, 1.0), &mut ws);
         assert_eq!(a, b);
-        assert!(ws.touched.is_empty());
-        assert!(ws.accum.iter().all(|&v| v == 0.0));
+        assert_eq!(ws.num_touched(), 0);
+        for i in 0..4 {
+            assert_eq!(ws.value(i), 0.0);
+        }
+    }
+
+    #[test]
+    fn workspace_accumulates_and_drains_sorted_including_cancellations() {
+        let mut ws = Workspace::new(5);
+        ws.add(3, 1.0);
+        ws.add(1, 2.0);
+        ws.add(3, -1.0); // cancels to exactly 0.0
+        ws.add(4, 0.5);
+        assert_eq!(ws.value(3), 0.0);
+        assert_eq!(ws.value(1), 2.0);
+        assert_eq!(ws.value(0), 0.0);
+        let mut seen = Vec::new();
+        ws.drain_sorted(|i, v| seen.push((i, v)));
+        // Sorted order, cancelled entries included exactly once.
+        assert_eq!(seen, vec![(1, 2.0), (3, 0.0), (4, 0.5)]);
+        // After the drain the workspace is fresh.
+        assert_eq!(ws.num_touched(), 0);
+        assert_eq!(ws.value(1), 0.0);
+
+        // drain_into drops exact zeros, like the SparseVec invariant requires.
+        ws.add(2, 1.0);
+        ws.add(0, -1.0);
+        ws.add(0, 1.0);
+        let mut out = SparseVec::unit(9, 9.0);
+        ws.drain_into(&mut out);
+        assert_eq!(out.indices(), &[2]);
+        assert_eq!(out.values(), &[1.0]);
+    }
+
+    #[test]
+    fn into_variants_match_the_allocating_kernels() {
+        let g = sample();
+        let mut ws = Workspace::new(4);
+        let x = SparseVec::from_unsorted(vec![(2, 0.75), (0, 0.25)]);
+        let a = p_multiply_sparse(&g, &x, &mut ws);
+        let mut b = SparseVec::new();
+        p_multiply_sparse_into(&g, &x, &mut ws, &mut b);
+        assert_eq!(a, b);
+        let c = pt_multiply_sparse(&g, &x, &mut ws);
+        let mut d = SparseVec::new();
+        pt_multiply_sparse_into(&g, &x, &mut ws, &mut d);
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn row_kernels_are_bit_identical_to_the_full_dense_kernels() {
+        let g = sample();
+        let x = vec![0.3, 0.1, 0.4, 0.2];
+        let mut full = vec![0.0; 4];
+        p_multiply(&g, &x, &mut full);
+        // Any shard split reproduces the full result exactly.
+        for split in 0..=4usize {
+            let mut sharded = vec![9.0; 4];
+            let (lo, hi) = sharded.split_at_mut(split);
+            p_multiply_rows(&g, &x, 0..split, lo);
+            p_multiply_rows(&g, &x, split..4, hi);
+            assert_eq!(sharded, full, "split at {split}");
+        }
+        let mut full_t = vec![0.0; 4];
+        pt_multiply(&g, &x, &mut full_t);
+        for split in 0..=4usize {
+            let mut sharded = vec![9.0; 4];
+            let (lo, hi) = sharded.split_at_mut(split);
+            pt_multiply_rows(&g, &x, 0..split, lo);
+            pt_multiply_rows(&g, &x, split..4, hi);
+            assert_eq!(sharded, full_t, "split at {split}");
+        }
     }
 
     #[test]

@@ -196,6 +196,21 @@ impl EpochState {
         .clone()
         .map_err(ServiceError::Algorithm)
     }
+
+    /// Heap footprint of each algorithm's index for this epoch, in
+    /// [`AlgorithmKind::ALL`] order. `None` for algorithms whose index has
+    /// not been built (or failed to build) this epoch; index-free ExactSim
+    /// reports `Some(0)` once its handle exists.
+    fn index_memory_bytes(&self) -> [Option<u64>; 3] {
+        let mut out = [None; 3];
+        for kind in AlgorithmKind::ALL {
+            out[kind.index()] = self.algorithms[kind.index()]
+                .get()
+                .and_then(|built| built.as_ref().ok())
+                .map(|handle| handle.index_bytes() as u64);
+        }
+        out
+    }
 }
 
 struct Inner {
@@ -526,14 +541,20 @@ impl SimRankService {
 
     /// A point-in-time snapshot of the serving counters, including the
     /// backing store's durability state (data dir, WAL length, snapshot
-    /// epoch) when it has one.
+    /// epoch) when it has one, and the per-algorithm index memory of the
+    /// epoch state currently serving (without forcing an epoch refresh).
     pub fn stats(&self) -> StatsSnapshot {
+        let index_memory = {
+            let state = self.inner.state.read().expect("epoch state poisoned");
+            state.index_memory_bytes()
+        };
         self.inner.stats.snapshot(
             self.inner.store.epoch(),
             self.inner.cache.evictions(),
             self.inner.cache.invalidations(),
             self.inner.cache.len(),
             self.inner.store.durability(),
+            index_memory,
         )
     }
 
@@ -637,6 +658,29 @@ mod tests {
         let snap = service.stats();
         assert_eq!(snap.index_builds, 2);
         assert_eq!(snap.computations, 4);
+        // Per-algorithm index memory surfaces once the index exists: MC and
+        // PrSim hold real bytes, index-free ExactSim reports zero.
+        assert_eq!(
+            snap.index_memory_bytes[AlgorithmKind::ExactSim.index()],
+            Some(0)
+        );
+        assert!(snap.index_memory_bytes[AlgorithmKind::PrSim.index()].unwrap() > 0);
+        assert!(snap.index_memory_bytes[AlgorithmKind::MonteCarlo.index()].unwrap() > 0);
+        assert!(snap.to_json().contains("\"memory_bytes\":{\"exactsim\":0,"));
+    }
+
+    #[test]
+    fn index_memory_is_unreported_until_the_index_is_built() {
+        let service = demo_service(25, 21);
+        let snap = service.stats();
+        assert_eq!(snap.index_memory_bytes, [None, None, None]);
+        assert!(snap
+            .to_json()
+            .contains("\"memory_bytes\":{\"exactsim\":null,\"prsim\":null,\"mc\":null}"));
+        service.query(AlgorithmKind::MonteCarlo, 0).unwrap();
+        let snap = service.stats();
+        assert_eq!(snap.index_memory_bytes[AlgorithmKind::PrSim.index()], None);
+        assert!(snap.index_memory_bytes[AlgorithmKind::MonteCarlo.index()].unwrap() > 0);
     }
 
     #[test]

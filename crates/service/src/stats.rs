@@ -156,6 +156,7 @@ impl ServiceStats {
         invalidations: u64,
         cached_entries: usize,
         durability: Option<DurabilityInfo>,
+        index_memory_bytes: [Option<u64>; 3],
     ) -> StatsSnapshot {
         let queries = self.queries.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
@@ -182,6 +183,7 @@ impl ServiceStats {
             } else {
                 (cache_hits + dedup_joins) as f64 / queries as f64
             },
+            index_memory_bytes,
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
             latency_saturated: self.latency.saturated(),
@@ -229,6 +231,13 @@ pub struct StatsSnapshot {
     /// `(cache_hits + dedup_joins) / queries` — the fraction of queries that
     /// did *not* pay for a computation.
     pub hit_rate: f64,
+    /// Per-algorithm index heap footprint for the serving epoch, in
+    /// `[exactsim, prsim, mc]` order ([`AlgorithmKind::ALL`] of the response
+    /// module). `None` until that algorithm's index has been built this
+    /// epoch; ExactSim is index-free and reports `Some(0)` once constructed.
+    ///
+    /// [`AlgorithmKind::ALL`]: crate::response::AlgorithmKind::ALL
+    pub index_memory_bytes: [Option<u64>; 3],
     /// Median serve latency (bucket upper bound), if any query was served.
     pub p50: Option<Duration>,
     /// 99th-percentile serve latency (bucket upper bound).
@@ -271,7 +280,9 @@ impl StatsSnapshot {
                 "{{\"epoch\":{},\"queries\":{},\"cache_hits\":{},\"dedup_joins\":{},",
                 "\"computations\":{},\"index_builds\":{},\"errors\":{},",
                 "\"epoch_refreshes\":{},\"evictions\":{},\"invalidations\":{},",
-                "\"cached_entries\":{},\"hit_rate\":{:.4},\"p50_us\":{},\"p99_us\":{},",
+                "\"cached_entries\":{},\"hit_rate\":{:.4},",
+                "\"memory_bytes\":{{\"exactsim\":{},\"prsim\":{},\"mc\":{}}},",
+                "\"p50_us\":{},\"p99_us\":{},",
                 "\"latency_saturated\":{},",
                 "\"connections_accepted\":{},\"connections_closed\":{},",
                 "\"connections_rejected\":{},\"net_requests\":{},",
@@ -289,6 +300,9 @@ impl StatsSnapshot {
             self.invalidations,
             self.cached_entries,
             self.hit_rate,
+            opt_u64(self.index_memory_bytes[0]),
+            opt_u64(self.index_memory_bytes[1]),
+            opt_u64(self.index_memory_bytes[2]),
             us(self.p50),
             us(self.p99),
             self.latency_saturated,
@@ -341,6 +355,17 @@ impl fmt::Display for StatsSnapshot {
             self.cached_entries, self.evictions, self.invalidations
         )?;
         writeln!(f, "epoch refreshes:    {}", self.epoch_refreshes)?;
+        let mem = |v: Option<u64>| match v {
+            Some(bytes) => format!("{bytes} B"),
+            None => "unbuilt".to_string(),
+        };
+        writeln!(
+            f,
+            "index memory:       exactsim {}, prsim {}, mc {}",
+            mem(self.index_memory_bytes[0]),
+            mem(self.index_memory_bytes[1]),
+            mem(self.index_memory_bytes[2])
+        )?;
         writeln!(f, "errors:             {}", self.errors)?;
         if self.connections_accepted > 0 || self.connections_rejected > 0 {
             writeln!(
@@ -417,7 +442,7 @@ mod tests {
 
         let stats = ServiceStats::new();
         stats.latency.record(Duration::from_micros(u64::MAX));
-        let snap = stats.snapshot(0, 0, 0, 0, None);
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3]);
         assert_eq!(snap.latency_saturated, 1);
         assert!(snap.to_json().contains("\"latency_saturated\":1"));
         assert!(snap.to_string().contains("latency saturated:  1"));
@@ -430,7 +455,7 @@ mod tests {
         stats.connections_closed.store(3, Ordering::Relaxed);
         stats.connections_rejected.store(2, Ordering::Relaxed);
         stats.net_requests.store(40, Ordering::Relaxed);
-        let snap = stats.snapshot(0, 0, 0, 0, None);
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3]);
         assert_eq!(snap.connections_accepted, 5);
         assert_eq!(snap.net_requests, 40);
         let json = snap.to_json();
@@ -443,8 +468,26 @@ mod tests {
             "{rendered}"
         );
         // A stdin-only server never shows the TCP line.
-        let quiet = ServiceStats::new().snapshot(0, 0, 0, 0, None).to_string();
+        let quiet = ServiceStats::new()
+            .snapshot(0, 0, 0, 0, None, [None; 3])
+            .to_string();
         assert!(!quiet.contains("tcp connections"));
+    }
+
+    #[test]
+    fn index_memory_surfaces_in_json_and_display() {
+        let stats = ServiceStats::new();
+        let snap = stats.snapshot(0, 0, 0, 0, None, [Some(0), Some(4096), None]);
+        let json = snap.to_json();
+        assert!(
+            json.contains("\"memory_bytes\":{\"exactsim\":0,\"prsim\":4096,\"mc\":null}"),
+            "{json}"
+        );
+        let rendered = snap.to_string();
+        assert!(
+            rendered.contains("index memory:       exactsim 0 B, prsim 4096 B, mc unbuilt"),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -455,7 +498,7 @@ mod tests {
         stats.dedup_joins.store(3, Ordering::Relaxed);
         stats.computations.store(1, Ordering::Relaxed);
         stats.epoch_refreshes.store(2, Ordering::Relaxed);
-        let snap = stats.snapshot(7, 0, 4, 5, None);
+        let snap = stats.snapshot(7, 0, 4, 5, None, [Some(0), Some(1024), None]);
         assert!((snap.hit_rate - 0.9).abs() < 1e-12);
         assert_eq!(snap.cached_entries, 5);
         assert_eq!(snap.epoch, 7);
@@ -470,7 +513,7 @@ mod tests {
 
     #[test]
     fn zero_queries_mean_zero_hit_rate() {
-        let snap = ServiceStats::new().snapshot(0, 0, 0, 0, None);
+        let snap = ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3]);
         assert_eq!(snap.hit_rate, 0.0);
         assert_eq!(snap.p50, None);
     }
@@ -481,7 +524,7 @@ mod tests {
         stats.queries.store(4, Ordering::Relaxed);
         stats.cache_hits.store(2, Ordering::Relaxed);
         stats.latency.record(Duration::from_micros(100));
-        let json = stats.snapshot(3, 1, 0, 2, None).to_json();
+        let json = stats.snapshot(3, 1, 0, 2, None, [None; 3]).to_json();
         assert!(json.starts_with("{\"epoch\":3,"));
         assert!(json.contains("\"queries\":4"));
         assert!(json.contains("\"hit_rate\":0.5000"));
@@ -492,7 +535,9 @@ mod tests {
         assert!(json.contains("\"wal_len\":null"));
         assert!(json.contains("\"last_snapshot_epoch\":null"));
         // Before any query, quantiles serialize as null.
-        let empty = ServiceStats::new().snapshot(0, 0, 0, 0, None).to_json();
+        let empty = ServiceStats::new()
+            .snapshot(0, 0, 0, 0, None, [None; 3])
+            .to_json();
         assert!(empty.contains("\"p99_us\":null"));
     }
 
@@ -504,7 +549,7 @@ mod tests {
             wal_records: 12,
             last_snapshot_epoch: 3,
         };
-        let snap = stats.snapshot(5, 0, 0, 0, Some(info));
+        let snap = stats.snapshot(5, 0, 0, 0, Some(info), [None; 3]);
         assert_eq!(snap.wal_len, Some(12));
         assert_eq!(snap.last_snapshot_epoch, Some(3));
         let json = snap.to_json();

@@ -11,12 +11,20 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use exactsim::config::SimRankConfig;
-use exactsim::diagonal::{estimate_local_deterministic, LocalExploreCaps};
+use exactsim::diagonal::{estimate_local_deterministic, LocalExploreCaps, LocalNodeStats};
 use exactsim::exactsim::{ExactSim, ExactSimConfig, ExactSimVariant};
+use exactsim::linearization::{Linearization, LinearizationConfig};
+use exactsim::mc::{MonteCarlo, MonteCarloConfig};
 use exactsim::metrics::max_error;
+use exactsim::parsim::{ParSim, ParSimConfig};
 use exactsim::power_method::{PowerMethod, PowerMethodConfig};
 use exactsim::ppr::{dense_hop_vectors, sparse_hop_vectors};
+use exactsim::prsim::{PrSim, PrSimConfig};
+use exactsim::scratch::DiagonalScratch;
 use exactsim::walks;
+use exactsim_graph::generators::{
+    barabasi_albert, gnm_directed, stochastic_block_model, SbmConfig,
+};
 use exactsim_graph::io::{parse_edge_list, to_edge_list_string, EdgeListOptions};
 use exactsim_graph::linalg::Workspace;
 use exactsim_graph::{DiGraph, GraphBuilder};
@@ -146,7 +154,7 @@ fn local_deterministic_diagonal_matches_the_exact_one() {
     for_each_case(|graph| {
         let pm = PowerMethod::compute(graph, PowerMethodConfig::default()).unwrap();
         let exact = pm.exact_diagonal(graph);
-        let mut ws = Workspace::new(graph.num_nodes());
+        let mut scratch = DiagonalScratch::new(graph.num_nodes());
         let mut rng = walks::make_rng(7);
         for k in 0..graph.num_nodes() as u32 {
             let (estimate, _) = estimate_local_deterministic(
@@ -160,7 +168,7 @@ fn local_deterministic_diagonal_matches_the_exact_one() {
                     max_tail_samples: 100,
                     ..Default::default()
                 },
-                &mut ws,
+                &mut scratch,
                 &mut rng,
             );
             assert!(
@@ -185,6 +193,382 @@ fn edge_list_round_trip_preserves_the_graph() {
             assert!(loaded.graph.has_edge(du, dv));
         }
     });
+}
+
+/// A verbatim port of the **seed-era** Algorithm 3 implementation (the
+/// `BTreeMap`-based `estimate_local_deterministic` this repo shipped before
+/// the Scratch rewrite), kept here as the reference the rewritten kernel is
+/// required to be bit-identical to. Uses only public API, so it stays
+/// independent of the production code paths.
+mod seed_reference {
+    use std::collections::BTreeMap;
+
+    use exactsim::diagonal::{LocalExploreCaps, LocalNodeStats};
+    use exactsim::walks;
+    use exactsim_graph::linalg::{p_multiply_sparse, SparseVec, Workspace};
+    use exactsim_graph::{DiGraph, NodeId};
+    use rand::rngs::SmallRng;
+
+    fn sample_tail_pair(
+        graph: &DiGraph,
+        start: NodeId,
+        forced: usize,
+        sqrt_c: f64,
+        max_continue_steps: usize,
+        rng: &mut SmallRng,
+    ) -> bool {
+        let mut a = start;
+        let mut b = start;
+        for _ in 0..forced {
+            let na = walks::step_forced(graph, a, rng);
+            let nb = walks::step_forced(graph, b, rng);
+            match (na, nb) {
+                (Some(x), Some(y)) => {
+                    if x == y {
+                        return false;
+                    }
+                    a = x;
+                    b = y;
+                }
+                _ => return false,
+            }
+        }
+        for _ in 0..max_continue_steps {
+            let na = walks::step(graph, a, sqrt_c, rng);
+            let nb = walks::step(graph, b, sqrt_c, rng);
+            match (na, nb) {
+                (Some(x), Some(y)) => {
+                    if x == y {
+                        return true;
+                    }
+                    a = x;
+                    b = y;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_local_deterministic(
+        graph: &DiGraph,
+        node: NodeId,
+        samples: u64,
+        sqrt_c: f64,
+        tail_skip_threshold: f64,
+        caps: LocalExploreCaps,
+        workspace: &mut Workspace,
+        rng: &mut SmallRng,
+    ) -> (f64, LocalNodeStats) {
+        let c = sqrt_c * sqrt_c;
+        let din = graph.in_degree(node);
+        if din == 0 {
+            return (1.0, LocalNodeStats::default());
+        }
+        if din == 1 {
+            return (1.0 - c, LocalNodeStats::default());
+        }
+
+        let edge_budget = if samples == 0 {
+            0
+        } else {
+            (((2 * samples) as f64) / sqrt_c).ceil() as u64
+        };
+        let edge_budget = edge_budget.min(caps.max_edges);
+
+        let mut dist: BTreeMap<NodeId, Vec<SparseVec>> = BTreeMap::new();
+        dist.insert(node, vec![SparseVec::unit(node, 1.0)]);
+
+        let mut edges_used = 0u64;
+        let mut z_levels: Vec<BTreeMap<NodeId, f64>> = Vec::new();
+        let mut met_probability = 0.0f64;
+
+        let mut level = 0usize;
+        let extend_cost = |v: &SparseVec, graph: &DiGraph| -> u64 {
+            v.iter().map(|(j, _)| graph.in_degree(j) as u64).sum()
+        };
+
+        while level < caps.max_levels {
+            let next_level = level + 1;
+            {
+                let node_dist = dist.get_mut(&node).expect("source distribution present");
+                while node_dist.len() <= next_level {
+                    let last = node_dist.last().expect("at least level 0");
+                    edges_used += extend_cost(last, graph);
+                    let next = p_multiply_sparse(graph, last, workspace);
+                    node_dist.push(next);
+                }
+            }
+
+            let mut z_next: BTreeMap<NodeId, f64> = BTreeMap::new();
+            {
+                let node_dist = &dist[&node];
+                let base = &node_dist[next_level];
+                let scale = c.powi(next_level as i32);
+                for (q, v) in base.iter() {
+                    z_next.insert(q, scale * v * v);
+                }
+            }
+            for t in 1..next_level {
+                let remaining = next_level - t;
+                let entries: Vec<(NodeId, f64)> = z_levels[t - 1]
+                    .iter()
+                    .map(|(&q, &v)| (q, v))
+                    .filter(|&(_, v)| v > 0.0)
+                    .collect();
+                for (q_prime, z_val) in entries {
+                    let q_dist = dist
+                        .entry(q_prime)
+                        .or_insert_with(|| vec![SparseVec::unit(q_prime, 1.0)]);
+                    while q_dist.len() <= remaining {
+                        let last = q_dist.last().expect("at least level 0");
+                        edges_used += extend_cost(last, graph);
+                        let next = p_multiply_sparse(graph, last, workspace);
+                        q_dist.push(next);
+                    }
+                    let spread = &q_dist[remaining];
+                    let factor = c.powi(remaining as i32) * z_val;
+                    if factor == 0.0 {
+                        continue;
+                    }
+                    for (q, v) in spread.iter() {
+                        *z_next.entry(q).or_insert(0.0) -= factor * v * v;
+                    }
+                }
+            }
+            let level_mass: f64 = z_next.values().map(|&v| v.max(0.0)).sum();
+            for v in z_next.values_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+            met_probability += level_mass;
+            z_levels.push(z_next);
+            level = next_level;
+
+            let tail_bound = c.powi(level as i32);
+            if tail_bound <= tail_skip_threshold {
+                break;
+            }
+            if edges_used >= edge_budget {
+                break;
+            }
+        }
+
+        let mut stats = LocalNodeStats {
+            levels: level,
+            edges: edges_used,
+            tail_pairs: 0,
+            tail_skipped: false,
+        };
+
+        let tail_bound = c.powi(level as i32);
+        let mut d_hat = 1.0 - met_probability;
+
+        if tail_bound <= tail_skip_threshold || samples == 0 {
+            stats.tail_skipped = true;
+            return (d_hat.clamp(1.0 - c, 1.0), stats);
+        }
+
+        let reduced = ((samples as f64) * tail_bound * tail_bound).ceil() as u64;
+        let tail_samples = reduced.clamp(1, caps.max_tail_samples);
+        let mut tail_hits = 0u64;
+        let max_continue_steps = 4 * caps.max_levels;
+        for _ in 0..tail_samples {
+            if sample_tail_pair(graph, node, level, sqrt_c, max_continue_steps, rng) {
+                tail_hits += 1;
+            }
+        }
+        stats.tail_pairs = tail_samples;
+        let tail_estimate = tail_bound * tail_hits as f64 / tail_samples as f64;
+        d_hat -= tail_estimate;
+        (d_hat.clamp(1.0 - c, 1.0), stats)
+    }
+}
+
+/// The three generated graph families × three seeds the bit-identity
+/// properties sweep (the ISSUE-5 acceptance grid).
+fn bit_identity_graphs() -> Vec<(String, DiGraph)> {
+    let mut graphs = Vec::new();
+    for seed in [1u64, 2, 3] {
+        graphs.push((
+            format!("ba/{seed}"),
+            barabasi_albert(60, 2, true, seed).unwrap(),
+        ));
+        graphs.push((format!("er/{seed}"), gnm_directed(70, 280, seed).unwrap()));
+        graphs.push((
+            format!("sbm/{seed}"),
+            stochastic_block_model(SbmConfig {
+                block_sizes: vec![25, 25, 25],
+                p_within: 0.15,
+                p_between: 0.02,
+                seed,
+            })
+            .unwrap()
+            .graph,
+        ));
+    }
+    graphs
+}
+
+#[test]
+fn scratch_diagonal_kernel_is_bit_identical_to_the_seed_era_implementation() {
+    // The Scratch rewrite replaced every BTreeMap accumulator of Algorithm 3
+    // with epoch-stamped dense accumulators drained in sorted order. The
+    // contract is bit-identity: same inputs, same RNG stream, the *exact*
+    // same f64 bits out — including the cost statistics.
+    for (name, graph) in bit_identity_graphs() {
+        let n = graph.num_nodes();
+        let mut seed_ws = Workspace::new(n);
+        let mut scratch = DiagonalScratch::new(n);
+        for (threshold, samples) in [(0.0, 3_000u64), (1e-4, 50_000)] {
+            for k in 0..n as u32 {
+                let caps = LocalExploreCaps {
+                    max_levels: 12,
+                    max_edges: 50_000,
+                    max_tail_samples: 500,
+                };
+                let mut rng_a = walks::make_rng(walks::derive_seed(99, k as u64));
+                let mut rng_b = walks::make_rng(walks::derive_seed(99, k as u64));
+                let (want, want_stats): (f64, LocalNodeStats) =
+                    seed_reference::estimate_local_deterministic(
+                        &graph,
+                        k,
+                        samples,
+                        SQRT_C,
+                        threshold,
+                        caps,
+                        &mut seed_ws,
+                        &mut rng_a,
+                    );
+                let (got, got_stats) = estimate_local_deterministic(
+                    &graph,
+                    k,
+                    samples,
+                    SQRT_C,
+                    threshold,
+                    caps,
+                    &mut scratch,
+                    &mut rng_b,
+                );
+                assert_eq!(
+                    want.to_bits(),
+                    got.to_bits(),
+                    "{name} node {k} threshold {threshold}: seed-era {want} vs scratch {got}"
+                );
+                assert_eq!(want_stats, got_stats, "{name} node {k} stats diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_five_solvers_are_bit_identical_across_scratch_reuse_instances_and_threads() {
+    // One query answer per (solver, graph, source) — recomputed through a
+    // reused scratch pool, through a fresh solver instance, and with a
+    // different thread count — must be the same bit pattern every time.
+    for (name, graph) in bit_identity_graphs() {
+        let sources = [0u32, (graph.num_nodes() / 2) as u32];
+        let run_all = |threads: usize| -> Vec<(String, Vec<f64>)> {
+            let simrank = SimRankConfig {
+                threads,
+                ..SimRankConfig::default()
+            };
+            let mut outputs = Vec::new();
+            let opt = ExactSim::new(
+                &graph,
+                ExactSimConfig {
+                    simrank,
+                    epsilon: 1e-2,
+                    variant: ExactSimVariant::Optimized,
+                    walk_budget: Some(20_000),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let basic = ExactSim::new(
+                &graph,
+                ExactSimConfig {
+                    simrank,
+                    epsilon: 1e-2,
+                    variant: ExactSimVariant::Basic,
+                    walk_budget: Some(10_000),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let parsim = ParSim::new(
+                &graph,
+                ParSimConfig {
+                    simrank,
+                    iterations: 20,
+                },
+            )
+            .unwrap();
+            let lin = Linearization::build(
+                &graph,
+                LinearizationConfig {
+                    simrank,
+                    epsilon: 0.1,
+                    walk_budget: Some(50_000),
+                },
+            )
+            .unwrap();
+            let mc = MonteCarlo::build(
+                &graph,
+                MonteCarloConfig {
+                    simrank,
+                    walks_per_node: 40,
+                    walk_length: 12,
+                },
+            )
+            .unwrap();
+            let prsim = PrSim::build(
+                &graph,
+                PrSimConfig {
+                    simrank,
+                    epsilon: 2e-2,
+                    walk_budget: Some(20_000),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for &source in &sources {
+                // Query twice so the second pass runs on a warm (reused)
+                // scratch; both must match exactly.
+                let a = opt.query(source).unwrap().scores;
+                let b = opt.query(source).unwrap().scores;
+                assert_eq!(a, b, "{name}: warm ExactSim-opt scratch diverged");
+                outputs.push((format!("opt/{source}"), a));
+                let a = basic.query(source).unwrap().scores;
+                let b = basic.query(source).unwrap().scores;
+                assert_eq!(a, b, "{name}: warm ExactSim-basic scratch diverged");
+                outputs.push((format!("basic/{source}"), a));
+                let a = parsim.query(source).unwrap();
+                assert_eq!(a, parsim.query(source).unwrap());
+                outputs.push((format!("parsim/{source}"), a));
+                let a = lin.query(source).unwrap();
+                assert_eq!(a, lin.query(source).unwrap());
+                outputs.push((format!("lin/{source}"), a));
+                let a = mc.query(source).unwrap();
+                assert_eq!(a, mc.query(source).unwrap());
+                outputs.push((format!("mc/{source}"), a));
+                let a = prsim.query(source).unwrap();
+                assert_eq!(a, prsim.query(source).unwrap());
+                outputs.push((format!("prsim/{source}"), a));
+            }
+            outputs
+        };
+        let single = run_all(1);
+        let fresh = run_all(1);
+        let threaded = run_all(3);
+        for (((label, a), (_, b)), (_, c)) in single.iter().zip(&fresh).zip(&threaded) {
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(a), bits(b), "{name}/{label}: fresh instance diverged");
+            assert_eq!(bits(a), bits(c), "{name}/{label}: threads=3 diverged");
+        }
+    }
 }
 
 #[test]
