@@ -1,0 +1,85 @@
+//! Process-global kernel counters.
+//!
+//! The serving stack wants to know what the numeric kernels are doing —
+//! scratch-pool reuse, solver iterations, Monte-Carlo walk volume — without
+//! this crate depending on any observability machinery. The contract is the
+//! thinnest possible: a handful of `AtomicU64` statics, bumped in *batches*
+//! (once per query or index build, never per walk or per iteration) so the
+//! cost is a few relaxed adds per kernel invocation, invisible next to the
+//! kernel itself. The `exactsim-service` metrics registry reads them at
+//! scrape time through [`snapshot`].
+//!
+//! The counters are process-wide, not per-solver: they answer "what has this
+//! process's kernel layer done since start", which is exactly the shape a
+//! Prometheus counter wants (rates come from deltas on the scrape side).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Scratch workspaces served from the pool (no allocation).
+pub static SCRATCH_POOL_HITS: AtomicU64 = AtomicU64::new(0);
+/// Scratch workspaces built fresh because the pool was empty.
+pub static SCRATCH_POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Level/iteration steps executed by the deterministic solvers (ExactSim
+/// levels, Linearization levels, power-method iterations).
+pub static SOLVER_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+/// √c-walks sampled by the Monte-Carlo index builder.
+pub static MC_WALKS: AtomicU64 = AtomicU64::new(0);
+/// Walk *pairs* simulated by ExactSim's diagonal estimator.
+pub static WALK_PAIRS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` to a kernel counter (relaxed; statistics, not synchronization).
+#[inline]
+pub fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Adds one to a kernel counter.
+#[inline]
+pub fn inc(counter: &AtomicU64) {
+    add(counter, 1);
+}
+
+/// A point-in-time copy of every kernel counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelCounters {
+    /// Scratch workspaces served from the pool.
+    pub scratch_pool_hits: u64,
+    /// Scratch workspaces allocated fresh.
+    pub scratch_pool_misses: u64,
+    /// Solver level/iteration steps executed.
+    pub solver_iterations: u64,
+    /// Monte-Carlo walks sampled.
+    pub mc_walks: u64,
+    /// ExactSim diagonal walk pairs simulated.
+    pub walk_pairs: u64,
+}
+
+/// Reads every counter (relaxed; counters may move between loads).
+#[must_use]
+pub fn snapshot() -> KernelCounters {
+    KernelCounters {
+        scratch_pool_hits: SCRATCH_POOL_HITS.load(Ordering::Relaxed),
+        scratch_pool_misses: SCRATCH_POOL_MISSES.load(Ordering::Relaxed),
+        solver_iterations: SOLVER_ITERATIONS.load(Ordering::Relaxed),
+        mc_walks: MC_WALKS.load(Ordering::Relaxed),
+        walk_pairs: WALK_PAIRS.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_into_the_snapshot() {
+        // Counters are process-global and other tests bump them concurrently,
+        // so assert on deltas of the counters this test owns the increments
+        // for, not absolute values.
+        let before = snapshot();
+        add(&SOLVER_ITERATIONS, 7);
+        inc(&MC_WALKS);
+        let after = snapshot();
+        assert!(after.solver_iterations >= before.solver_iterations + 7);
+        assert!(after.mc_walks > before.mc_walks);
+    }
+}

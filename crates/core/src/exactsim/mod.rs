@@ -362,6 +362,8 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
             dense_tmp,
         );
 
+        crate::counters::add(&crate::counters::SOLVER_ITERATIONS, levels as u64);
+        crate::counters::add(&crate::counters::WALK_PAIRS, diag.walk_pairs);
         Ok(ExactSimResult {
             scores,
             stats: ExactSimStats {
@@ -458,6 +460,8 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
             dense_tmp,
         );
 
+        crate::counters::add(&crate::counters::SOLVER_ITERATIONS, levels as u64);
+        crate::counters::add(&crate::counters::WALK_PAIRS, diag.walk_pairs);
         Ok(ExactSimResult {
             scores,
             stats: ExactSimStats {

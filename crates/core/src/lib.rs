@@ -34,6 +34,7 @@
 //! | [`ppr`] | ℓ-hop Personalized PageRank vectors | shared substrate (eq. 8) |
 //! | [`walks`] | √c-walk sampling engine | shared substrate (eq. 2) |
 //! | [`scratch`] | reusable per-query workspaces ([`scratch::Scratch`]) | engineering: allocation-free, deterministic kernels |
+//! | [`counters`] | process-global kernel counters (scratch reuse, iterations, walks) | engineering: observability without dependencies |
 //! | [`topk`], [`metrics`], [`pooling`] | top-k extraction, MaxError / Precision@k, pooling | evaluation methodology |
 //!
 //! Every solver is generic over its graph handle (`&DiGraph` for borrowing
@@ -67,6 +68,7 @@
 #![warn(clippy::all)]
 
 pub mod config;
+pub mod counters;
 pub mod diagonal;
 pub mod error;
 pub mod exactsim;

@@ -155,6 +155,7 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
             &mut scratch.dense_tmp,
         );
         self.pool.give_back(scratch);
+        crate::counters::add(&crate::counters::SOLVER_ITERATIONS, levels as u64);
         Ok(scores)
     }
 }

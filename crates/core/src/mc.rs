@@ -117,6 +117,7 @@ impl<G: Borrow<DiGraph>> MonteCarlo<G> {
             },
         );
         debug_assert_eq!(chunk_walks.len(), n * r);
+        crate::counters::add(&crate::counters::MC_WALKS, (n * r) as u64);
         Ok(MonteCarlo {
             graph,
             config,

@@ -85,7 +85,7 @@ pub(crate) const MIN_PARALLEL_EDGES: usize = 200_000;
 /// gather-form row kernel. Because each output slot is written by exactly one
 /// shard, accumulating its terms in the same ascending order as the
 /// sequential kernel, the result is **bit-identical for any thread count**.
-/// Graphs under [`MIN_PARALLEL_EDGES`] stay sequential (spawn cost would
+/// Graphs under `MIN_PARALLEL_EDGES` (200k edges) stay sequential (spawn cost would
 /// exceed the multiply).
 pub fn p_multiply_threaded(
     graph: &exactsim_graph::DiGraph,

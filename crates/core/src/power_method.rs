@@ -97,6 +97,7 @@ impl PowerMethod {
             }
             std::mem::swap(&mut current, &mut next);
         }
+        crate::counters::add(&crate::counters::SOLVER_ITERATIONS, iterations as u64);
         Ok(PowerMethod {
             n,
             decay: c,

@@ -109,11 +109,17 @@ impl ScratchPool {
 
     /// Pops a scratch, creating one if the pool is empty.
     pub fn checkout(&self) -> Scratch {
-        self.pool
-            .lock()
-            .expect("scratch pool poisoned")
-            .pop()
-            .unwrap_or_else(|| Scratch::new(self.n))
+        let pooled = self.pool.lock().expect("scratch pool poisoned").pop();
+        match pooled {
+            Some(scratch) => {
+                crate::counters::inc(&crate::counters::SCRATCH_POOL_HITS);
+                scratch
+            }
+            None => {
+                crate::counters::inc(&crate::counters::SCRATCH_POOL_MISSES);
+                Scratch::new(self.n)
+            }
+        }
     }
 
     /// Returns a scratch to the pool for reuse.

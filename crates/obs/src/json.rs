@@ -1,0 +1,57 @@
+//! Minimal JSON string escaping shared by every layer that hand-writes JSON.
+//!
+//! The serving stack deliberately emits wire JSON with `format!` instead of a
+//! serialization framework (the environment is offline and the payloads are
+//! small and flat), which makes correct string escaping the one piece that
+//! must live in exactly one place. It used to hide in the service stats
+//! module; it now lives here, beneath every crate that writes JSON.
+
+/// Escapes a string for embedding inside a JSON string literal.
+///
+/// Handles the two mandatory escapes (`"` and `\`) plus the common control
+/// characters; any other byte below `0x20` is emitted as a `\u00XX` escape,
+/// as required by RFC 8259.
+///
+/// ```
+/// use exactsim_obs::json::escape_json;
+/// assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+/// ```
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through_unchanged() {
+        assert_eq!(escape_json("query 7 exactsim"), "query 7 exactsim");
+    }
+
+    #[test]
+    fn quotes_backslashes_and_controls_are_escaped() {
+        assert_eq!(escape_json("\"\\\n\r\t"), "\\\"\\\\\\n\\r\\t");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_ascii_text_is_preserved_verbatim() {
+        assert_eq!(escape_json("café → π"), "café → π");
+    }
+}

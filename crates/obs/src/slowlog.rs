@@ -1,0 +1,219 @@
+//! Fixed-capacity slow-query ring buffer.
+//!
+//! Requests slower than a (runtime-adjustable) threshold are recorded into a
+//! bounded ring: the newest entries win, memory is capped, and the fast path
+//! pays only one atomic load plus a comparison when the request is under the
+//! threshold — the request string is built lazily, so non-slow queries never
+//! allocate for the slow log.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use crate::json::escape_json;
+
+/// One recorded slow request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowQueryRecord {
+    /// Monotonic sequence number (total slow queries seen, 1-based), so an
+    /// operator can tell how many entries the ring has dropped.
+    pub seq: u64,
+    /// Wall-clock capture time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// The request, in canonical wire form.
+    pub request: String,
+    /// How the request ended (`hit`, `miss`, `dedup`, `error`, ...).
+    pub outcome: &'static str,
+    /// How long it took.
+    pub duration: Duration,
+}
+
+impl SlowQueryRecord {
+    /// Renders this record as one JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"unix_ms\":{},\"request\":\"{}\",\"outcome\":\"{}\",\"duration_us\":{}}}",
+            self.seq,
+            self.unix_ms,
+            escape_json(&self.request),
+            self.outcome,
+            u64::try_from(self.duration.as_micros()).unwrap_or(u64::MAX),
+        )
+    }
+}
+
+struct Ring {
+    next_seq: u64,
+    entries: VecDeque<SlowQueryRecord>,
+}
+
+/// The slow-query ring buffer.
+pub struct SlowLog {
+    capacity: usize,
+    threshold_us: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl SlowLog {
+    /// Creates a ring holding at most `capacity` entries, recording requests
+    /// that took at least `threshold` (a zero threshold records everything).
+    #[must_use]
+    pub fn new(capacity: usize, threshold: Duration) -> Self {
+        SlowLog {
+            capacity,
+            threshold_us: AtomicU64::new(duration_us(threshold)),
+            ring: Mutex::new(Ring {
+                next_seq: 0,
+                entries: VecDeque::with_capacity(capacity.min(64)),
+            }),
+        }
+    }
+
+    /// The current recording threshold.
+    #[must_use]
+    pub fn threshold(&self) -> Duration {
+        Duration::from_micros(self.threshold_us.load(Ordering::Relaxed))
+    }
+
+    /// Changes the recording threshold at runtime.
+    pub fn set_threshold(&self, threshold: Duration) {
+        self.threshold_us
+            .store(duration_us(threshold), Ordering::Relaxed);
+    }
+
+    /// Maximum entries retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records the request if it met the threshold; `request` is only called
+    /// (and only allocates) when it did. Returns whether it was recorded.
+    pub fn observe(
+        &self,
+        duration: Duration,
+        outcome: &'static str,
+        request: impl FnOnce() -> String,
+    ) -> bool {
+        if duration_us(duration) < self.threshold_us.load(Ordering::Relaxed) {
+            return false;
+        }
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        let mut ring = self.ring.lock().expect("slow log poisoned");
+        ring.next_seq += 1;
+        let record = SlowQueryRecord {
+            seq: ring.next_seq,
+            unix_ms,
+            request: request(),
+            outcome,
+            duration,
+        };
+        if ring.entries.len() == self.capacity {
+            ring.entries.pop_front();
+        }
+        ring.entries.push_back(record);
+        true
+    }
+
+    /// Total slow queries ever observed (including ones the ring dropped).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.ring.lock().expect("slow log poisoned").next_seq
+    }
+
+    /// Entries currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("slow log poisoned").entries.len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `n` most recent entries, newest first.
+    #[must_use]
+    pub fn recent(&self, n: usize) -> Vec<SlowQueryRecord> {
+        let ring = self.ring.lock().expect("slow log poisoned");
+        ring.entries.iter().rev().take(n).cloned().collect()
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_below_the_threshold_never_build_their_string() {
+        let log = SlowLog::new(4, Duration::from_millis(10));
+        let recorded = log.observe(Duration::from_millis(1), "hit", || {
+            panic!("fast request must not allocate a slow-log string")
+        });
+        assert!(!recorded);
+        assert!(log.is_empty());
+        assert_eq!(log.total_recorded(), 0);
+    }
+
+    #[test]
+    fn slow_requests_are_recorded_newest_first() {
+        let log = SlowLog::new(4, Duration::from_millis(10));
+        assert!(log.observe(Duration::from_millis(10), "miss", || "query 1".into()));
+        assert!(log.observe(Duration::from_millis(25), "dedup", || "query 2".into()));
+        let recent = log.recent(10);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].request, "query 2");
+        assert_eq!(recent[0].seq, 2);
+        assert_eq!(recent[1].request, "query 1");
+        assert_eq!(log.recent(1).len(), 1);
+    }
+
+    #[test]
+    fn the_ring_drops_oldest_but_keeps_counting() {
+        let log = SlowLog::new(2, Duration::ZERO);
+        for i in 0..5u32 {
+            log.observe(Duration::from_millis(1), "miss", || format!("query {i}"));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_recorded(), 5);
+        let recent = log.recent(10);
+        assert_eq!(recent[0].request, "query 4");
+        assert_eq!(recent[0].seq, 5);
+        assert_eq!(recent[1].request, "query 3");
+    }
+
+    #[test]
+    fn threshold_is_adjustable_at_runtime() {
+        let log = SlowLog::new(4, Duration::from_secs(1));
+        assert!(!log.observe(Duration::from_millis(5), "miss", || "q".into()));
+        log.set_threshold(Duration::ZERO);
+        assert_eq!(log.threshold(), Duration::ZERO);
+        assert!(log.observe(Duration::from_millis(5), "miss", || "q".into()));
+    }
+
+    #[test]
+    fn records_render_as_json_with_escaping() {
+        let record = SlowQueryRecord {
+            seq: 3,
+            unix_ms: 1700000000000,
+            request: "query \"7\"".into(),
+            outcome: "miss",
+            duration: Duration::from_micros(1500),
+        };
+        assert_eq!(
+            record.to_json(),
+            "{\"seq\":3,\"unix_ms\":1700000000000,\"request\":\"query \\\"7\\\"\",\
+             \"outcome\":\"miss\",\"duration_us\":1500}"
+        );
+    }
+}

@@ -10,7 +10,9 @@
 //!
 //! **REPL mode** forwards each stdin line to the server and prints the
 //! one-line JSON reply — the same grammar as the server's own stdin REPL
-//! (`help` comes back as a `{"help": ...}` object over TCP).
+//! (`help` comes back as a `{"help": ...}` object over TCP). The one
+//! multi-line reply, `metrics`, is read up to its `# EOF` terminator line
+//! and printed verbatim.
 //!
 //! **Bench mode** (`--bench N --conns C`) drives `N` requests over `C`
 //! concurrent sockets: each connection issues `topk <source> <K>` (or full
@@ -18,8 +20,9 @@
 //! client-observed latency per request, and prints one JSON object with
 //! `queries_per_sec`, `p50_us`/`p99_us` (same fixed-bucket histogram as the
 //! server, see `exactsim_service::stats`), the error count, and the
-//! server's own `stats` reply embedded as `server_stats` — schema-compatible
-//! with `BENCH_serving.json` so CI can upload it alongside
+//! server's own `stats` reply embedded as `server_stats`, and a final
+//! Prometheus `metrics` scrape embedded (JSON-escaped) as `metrics_scrape` —
+//! schema-compatible with `BENCH_serving.json` so CI can upload it alongside
 //! (`BENCH_tcp.json`). The process exits nonzero unless every request
 //! succeeded and throughput is nonzero, which is what makes it a CI gate.
 //!
@@ -33,8 +36,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use exactsim_obs::json::escape_json;
+use exactsim_obs::metrics::Histogram as LatencyHistogram;
 use exactsim_service::net::LineClient;
-use exactsim_service::stats::{escape_json, LatencyHistogram};
 use exactsim_service::AlgorithmKind;
 
 struct Options {
@@ -175,6 +179,14 @@ fn repl(opts: &Options) -> Result<ExitCode, String> {
             let _ = session.send(trimmed);
             return Ok(ExitCode::SUCCESS);
         }
+        // The one multi-line reply: a Prometheus scrape framed by `# EOF`.
+        if trimmed == "metrics" {
+            let payload = session
+                .round_trip_multi("metrics", "# EOF")
+                .map_err(|e| format!("metrics: {e}"))?;
+            print!("{payload}");
+            continue;
+        }
         let reply = session
             .round_trip(trimmed)
             .map_err(|e| format!("{trimmed}: {e}"))?;
@@ -273,6 +285,17 @@ fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
     if server_stats.contains("\"error\"") || !server_stats.contains("\"queries\"") {
         return Err(format!("unexpected stats reply: {server_stats}"));
     }
+    // A final Prometheus scrape rides along in the bench artifact, so a CI
+    // run's BENCH_tcp.json carries the complete post-load series state.
+    let metrics_scrape = tail
+        .round_trip_multi("metrics", "# EOF")
+        .map_err(|e| format!("metrics: {e}"))?;
+    if !metrics_scrape.contains("simrank_queries_total") {
+        return Err(format!(
+            "unexpected metrics reply (no simrank_queries_total): {}",
+            metrics_scrape.lines().next().unwrap_or("")
+        ));
+    }
     let shutdown_reply = if opts.shutdown {
         Some(
             tail.round_trip("shutdown")
@@ -293,7 +316,7 @@ fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
             "\"sources\":{},\"topk\":{},",
             "\"elapsed_ms\":{:.3},\"queries_per_sec\":{:.1},",
             "\"p50_us\":{},\"p99_us\":{},\"errors\":{},",
-            "\"server_stats\":{}}}"
+            "\"server_stats\":{},\"metrics_scrape\":\"{}\"}}"
         ),
         escape_json(&opts.connect),
         n,
@@ -307,6 +330,7 @@ fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
         us(histogram.quantile(0.99)),
         errored,
         server_stats,
+        escape_json(&metrics_scrape),
     );
     println!("{json}");
     if let Some(path) = &opts.out {

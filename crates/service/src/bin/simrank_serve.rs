@@ -7,6 +7,7 @@
 //!               [--workers W] [--cache-capacity C] [--walk-budget B]
 //!               [--data-dir DIR]
 //!               [--listen ADDR] [--max-conns N] [--addr-file PATH]
+//!               [--log-json] [--slowlog-threshold-ms N]
 //! ```
 //!
 //! Without `--listen`, the server is the original stdin/stdout REPL: one
@@ -39,10 +40,18 @@
 //! save | snapshot          fold the WAL into a fresh snapshot file
 //! stats                    serving counters (hit rate, p50/p99, epoch,
 //!                          connections, durability state) as JSON
+//! metrics                  all series in Prometheus text format (multi-line,
+//!                          terminated by a `# EOF` line)
+//! slowlog [n]              newest n slow-query records
+//! trace <request>          run a query/topk/commit with per-stage tracing
 //! help                     this summary
 //! quit                     close this session (server keeps running)
 //! shutdown                 gracefully stop the whole server
 //! ```
+//!
+//! Operational messages go through the [`exactsim_obs::log`] logger:
+//! `--log-json` switches them from the traditional `simrank-serve: ...` text
+//! lines to one JSON object per line on stderr.
 //!
 //! With `--data-dir DIR` the store is durable: every commit is WAL-logged
 //! and fsynced before it is published, and on boot the server recovers the
@@ -61,6 +70,7 @@ use std::time::Duration;
 use exactsim::exactsim::ExactSimConfig;
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::DiGraph;
+use exactsim_obs::log::{self as oplog, LogFormat};
 use exactsim_service::net::{self, signal, NetOptions};
 use exactsim_service::protocol::{self, Outcome};
 use exactsim_service::{
@@ -81,6 +91,8 @@ struct Options {
     listen: Option<String>,
     max_conns: usize,
     addr_file: Option<PathBuf>,
+    log_json: bool,
+    slowlog_threshold_ms: u64,
 }
 
 impl Default for Options {
@@ -99,6 +111,8 @@ impl Default for Options {
             listen: None,
             max_conns: 64,
             addr_file: None,
+            log_json: false,
+            slowlog_threshold_ms: 100,
         }
     }
 }
@@ -163,6 +177,12 @@ fn parse_args() -> Result<Options, String> {
             "--addr-file" => {
                 opts.addr_file = Some(PathBuf::from(next_value("--addr-file", &mut args)?));
             }
+            "--log-json" => opts.log_json = true,
+            "--slowlog-threshold-ms" => {
+                let v = next_value("--slowlog-threshold-ms", &mut args)?;
+                opts.slowlog_threshold_ms =
+                    v.parse().map_err(|_| format!("bad threshold `{v}`"))?;
+            }
             "--help" | "-h" => {
                 eprintln!("{}", help_text());
                 std::process::exit(0);
@@ -197,6 +217,9 @@ const FLAG_HELP: &str = "simrank-serve: SimRank query server (stdin REPL or TCP)
                        port 0 picks an ephemeral port, reported on stdout)\n\
   --max-conns N        concurrent TCP connection bound (default 64)\n\
   --addr-file PATH     write the bound address to PATH once listening\n\
+  --log-json           operational stderr messages as one JSON object/line\n\
+  --slowlog-threshold-ms N  record queries at least N ms slow in the\n\
+                       slowlog ring (default 100; 0 records every query)\n\
 protocol:";
 
 fn help_text() -> String {
@@ -221,15 +244,22 @@ fn build_store(opts: &Options) -> Result<GraphStore, String> {
         e => format!("cannot recover {}: {e}", dir.display()),
     })?;
     match how {
-        Opened::Recovered => eprintln!(
-            "simrank-serve: recovered {} at epoch {} ({} WAL records)",
-            dir.display(),
-            store.epoch(),
-            store.durability().map_or(0, |info| info.wal_records),
+        Opened::Recovered => oplog::info(
+            "simrank-serve",
+            "recovered durable store",
+            &[
+                ("data_dir", dir.display().to_string().into()),
+                ("epoch", store.epoch().into()),
+                (
+                    "wal_records",
+                    store.durability().map_or(0, |info| info.wal_records).into(),
+                ),
+            ],
         ),
-        Opened::Created => eprintln!(
-            "simrank-serve: initialized durable store in {}",
-            dir.display()
+        Opened::Created => oplog::info(
+            "simrank-serve",
+            "initialized durable store",
+            &[("data_dir", dir.display().to_string().into())],
         ),
     }
     Ok(store)
@@ -256,16 +286,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.log_json {
+        oplog::set_format(LogFormat::Json);
+    }
     let store = match build_store(&opts) {
         Ok(store) => store,
         Err(msg) => {
-            eprintln!("simrank-serve: {msg}");
+            oplog::error("simrank-serve", &msg, &[]);
             return ExitCode::FAILURE;
         }
     };
     let config = ServiceConfig {
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
+        slowlog_threshold: Duration::from_millis(opts.slowlog_threshold_ms),
         exactsim: ExactSimConfig {
             epsilon: opts.epsilon,
             // The budget keeps interactive latency bounded but caps accuracy:
@@ -284,23 +318,35 @@ fn main() -> ExitCode {
     let service = match SimRankService::with_store(Arc::new(store), config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("simrank-serve: {e}");
+            oplog::error("simrank-serve", &e.to_string(), &[]);
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "simrank-serve ready: {} nodes, {} edges, default algo {}, {} workers (type `help`)",
-        service.graph().num_nodes(),
-        service.graph().num_edges(),
-        opts.algo,
-        service.workers(),
+    oplog::info(
+        "simrank-serve",
+        "ready (type `help`)",
+        &[
+            ("nodes", service.graph().num_nodes().into()),
+            ("edges", service.graph().num_edges().into()),
+            ("default_algo", opts.algo.to_string().into()),
+            ("workers", service.workers().into()),
+        ],
     );
 
     let code = match &opts.listen {
         Some(addr) => serve_tcp(&service, addr, &opts),
         None => serve_stdin(&service, &opts),
     };
-    eprintln!("--- final stats ---\n{}", service.stats());
+    // The final counters: the human block in text mode, one structured event
+    // in JSON mode (so a `--log-json` stderr stream stays machine-parseable).
+    match oplog::format() {
+        LogFormat::Json => oplog::info(
+            "simrank-serve",
+            "final stats",
+            &[("stats", service.stats().to_json().into())],
+        ),
+        LogFormat::Text => eprintln!("--- final stats ---\n{}", service.stats()),
+    }
     code
 }
 
@@ -320,6 +366,12 @@ fn serve_stdin(service: &SimRankService, opts: &Options) -> ExitCode {
             None => {}
             Some(Outcome::Reply(reply)) => {
                 let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+            }
+            Some(Outcome::Text(payload)) => {
+                // Multi-line payload (the `metrics` exposition), already
+                // newline-terminated and ending with a `# EOF` line.
+                let _ = out.write_all(payload.as_bytes());
                 let _ = out.flush();
             }
             Some(Outcome::Help(_)) => eprintln!("{}", help_text()),
@@ -348,7 +400,14 @@ fn serve_tcp(service: &SimRankService, addr: &str, opts: &Options) -> ExitCode {
     ) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("simrank-serve: cannot listen on {addr}: {e}");
+            oplog::error(
+                "simrank-serve",
+                "cannot listen",
+                &[
+                    ("addr", addr.to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -357,26 +416,37 @@ fn serve_tcp(service: &SimRankService, addr: &str, opts: &Options) -> ExitCode {
     let _ = std::io::stdout().flush();
     if let Some(path) = &opts.addr_file {
         if let Err(e) = std::fs::write(path, format!("{bound}\n")) {
-            eprintln!("simrank-serve: cannot write {}: {e}", path.display());
+            oplog::error(
+                "simrank-serve",
+                "cannot write addr file",
+                &[
+                    ("path", path.display().to_string().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
             handle.request_shutdown();
             handle.join();
             return ExitCode::FAILURE;
         }
     }
-    eprintln!(
-        "simrank-serve: listening on {bound} (max {} connections)",
-        opts.max_conns
+    oplog::info(
+        "simrank-serve",
+        "listening",
+        &[
+            ("addr", bound.to_string().into()),
+            ("max_conns", opts.max_conns.into()),
+        ],
     );
 
     let signalled = signal::install();
     loop {
         if signalled.load(Ordering::SeqCst) {
-            eprintln!("simrank-serve: signal received, draining");
+            oplog::info("simrank-serve", "signal received, draining", &[]);
             handle.request_shutdown();
             break;
         }
         if handle.shutdown_requested() {
-            eprintln!("simrank-serve: shutdown command received, draining");
+            oplog::info("simrank-serve", "shutdown command received, draining", &[]);
             break;
         }
         std::thread::sleep(Duration::from_millis(50));

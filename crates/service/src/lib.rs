@@ -15,6 +15,7 @@
 //! | `inflight` (private) | in-flight query deduplication: concurrent requests for the same key block on one computation |
 //! | [`executor`] | worker-pool batch executor (std threads + channels, no external deps) |
 //! | [`stats`] | [`ServiceStats`]: queries served, cache hit rate, p50/p99 latency from a fixed-bucket histogram, per-connection counters |
+//! | `metrics` (private) | the labeled metric families (Prometheus text exposition via the `metrics` verb) wired over [`exactsim_obs`] |
 //! | [`response`] | serializable [`QueryResponse`] / [`TopKResponse`] wire types |
 //! | [`protocol`] | the line protocol itself: request grammar, parser, error codes, executor — shared by the stdin REPL, the TCP listener, and `simrank-client` |
 //! | [`net`] | TCP front-end: acceptor + per-connection handler threads bounded by a `max_conns` semaphore, graceful drain on `shutdown`/SIGTERM |
@@ -90,6 +91,7 @@ pub mod cache;
 pub mod error;
 pub mod executor;
 pub(crate) mod inflight;
+pub(crate) mod metrics;
 pub mod net;
 pub mod protocol;
 pub mod response;

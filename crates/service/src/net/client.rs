@@ -52,4 +52,26 @@ impl LineClient {
         self.send(request)?;
         self.receive()
     }
+
+    /// Sends one request and reads a multi-line reply up to (and including)
+    /// the line equal to `terminator`. The protocol's only multi-line reply
+    /// is `metrics`, whose Prometheus payload ends with a `# EOF` line:
+    ///
+    /// ```no_run
+    /// # let mut client = exactsim_service::net::LineClient::connect("127.0.0.1:7878").unwrap();
+    /// let scrape = client.round_trip_multi("metrics", "# EOF").unwrap();
+    /// assert!(scrape.ends_with("# EOF\n"));
+    /// ```
+    pub fn round_trip_multi(&mut self, request: &str, terminator: &str) -> io::Result<String> {
+        self.send(request)?;
+        let mut payload = String::new();
+        loop {
+            let line = self.receive()?;
+            payload.push_str(&line);
+            payload.push('\n');
+            if line == terminator {
+                return Ok(payload);
+            }
+        }
+    }
 }

@@ -17,7 +17,10 @@
 //! Newline-framed both ways: one request per `\n`-terminated line, one JSON
 //! object per reply line (`help` answers `{"help": ...}` over TCP). Request
 //! lines are capped at 64 KiB; an over-long line is answered with a
-//! `bad_request` error and the connection is closed.
+//! `bad_request` error and the connection is closed. The one multi-line
+//! reply is `metrics` (Prometheus text exposition): its payload is streamed
+//! verbatim and terminated by a `# EOF` line, which
+//! [`LineClient::round_trip_multi`] uses as the framing sentinel.
 //!
 //! ## Shutdown
 //!

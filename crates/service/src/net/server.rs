@@ -10,7 +10,9 @@ use std::time::Duration;
 use crate::protocol::{self, Outcome, ProtoError};
 use crate::response::AlgorithmKind;
 use crate::service::SimRankService;
-use crate::stats::{escape_json, ServiceStats};
+use crate::stats::ServiceStats;
+use exactsim_obs::json::escape_json;
+use exactsim_obs::log as oplog;
 
 /// Handlers poll the shutdown flag at this cadence between blocking reads.
 const READ_POLL: Duration = Duration::from_millis(100);
@@ -205,14 +207,23 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 }
 
 /// Folds the WAL into a fresh snapshot on durable stores, logging the
-/// outcome to stderr; a silent no-op on in-memory ones. A clean stop leaves
-/// nothing to replay on the next boot. Shared by the TCP drain and the
-/// stdin front-end's `shutdown` path so the two cannot diverge.
+/// outcome through the [`exactsim_obs::log`] logger (so `--log-json` covers
+/// it); a silent no-op on in-memory ones. A clean stop leaves nothing to
+/// replay on the next boot. Shared by the TCP drain and the stdin
+/// front-end's `shutdown` path so the two cannot diverge.
 pub fn flush_shutdown_snapshot(service: &SimRankService) {
     if service.store().durability().is_some() {
         match service.store().save() {
-            Ok(epoch) => eprintln!("simrank-serve: shutdown snapshot at epoch {epoch}"),
-            Err(e) => eprintln!("simrank-serve: shutdown snapshot failed: {e}"),
+            Ok(epoch) => oplog::info(
+                "simrank-serve",
+                "shutdown snapshot written",
+                &[("epoch", epoch.into())],
+            ),
+            Err(e) => oplog::error(
+                "simrank-serve",
+                "shutdown snapshot failed",
+                &[("error", e.to_string().into())],
+            ),
         }
     }
 }
@@ -250,19 +261,26 @@ fn handle_connection(stream: &TcpStream, shared: &Shared) {
     // the partial bytes in `buf` for the next attempt (read_line's UTF-8
     // guard would drop a partially-read multi-byte character).
     let mut buf: Vec<u8> = Vec::new();
+    // Requests this connection served, recorded into the keep-alive
+    // distribution when it finishes (any exit path of the loop).
+    let mut requests: u64 = 0;
     while !shared.shutdown.load(Ordering::Acquire) {
         reader.get_mut().set_limit(MAX_LINE_BYTES as u64 + 1);
         match reader.read_until(b'\n', &mut buf) {
             Ok(0) => break, // EOF
-            Ok(_) => {
+            Ok(n) => {
+                shared
+                    .stats()
+                    .bytes_in
+                    .fetch_add(n as u64, Ordering::Relaxed);
                 // Also the exhausted-limit case: the limit is one past the
                 // cap, so an over-long line trips this before a newline.
                 if buf.len() > MAX_LINE_BYTES {
-                    oversized_line(&mut writer);
+                    oversized_line(&mut writer, shared.stats());
                     break;
                 }
                 let line = String::from_utf8_lossy(&buf).into_owned();
-                let done = serve_one(&line, shared, &mut writer);
+                let done = serve_one(&line, shared, &mut writer, &mut requests);
                 buf.clear();
                 if done {
                     break;
@@ -277,31 +295,37 @@ fn handle_connection(stream: &TcpStream, shared: &Shared) {
                 // Timed out waiting for (the rest of) a line: keep whatever
                 // partial bytes arrived and re-check the shutdown flag.
                 if buf.len() > MAX_LINE_BYTES {
-                    oversized_line(&mut writer);
+                    oversized_line(&mut writer, shared.stats());
                     break;
                 }
             }
             Err(_) => break,
         }
     }
+    shared.stats().requests_per_conn.record_value(requests);
 }
 
-fn oversized_line(writer: &mut BufWriter<&TcpStream>) {
+fn oversized_line(writer: &mut BufWriter<&TcpStream>, stats: &ServiceStats) {
     let error = ProtoError::bad_request(format!(
         "request line exceeds {MAX_LINE_BYTES} bytes; closing connection"
     ));
-    let _ = writeln!(writer, "{}", error.to_json());
-    let _ = writer.flush();
+    let _ = write_reply(writer, stats, &error.to_json());
 }
 
 /// Parses, executes, and answers one request line. Returns `true` when the
 /// connection (or the whole server) should stop.
-fn serve_one(line: &str, shared: &Shared, writer: &mut BufWriter<&TcpStream>) -> bool {
+fn serve_one(
+    line: &str,
+    shared: &Shared,
+    writer: &mut BufWriter<&TcpStream>,
+    requests: &mut u64,
+) -> bool {
     let trimmed = line.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return false;
     }
     ServiceStats::bump(&shared.stats().net_requests);
+    *requests += 1;
     // The in-flight leader re-raises computation panics (after waking its
     // followers); over TCP that must cost an `internal` error reply, not the
     // handler thread (which would leak the permit and hang up mid-session).
@@ -319,13 +343,16 @@ fn serve_one(line: &str, shared: &Shared, writer: &mut BufWriter<&TcpStream>) ->
     });
     match outcome {
         None => false,
-        Some(Outcome::Reply(reply)) => write_reply(writer, &reply),
-        Some(Outcome::Help(text)) => {
-            write_reply(writer, &format!("{{\"help\":\"{}\"}}", escape_json(text)))
-        }
+        Some(Outcome::Reply(reply)) => write_reply(writer, shared.stats(), &reply),
+        Some(Outcome::Text(payload)) => write_text(writer, shared.stats(), &payload),
+        Some(Outcome::Help(text)) => write_reply(
+            writer,
+            shared.stats(),
+            &format!("{{\"help\":\"{}\"}}", escape_json(text)),
+        ),
         Some(Outcome::Quit) => true,
         Some(Outcome::Shutdown(reply)) => {
-            let _ = write_reply(writer, &reply);
+            let _ = write_reply(writer, shared.stats(), &reply);
             shared.shutdown.store(true, Ordering::Release);
             true
         }
@@ -333,8 +360,23 @@ fn serve_one(line: &str, shared: &Shared, writer: &mut BufWriter<&TcpStream>) ->
 }
 
 /// Writes one reply line; returns `true` (stop serving) on a dead socket.
-fn write_reply(writer: &mut BufWriter<&TcpStream>, reply: &str) -> bool {
+fn write_reply(writer: &mut BufWriter<&TcpStream>, stats: &ServiceStats, reply: &str) -> bool {
+    stats
+        .bytes_out
+        .fetch_add(reply.len() as u64 + 1, Ordering::Relaxed);
     if writeln!(writer, "{reply}").is_err() {
+        return true;
+    }
+    writer.flush().is_err()
+}
+
+/// Writes one multi-line payload (already newline-terminated — the `metrics`
+/// exposition); returns `true` on a dead socket.
+fn write_text(writer: &mut BufWriter<&TcpStream>, stats: &ServiceStats, payload: &str) -> bool {
+    stats
+        .bytes_out
+        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    if writer.write_all(payload.as_bytes()).is_err() {
         return true;
     }
     writer.flush().is_err()

@@ -9,13 +9,20 @@
 //!
 //! ```text
 //! request   = query | topk | addedge | deledge | commit | epoch
-//!           | save | stats | help | quit | shutdown
+//!           | save | stats | metrics | slowlog | trace | help | quit
+//!           | shutdown
 //! query     = "query" node [algo]
 //! topk      = "topk" node k [algo]
 //! addedge   = "addedge" node node
 //! deledge   = "deledge" node node
+//! slowlog   = "slowlog" [n]
+//! trace     = "trace" (query | topk | commit)
 //! node      = u32        k = usize      algo = "exactsim" | "prsim" | "mc"
 //! ```
+//!
+//! `metrics` is the one reply that spans multiple lines (Prometheus text
+//! exposition is inherently line-oriented): its payload is terminated by a
+//! `# EOF` line so stream clients can frame it.
 //!
 //! Rejected requests never panic and never close the connection; they answer
 //! `{"error": "<message>", "code": "<code>"}` with a stable machine-readable
@@ -39,9 +46,11 @@ use std::fmt;
 use exactsim::SimRankError;
 
 use crate::error::ServiceError;
+use crate::metrics::{STAGE_PARSE, STAGE_SERIALIZE};
 use crate::response::AlgorithmKind;
 use crate::service::SimRankService;
-use crate::stats::escape_json;
+use exactsim_obs::json::escape_json;
+use exactsim_obs::trace;
 use exactsim_store::StoreError;
 
 /// The stable machine-readable error codes of `{"error","code"}` replies.
@@ -111,6 +120,22 @@ pub enum Request {
     Save,
     /// `stats` — serving counters as one JSON line.
     Stats,
+    /// `metrics` — every registered series in Prometheus text exposition
+    /// format. The only multi-line reply; terminated by a `# EOF` line.
+    Metrics,
+    /// `slowlog [n]` — the newest `n` (default: all retained) slow-query
+    /// records, newest first.
+    SlowLog {
+        /// How many records to return (`None` = all retained).
+        n: Option<usize>,
+    },
+    /// `trace <request>` — execute the inner request with per-stage tracing
+    /// enabled and reply with the stage breakdown plus the inner reply. Only
+    /// `query`, `topk`, and `commit` run instrumented paths worth tracing.
+    Trace {
+        /// The canonical wire line of the inner request.
+        line: String,
+    },
     /// `help` — the protocol summary (rendering is front-end specific).
     Help,
     /// `quit` (alias `exit`) — close this session; the server keeps running.
@@ -153,6 +178,10 @@ impl fmt::Display for Request {
             Request::Epoch => f.write_str("epoch"),
             Request::Save => f.write_str("save"),
             Request::Stats => f.write_str("stats"),
+            Request::Metrics => f.write_str("metrics"),
+            Request::SlowLog { n: None } => f.write_str("slowlog"),
+            Request::SlowLog { n: Some(n) } => write!(f, "slowlog {n}"),
+            Request::Trace { line } => write!(f, "trace {line}"),
             Request::Help => f.write_str("help"),
             Request::Quit => f.write_str("quit"),
             Request::Shutdown => f.write_str("shutdown"),
@@ -249,6 +278,11 @@ epoch                    current epoch + pending update counts
 save | snapshot          fold the WAL into a fresh snapshot file
 stats                    serving counters (hit rate, p50/p99, epoch,
                          connections, durability state) as JSON
+metrics                  all series in Prometheus text format (multi-line,
+                         terminated by a `# EOF` line)
+slowlog [n]              newest n slow-query records (default all retained)
+trace <request>          run a query/topk/commit with per-stage tracing and
+                         reply with the stage breakdown
 help                     this summary
 quit                     close this session (EOF too); server keeps running
 shutdown                 gracefully stop the server: drain in-flight work,
@@ -344,6 +378,43 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ProtoError> {
             arity(1, "stats")?;
             Request::Stats
         }
+        "metrics" => {
+            arity(1, "metrics")?;
+            Request::Metrics
+        }
+        "slowlog" => {
+            arity(2, "slowlog [n]")?;
+            let n = match parts.get(1) {
+                Some(n) => Some(
+                    n.parse::<usize>()
+                        .map_err(|_| ProtoError::bad_request(format!("bad count `{n}`")))?,
+                ),
+                None => None,
+            };
+            Request::SlowLog { n }
+        }
+        "trace" => {
+            if parts.len() < 2 {
+                return Err(ProtoError::bad_request("usage: trace <request>"));
+            }
+            // Parse the inner request now so malformed lines fail at parse
+            // time with the inner error, and store its *canonical* form —
+            // `Display`/`to_line` round-trips stay exact even if the operator
+            // typed extra whitespace.
+            let inner = parse_line(&parts[1..].join(" "))?
+                .ok_or_else(|| ProtoError::bad_request("usage: trace <request>"))?;
+            match inner {
+                Request::Query { .. } | Request::TopK { .. } | Request::Commit => (),
+                _ => {
+                    return Err(ProtoError::bad_request(
+                        "only query, topk, and commit can be traced",
+                    ))
+                }
+            }
+            Request::Trace {
+                line: inner.to_line(),
+            }
+        }
         "help" => {
             arity(1, "help")?;
             Request::Help
@@ -371,6 +442,10 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ProtoError> {
 pub enum Outcome {
     /// Send this one-line reply and keep serving.
     Reply(String),
+    /// Send this multi-line text payload verbatim and keep serving. Only the
+    /// `metrics` verb produces this; the payload's final line is `# EOF`, so
+    /// line-oriented clients know where the reply ends.
+    Text(String),
     /// Render the protocol help (payload = [`PROTOCOL_HELP`]); the stdin
     /// REPL prints it to stderr, the TCP path replies `{"help": ...}`.
     Help(&'static str),
@@ -394,6 +469,55 @@ pub fn execute(
         Request::Quit => Outcome::Quit,
         Request::Shutdown => Outcome::Shutdown("{\"op\":\"shutdown\",\"draining\":true}".into()),
         Request::Stats => Outcome::Reply(service.stats().to_json()),
+        Request::Metrics => Outcome::Text(service.metrics_text()),
+        Request::SlowLog { n } => {
+            let slowlog = service.slowlog();
+            let entries = slowlog.recent(n.unwrap_or(usize::MAX));
+            let rendered: Vec<String> = entries.iter().map(|r| r.to_json()).collect();
+            Outcome::Reply(format!(
+                "{{\"op\":\"slowlog\",\"threshold_us\":{},\"total_recorded\":{},\"entries\":[{}]}}",
+                slowlog.threshold().as_micros(),
+                slowlog.total_recorded(),
+                rendered.join(","),
+            ))
+        }
+        Request::Trace { line } => {
+            trace::begin();
+            let outcome = {
+                let inner = {
+                    let _parse = trace::stage(
+                        "parse",
+                        Some(service.metrics().query_stage(STAGE_PARSE)),
+                    );
+                    parse_line(line)
+                };
+                match inner {
+                    Ok(Some(request)) => execute(service, default_algo, &request),
+                    // Canonical lines always re-parse; keep the error paths
+                    // total anyway.
+                    Ok(None) => Outcome::Reply(
+                        ProtoError::bad_request("usage: trace <request>").to_json(),
+                    ),
+                    Err(e) => Outcome::Reply(e.to_json()),
+                }
+            };
+            let report = trace::finish();
+            match outcome {
+                Outcome::Reply(reply) => {
+                    let (total_us, spans) = match report {
+                        Some(report) => (report.total_us, trace::spans_to_json(&report.spans)),
+                        None => (0, "[]".to_string()),
+                    };
+                    Outcome::Reply(format!(
+                        "{{\"op\":\"trace\",\"request\":\"{}\",\"total_us\":{total_us},\"spans\":{spans},\"reply\":{reply}}}",
+                        escape_json(line),
+                    ))
+                }
+                // Traceable requests (query/topk/commit) always produce a
+                // Reply; anything else passes through untouched.
+                other => other,
+            }
+        }
         Request::Epoch => {
             let (ins, del) = service.store().pending_counts();
             Outcome::Reply(format!(
@@ -448,13 +572,25 @@ pub fn execute(
         },
         Request::Query { node, algo } => {
             match service.query(algo.unwrap_or(default_algo), *node) {
-                Ok(response) => Outcome::Reply(response.to_json(Some(32))),
+                Ok(response) => {
+                    let _ser = trace::stage(
+                        "serialize",
+                        Some(service.metrics().query_stage(STAGE_SERIALIZE)),
+                    );
+                    Outcome::Reply(response.to_json(Some(32)))
+                }
                 Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
             }
         }
         Request::TopK { node, k, algo } => {
             match service.top_k(algo.unwrap_or(default_algo), *node, *k) {
-                Ok(response) => Outcome::Reply(response.to_json()),
+                Ok(response) => {
+                    let _ser = trace::stage(
+                        "serialize",
+                        Some(service.metrics().query_stage(STAGE_SERIALIZE)),
+                    );
+                    Outcome::Reply(response.to_json())
+                }
                 Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
             }
         }
@@ -468,7 +604,11 @@ pub fn serve_line(
     default_algo: AlgorithmKind,
     line: &str,
 ) -> Option<Outcome> {
-    match parse_line(line) {
+    let parsed = {
+        let _parse = trace::stage("parse", Some(service.metrics().query_stage(STAGE_PARSE)));
+        parse_line(line)
+    };
+    match parsed {
         Ok(None) => None,
         Ok(Some(request)) => Some(execute(service, default_algo, &request)),
         Err(e) => Some(Outcome::Reply(e.to_json())),

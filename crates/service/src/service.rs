@@ -33,7 +33,7 @@
 
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, OnceLock, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use exactsim::exactsim::ExactSimConfig;
 use exactsim::mc::MonteCarloConfig;
@@ -43,12 +43,18 @@ use exactsim::suite::{
 };
 use exactsim::SimRankError;
 use exactsim_graph::{DiGraph, NodeId};
+use exactsim_obs::slowlog::SlowLog;
+use exactsim_obs::trace;
 use exactsim_store::{CommitReport, GraphSnapshot, GraphStore, StoreError};
 
 use crate::cache::{epsilon_tier, CacheKey, ShardedLruCache};
 use crate::error::ServiceError;
 use crate::executor::WorkerPool;
 use crate::inflight::{InflightTable, Ticket};
+use crate::metrics::{
+    ServiceMetrics, COMMIT_STAGE_CACHE_SWEEP, OUTCOME_DEDUP, OUTCOME_ERROR, OUTCOME_HIT,
+    OUTCOME_MISS, STAGE_CACHE, STAGE_DEDUP, STAGE_INDEX_BUILD, STAGE_KERNEL,
+};
 use crate::response::{AlgorithmKind, QueryResponse, TopKResponse};
 use crate::stats::{ServiceStats, StatsSnapshot};
 
@@ -72,6 +78,11 @@ pub struct ServiceConfig {
     pub prsim: PrSimConfig,
     /// Configuration used when serving [`AlgorithmKind::MonteCarlo`].
     pub mc: MonteCarloConfig,
+    /// Queries at least this slow are recorded in the slow-query ring
+    /// (`slowlog` protocol verb). A zero threshold records every query.
+    pub slowlog_threshold: Duration,
+    /// Capacity of the slow-query ring (newest entries win).
+    pub slowlog_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -83,6 +94,8 @@ impl Default for ServiceConfig {
             exactsim: ExactSimConfig::default(),
             prsim: PrSimConfig::default(),
             mc: MonteCarloConfig::default(),
+            slowlog_threshold: Duration::from_millis(100),
+            slowlog_capacity: 128,
         }
     }
 }
@@ -221,7 +234,11 @@ struct Inner {
     state: RwLock<Arc<EpochState>>,
     cache: ShardedLruCache,
     inflight: InflightTable,
-    stats: ServiceStats,
+    /// Behind `Arc` so the metrics registry's scrape-time closures can read
+    /// the same counters the hot path bumps.
+    stats: Arc<ServiceStats>,
+    metrics: ServiceMetrics,
+    slowlog: SlowLog,
 }
 
 impl Inner {
@@ -244,8 +261,15 @@ impl Inner {
             *state = Arc::new(EpochState::new(snapshot));
             // Reclaim superseded epochs' entries eagerly. The epoch in the
             // key already makes them unreachable, so an old-epoch insert
-            // racing this sweep is harmless either way.
-            self.cache.clear();
+            // racing this sweep is harmless either way. This is the tail end
+            // of the commit pipeline, so it lands in the commit-stage series.
+            {
+                let _sweep = trace::stage(
+                    "cache_sweep",
+                    Some(self.metrics.commit_stage(COMMIT_STAGE_CACHE_SWEEP)),
+                );
+                self.cache.clear();
+            }
             ServiceStats::bump(&self.stats.epoch_refreshes);
         }
         Arc::clone(&state)
@@ -266,8 +290,23 @@ impl Inner {
         algorithm: AlgorithmKind,
         source: NodeId,
     ) -> Result<Arc<QueryResponse>, ServiceError> {
-        let handle = state.handle(algorithm, &self.config, &self.stats)?;
-        let output = handle.query(source)?;
+        // Only time the handle acquisition as "index_build" when this call
+        // actually builds it — later queries get the built handle for an
+        // atomic load and must not pollute the build-stage histogram (and a
+        // traced cache-hit query must show no index/kernel stages at all).
+        let handle = if state.algorithms[algorithm.index()].get().is_some() {
+            state.handle(algorithm, &self.config, &self.stats)?
+        } else {
+            let _build = trace::stage(
+                "index_build",
+                Some(self.metrics.query_stage(STAGE_INDEX_BUILD)),
+            );
+            state.handle(algorithm, &self.config, &self.stats)?
+        };
+        let output = {
+            let _kernel = trace::stage("kernel", Some(self.metrics.query_stage(STAGE_KERNEL)));
+            handle.query(source)?
+        };
         // Counted only on success so that
         // queries = cache_hits + dedup_joins + computations + errors.
         ServiceStats::bump(&self.stats.computations);
@@ -277,6 +316,30 @@ impl Inner {
             source,
             output,
         )))
+    }
+
+    /// Closes the books on one query: aggregate latency, the labeled
+    /// outcome/latency series, and the slow-query ring. The request string is
+    /// built lazily — only queries that cross the slowlog threshold pay for
+    /// the formatting.
+    fn finish_query(
+        &self,
+        algorithm: AlgorithmKind,
+        source: NodeId,
+        outcome: usize,
+        started: Instant,
+    ) {
+        let elapsed = started.elapsed();
+        self.stats.latency.record(elapsed);
+        self.metrics.record_query(algorithm, outcome, elapsed);
+        let recorded = self
+            .slowlog
+            .observe(elapsed, crate::metrics::OUTCOMES[outcome], || {
+                format!("query {source} {}", algorithm.wire_name())
+            });
+        if recorded {
+            self.metrics.record_slow_query();
+        }
     }
 
     fn query(
@@ -291,20 +354,24 @@ impl Inner {
         let state = self.current_state();
         let key = self.key_for(&state, algorithm, source);
 
-        if let Some(hit) = self.cache.get(&key) {
+        let cached = {
+            let _probe = trace::stage("cache", Some(self.metrics.query_stage(STAGE_CACHE)));
+            self.cache.get(&key)
+        };
+        if let Some(hit) = cached {
             ServiceStats::bump(&self.stats.cache_hits);
-            self.stats.latency.record(serve_start.elapsed());
+            self.finish_query(algorithm, source, OUTCOME_HIT, serve_start);
             return Ok(hit);
         }
 
-        let result = match self.inflight.join_or_lead(key) {
+        let (result, outcome) = match self.inflight.join_or_lead(key) {
             Ticket::Lead(slot) => {
                 // Double-check the cache: between our miss and winning the
                 // lead, the previous leader may have inserted and retired.
                 if let Some(hit) = self.cache.get(&key) {
                     ServiceStats::bump(&self.stats.cache_hits);
                     self.inflight.complete(&key, &slot, Ok(Arc::clone(&hit)));
-                    self.stats.latency.record(serve_start.elapsed());
+                    self.finish_query(algorithm, source, OUTCOME_HIT, serve_start);
                     return Ok(hit);
                 }
                 // A panicking computation must still retire the key and wake
@@ -323,7 +390,7 @@ impl Inner {
                         // Keep the books balanced (queries = hits + joins +
                         // computations + errors) even on the unwind path.
                         ServiceStats::bump(&self.stats.errors);
-                        self.stats.latency.record(serve_start.elapsed());
+                        self.finish_query(algorithm, source, OUTCOME_ERROR, serve_start);
                         std::panic::resume_unwind(payload);
                     }
                 };
@@ -340,20 +407,26 @@ impl Inner {
                     }
                 }
                 self.inflight.complete(&key, &slot, result.clone());
-                result
+                (result, OUTCOME_MISS)
             }
             Ticket::Follow(slot) => {
-                let result = slot.wait();
+                let result = {
+                    let _join = trace::stage("dedup", Some(self.metrics.query_stage(STAGE_DEDUP)));
+                    slot.wait()
+                };
                 if result.is_ok() {
                     ServiceStats::bump(&self.stats.dedup_joins);
                 }
-                result
+                (result, OUTCOME_DEDUP)
             }
         };
-        if result.is_err() {
+        let outcome = if result.is_err() {
             ServiceStats::bump(&self.stats.errors);
-        }
-        self.stats.latency.record(serve_start.elapsed());
+            OUTCOME_ERROR
+        } else {
+            outcome
+        };
+        self.finish_query(algorithm, source, outcome, serve_start);
         result
     }
 }
@@ -404,6 +477,12 @@ impl SimRankService {
             config.workers
         };
         let cache = ShardedLruCache::new(config.cache_capacity, config.cache_shards);
+        let stats = Arc::new(ServiceStats::new());
+        // Registered before the first query so a scrape of an idle service
+        // already exposes every series at zero (Prometheus rate() needs the
+        // first sample to exist).
+        let metrics = ServiceMetrics::new(&stats, &store);
+        let slowlog = SlowLog::new(config.slowlog_capacity, config.slowlog_threshold);
         Ok(SimRankService {
             inner: Arc::new(Inner {
                 store,
@@ -411,7 +490,9 @@ impl SimRankService {
                 state: RwLock::new(Arc::new(EpochState::new(snapshot))),
                 cache,
                 inflight: InflightTable::new(),
-                stats: ServiceStats::new(),
+                stats,
+                metrics,
+                slowlog,
             }),
             pool: Arc::new(WorkerPool::new(workers)),
         })
@@ -446,7 +527,9 @@ impl SimRankService {
     /// publication; a persistence failure ([`StoreError`]) leaves the staged
     /// delta intact and nothing published. In-memory stores never fail.
     pub fn commit(&self) -> Result<CommitReport, StoreError> {
-        self.inner.store.commit()
+        let report = self.inner.store.commit()?;
+        self.inner.metrics.record_commit(&report);
+        Ok(report)
     }
 
     /// The configuration the service was created with.
@@ -568,6 +651,24 @@ impl SimRankService {
     /// across the stdin and TCP paths).
     pub(crate) fn raw_stats(&self) -> &ServiceStats {
         &self.inner.stats
+    }
+
+    /// Renders every registered metric family in Prometheus text exposition
+    /// format (the payload of the `metrics` protocol verb). The payload ends
+    /// with a `# EOF` line so stream clients can frame the multi-line reply.
+    pub fn metrics_text(&self) -> String {
+        self.inner.metrics.render()
+    }
+
+    /// The slow-query ring buffer (the `slowlog` protocol verb reads it).
+    pub fn slowlog(&self) -> &SlowLog {
+        &self.inner.slowlog
+    }
+
+    /// The labeled metrics registry wrapper, for in-crate front-ends that
+    /// record protocol-level stages (parse, serialize).
+    pub(crate) fn metrics(&self) -> &ServiceMetrics {
+        &self.inner.metrics
     }
 }
 

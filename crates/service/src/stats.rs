@@ -5,110 +5,26 @@
 //! power-of-two-bucketed histogram over microseconds — p50/p99 are resolved
 //! to the upper bound of the containing bucket, i.e. within a factor of two,
 //! which is the standard fixed-memory trade-off (HdrHistogram-lite).
+//!
+//! The histogram primitive itself lives in [`exactsim_obs::metrics`] (it is
+//! re-exported here as [`LatencyHistogram`]); the labeled per-algorithm /
+//! per-stage series and the Prometheus exposition live in the service's
+//! `metrics` module, leaving this module as the aggregate snapshot the
+//! `stats` protocol verb reports.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use exactsim_store::DurabilityInfo;
 
-/// Number of histogram buckets.
-///
-/// **Bucket bounds** (the contract every p50/p99 this crate reports is
-/// resolved against): bucket `0` counts observations of `0 µs` (sub-µs),
-/// and bucket `i ≥ 1` counts observations in `[2^(i-1), 2^i)` microseconds.
-/// The last bucket (`i = 39`) therefore covers `[2^38, 2^39)` µs, putting
-/// the histogram's nominal upper bound at `2^39 µs ≈ 6.4 days`.
-const BUCKETS: usize = 40;
-
-/// Observations at or above this bound (`2^39 µs ≈ 6.4 days`) do not fit any
-/// bucket and are counted in a separate saturation counter instead of being
-/// silently folded into the top bucket (which would make the reported p99 a
-/// false upper bound).
-pub const SATURATION_BOUND_US: u64 = 1u64 << (BUCKETS - 1);
-
-/// Fixed-bucket latency histogram over microseconds (HdrHistogram-lite).
-///
-/// Quantiles are resolved to the **upper bound of the containing bucket**:
-/// bucket `0` counts sub-µs observations, bucket `i ≥ 1` covers
-/// `[2^(i-1), 2^i)` µs, 40 buckets total — so a reported quantile
-/// over-reports by at most a factor of two, the standard fixed-memory
-/// trade-off. Observations
-/// `≥` [`SATURATION_BOUND_US`] saturate: they are tallied in
-/// [`LatencyHistogram::saturated`] and a quantile landing among them is
-/// reported as the saturation bound itself (a *lower* bound, flagged by the
-/// nonzero saturation count rather than silently miscounted).
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    /// Observations `≥ 2^39 µs` that no bucket can represent.
-    overflow: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            overflow: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one observation.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        let idx = if us == 0 {
-            0
-        } else {
-            (64 - us.leading_zeros()) as usize
-        };
-        if idx < BUCKETS {
-            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.overflow.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// The `q`-quantile (0 ≤ q ≤ 1) as the upper bound of its bucket, or
-    /// `None` if nothing has been recorded. A quantile that lands among
-    /// saturated observations returns [`SATURATION_BOUND_US`] — a lower
-    /// bound; check [`LatencyHistogram::saturated`] to tell the two apart.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum::<u64>() + self.saturated();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Duration::from_micros(1u64 << i));
-            }
-        }
-        Some(Duration::from_micros(SATURATION_BOUND_US))
-    }
-
-    /// Observations that exceeded the histogram's nominal range and were
-    /// saturated rather than bucketed.
-    pub fn saturated(&self) -> u64 {
-        self.overflow.load(Ordering::Relaxed)
-    }
-
-    /// Total recorded observations (including saturated ones).
-    pub fn count(&self) -> u64 {
-        self.buckets
-            .iter()
-            .map(|b| b.load(Ordering::Relaxed))
-            .sum::<u64>()
-            + self.saturated()
-    }
-}
+// The histogram primitive and the JSON escaping helper both moved to the
+// workspace-wide `exactsim-obs` crate (so the store, the kernels, and the
+// metrics registry can share them); they are re-exported here under their
+// historical names for the service API.
+pub use exactsim_obs::json::escape_json;
+pub use exactsim_obs::metrics::{Histogram as LatencyHistogram, SATURATION_BOUND_US};
 
 /// Live counters of a [`crate::SimRankService`].
 ///
@@ -134,7 +50,16 @@ pub struct ServiceStats {
     pub(crate) connections_closed: AtomicU64,
     pub(crate) connections_rejected: AtomicU64,
     pub(crate) net_requests: AtomicU64,
-    pub(crate) latency: LatencyHistogram,
+    /// Payload bytes read from TCP connections (request lines incl. newline).
+    pub(crate) bytes_in: AtomicU64,
+    /// Payload bytes written to TCP connections (reply lines incl. newline).
+    pub(crate) bytes_out: AtomicU64,
+    /// Histograms live behind `Arc` so the metrics registry can expose the
+    /// same buckets that back the snapshot quantiles — one source of truth.
+    pub(crate) latency: Arc<LatencyHistogram>,
+    /// Requests served per TCP connection (recorded when each closes) — the
+    /// keep-alive effectiveness distribution.
+    pub(crate) requests_per_conn: Arc<LatencyHistogram>,
 }
 
 impl ServiceStats {
@@ -191,6 +116,9 @@ impl ServiceStats {
             connections_closed: self.connections_closed.load(Ordering::Relaxed),
             connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
             net_requests: self.net_requests.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            requests_per_conn_p50: self.requests_per_conn.quantile_value(0.50),
         }
     }
 }
@@ -255,6 +183,16 @@ pub struct StatsSnapshot {
     /// Protocol requests served over TCP connections (a subset of the
     /// activity in `queries`: updates/stats/etc. count here too).
     pub net_requests: u64,
+    /// Payload bytes read from TCP connections (request lines, newlines
+    /// included). Zero without a network listener.
+    pub bytes_in: u64,
+    /// Payload bytes written to TCP connections (reply lines, newlines
+    /// included).
+    pub bytes_out: u64,
+    /// Median requests served per finished TCP connection (bucket upper
+    /// bound, like every quantile here), `None` before any connection
+    /// closed. A median of 1 means clients are not reusing connections.
+    pub requests_per_conn_p50: Option<u64>,
 }
 
 impl StatsSnapshot {
@@ -286,6 +224,7 @@ impl StatsSnapshot {
                 "\"latency_saturated\":{},",
                 "\"connections_accepted\":{},\"connections_closed\":{},",
                 "\"connections_rejected\":{},\"net_requests\":{},",
+                "\"bytes_in\":{},\"bytes_out\":{},\"requests_per_conn_p50\":{},",
                 "\"data_dir\":{},\"wal_len\":{},\"last_snapshot_epoch\":{}}}"
             ),
             self.epoch,
@@ -310,30 +249,14 @@ impl StatsSnapshot {
             self.connections_closed,
             self.connections_rejected,
             self.net_requests,
+            self.bytes_in,
+            self.bytes_out,
+            opt_u64(self.requests_per_conn_p50),
             data_dir,
             opt_u64(self.wal_len),
             opt_u64(self.last_snapshot_epoch),
         )
     }
-}
-
-/// Minimal JSON string escaping (quotes, backslashes, control characters) —
-/// enough for paths and error messages; the offline build has no serde.
-/// Shared by the stats serializer and the `simrank-serve` protocol replies.
-pub fn escape_json(s: &str) -> String {
-    let mut escaped = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => escaped.push_str("\\\""),
-            '\\' => escaped.push_str("\\\\"),
-            '\n' => escaped.push_str("\\n"),
-            '\r' => escaped.push_str("\\r"),
-            '\t' => escaped.push_str("\\t"),
-            c if (c as u32) < 0x20 => escaped.push_str(&format!("\\u{:04x}", c as u32)),
-            c => escaped.push(c),
-        }
-    }
-    escaped
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -376,6 +299,15 @@ impl fmt::Display for StatsSnapshot {
                     .saturating_sub(self.connections_closed),
                 self.connections_rejected,
                 self.net_requests
+            )?;
+            let per_conn = match self.requests_per_conn_p50 {
+                Some(p50) => format!(", <= {p50} requests/conn (p50)"),
+                None => String::new(),
+            };
+            writeln!(
+                f,
+                "tcp bytes:          {} in, {} out{per_conn}",
+                self.bytes_in, self.bytes_out
             )?;
         }
         match (&self.data_dir, self.wal_len, self.last_snapshot_epoch) {
@@ -472,6 +404,41 @@ mod tests {
             .snapshot(0, 0, 0, 0, None, [None; 3])
             .to_string();
         assert!(!quiet.contains("tcp connections"));
+    }
+
+    #[test]
+    fn byte_and_per_connection_counters_surface_in_json_and_display() {
+        let stats = ServiceStats::new();
+        stats.connections_accepted.store(2, Ordering::Relaxed);
+        stats.connections_closed.store(2, Ordering::Relaxed);
+        stats.bytes_in.store(120, Ordering::Relaxed);
+        stats.bytes_out.store(4096, Ordering::Relaxed);
+        // Two finished connections: 3 requests and 5 requests.
+        stats.requests_per_conn.record_value(3);
+        stats.requests_per_conn.record_value(5);
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3]);
+        assert_eq!(snap.bytes_in, 120);
+        assert_eq!(snap.bytes_out, 4096);
+        // p50 of {3, 5} resolves to the upper bound of 3's bucket [2, 4).
+        assert_eq!(snap.requests_per_conn_p50, Some(4));
+        let json = snap.to_json();
+        assert!(json.contains("\"bytes_in\":120"), "{json}");
+        assert!(json.contains("\"bytes_out\":4096"), "{json}");
+        assert!(json.contains("\"requests_per_conn_p50\":4"), "{json}");
+        let rendered = snap.to_string();
+        assert!(
+            rendered.contains("tcp bytes:          120 in, 4096 out, <= 4 requests/conn (p50)"),
+            "{rendered}"
+        );
+        // Before any connection finishes, the quantile serializes as null and
+        // the Display suffix is omitted.
+        let fresh = ServiceStats::new();
+        fresh.connections_accepted.store(1, Ordering::Relaxed);
+        let early = fresh.snapshot(0, 0, 0, 0, None, [None; 3]);
+        assert!(early.to_json().contains("\"requests_per_conn_p50\":null"));
+        assert!(early
+            .to_string()
+            .contains("tcp bytes:          0 in, 0 out\n"));
     }
 
     #[test]

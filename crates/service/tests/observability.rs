@@ -1,0 +1,247 @@
+//! End-to-end coverage of the observability layer: the Prometheus scrape of
+//! a live service, outcome-labeled query series, per-stage trace reports,
+//! the slow-query ring, and commit-stage timings on a durable store.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use exactsim_graph::generators::barabasi_albert;
+use exactsim_service::protocol::{execute, Outcome, Request};
+use exactsim_service::{AlgorithmKind, GraphStore, ServiceConfig, ServiceError, SimRankService};
+
+fn demo_service() -> SimRankService {
+    let graph = Arc::new(barabasi_albert(60, 3, true, 7).unwrap());
+    SimRankService::new(graph, ServiceConfig::fast_demo()).unwrap()
+}
+
+/// Extracts the value of the first sample line whose name+labels start with
+/// `prefix` (sample lines are `name{labels} value` or `name value`).
+fn sample_value(scrape: &str, prefix: &str) -> Option<f64> {
+    scrape
+        .lines()
+        .find(|line| !line.starts_with('#') && line.starts_with(prefix))
+        .and_then(|line| line.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+#[test]
+fn idle_scrape_exposes_every_series_at_zero() {
+    let scrape = demo_service().metrics_text();
+    // Eager registration: a scrape before any traffic already contains every
+    // family (Prometheus rate() needs the zero sample to exist).
+    for (series, value) in [
+        (
+            "simrank_queries_total{algo=\"exactsim\",outcome=\"hit\"}",
+            0.0,
+        ),
+        (
+            "simrank_queries_total{algo=\"prsim\",outcome=\"miss\"}",
+            0.0,
+        ),
+        ("simrank_queries_total{algo=\"mc\",outcome=\"dedup\"}", 0.0),
+        (
+            "simrank_query_latency_us_count{algo=\"exactsim\",outcome=\"miss\"}",
+            0.0,
+        ),
+        ("simrank_query_stage_us_count{stage=\"kernel\"}", 0.0),
+        ("simrank_commit_stage_us_count{stage=\"fsync\"}", 0.0),
+        ("simrank_connections_accepted_total", 0.0),
+        ("simrank_net_bytes_total{direction=\"in\"}", 0.0),
+        ("simrank_kernel_mc_walks_total", 0.0),
+        ("simrank_slow_queries_total", 0.0),
+        ("simrank_epoch", 0.0),
+        ("simrank_commits_total", 0.0),
+    ] {
+        assert_eq!(sample_value(&scrape, series), Some(value), "{series}");
+    }
+    assert!(scrape.ends_with("# EOF\n"));
+    // Histogram families render the full exposition triple.
+    assert!(scrape.contains("# TYPE simrank_query_latency_us histogram"));
+    assert!(scrape.contains(
+        "simrank_query_latency_us_bucket{algo=\"exactsim\",outcome=\"hit\",le=\"+Inf\"} 0"
+    ));
+    assert!(scrape.contains("simrank_query_latency_us_sum{algo=\"exactsim\",outcome=\"hit\"} 0"));
+}
+
+#[test]
+fn query_outcomes_land_in_their_labeled_series() {
+    let service = demo_service();
+    service.query(AlgorithmKind::ExactSim, 0).unwrap(); // miss
+    service.query(AlgorithmKind::ExactSim, 0).unwrap(); // hit
+    service.query(AlgorithmKind::ExactSim, 0).unwrap(); // hit
+    assert!(matches!(
+        service.query(AlgorithmKind::ExactSim, 9999),
+        Err(ServiceError::Algorithm(_))
+    )); // error
+
+    let scrape = service.metrics_text();
+    let series = |s| sample_value(&scrape, s);
+    assert_eq!(
+        series("simrank_queries_total{algo=\"exactsim\",outcome=\"miss\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        series("simrank_queries_total{algo=\"exactsim\",outcome=\"hit\"}"),
+        Some(2.0)
+    );
+    assert_eq!(
+        series("simrank_queries_total{algo=\"exactsim\",outcome=\"error\"}"),
+        Some(1.0)
+    );
+    // Latency histograms count only non-error outcomes; the aggregate serve
+    // histogram (shared with `stats` p50/p99) counts all four.
+    assert_eq!(
+        series("simrank_query_latency_us_count{algo=\"exactsim\",outcome=\"miss\"}"),
+        Some(1.0)
+    );
+    assert_eq!(
+        series("simrank_query_latency_us_count{algo=\"exactsim\",outcome=\"hit\"}"),
+        Some(2.0)
+    );
+    assert_eq!(series("simrank_serve_latency_us_count"), Some(4.0));
+    // The miss and the errored query both entered the kernel (the bad node
+    // id is rejected inside it), so the stage histogram holds two attempts;
+    // serialize never ran: these queries went through the library API, not
+    // the protocol.
+    assert_eq!(
+        series("simrank_query_stage_us_count{stage=\"kernel\"}"),
+        Some(2.0)
+    );
+    assert_eq!(
+        series("simrank_query_stage_us_count{stage=\"cache\"}"),
+        Some(4.0)
+    );
+    // Kernel counters moved: ExactSim accounts solver levels + walk pairs.
+    assert!(series("simrank_kernel_solver_iterations_total").unwrap() > 0.0);
+}
+
+#[test]
+fn trace_of_a_cache_hit_shows_cache_and_no_kernel() {
+    let service = demo_service();
+    service.query(AlgorithmKind::ExactSim, 3).unwrap(); // warm the cache
+
+    let trace_request = Request::Trace {
+        line: "query 3".into(),
+    };
+    let json = match execute(&service, AlgorithmKind::ExactSim, &trace_request) {
+        Outcome::Reply(json) => json,
+        other => panic!("trace -> {other:?}"),
+    };
+    assert!(json.contains("\"op\":\"trace\""), "{json}");
+    assert!(json.contains("\"name\":\"parse\""), "{json}");
+    assert!(json.contains("\"name\":\"cache\""), "{json}");
+    assert!(json.contains("\"name\":\"serialize\""), "{json}");
+    assert!(
+        !json.contains("\"name\":\"kernel\""),
+        "cache hit must skip the kernel: {json}"
+    );
+    assert!(!json.contains("\"name\":\"index_build\""), "{json}");
+
+    // A cold source does run the kernel.
+    let cold = Request::Trace {
+        line: "query 4".into(),
+    };
+    let json = match execute(&service, AlgorithmKind::ExactSim, &cold) {
+        Outcome::Reply(json) => json,
+        other => panic!("trace -> {other:?}"),
+    };
+    assert!(json.contains("\"name\":\"kernel\""), "{json}");
+}
+
+#[test]
+fn slowlog_records_over_threshold_queries_newest_first() {
+    let graph = Arc::new(barabasi_albert(60, 3, true, 7).unwrap());
+    let config = ServiceConfig {
+        // Zero threshold: every query is "slow" — deterministic for a test.
+        slowlog_threshold: Duration::ZERO,
+        slowlog_capacity: 2,
+        ..ServiceConfig::fast_demo()
+    };
+    let service = SimRankService::new(graph, config).unwrap();
+    service.query(AlgorithmKind::ExactSim, 0).unwrap();
+    service.query(AlgorithmKind::ExactSim, 1).unwrap();
+    service.query(AlgorithmKind::ExactSim, 2).unwrap();
+
+    let slowlog = service.slowlog();
+    assert_eq!(slowlog.total_recorded(), 3);
+    assert_eq!(slowlog.len(), 2, "capacity bounds the ring");
+    let recent = slowlog.recent(10);
+    assert_eq!(recent[0].request, "query 2 exactsim", "newest first");
+    assert_eq!(recent[1].request, "query 1 exactsim");
+
+    // The protocol reply carries the ring (and `slowlog 1` limits it).
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::SlowLog { n: Some(1) },
+    ) {
+        Outcome::Reply(json) => {
+            assert!(json.contains("\"threshold_us\":0"), "{json}");
+            assert!(json.contains("\"total_recorded\":3"), "{json}");
+            assert!(json.contains("query 2 exactsim"), "{json}");
+            assert!(!json.contains("query 1 exactsim"), "n=1 limits: {json}");
+        }
+        other => panic!("slowlog -> {other:?}"),
+    }
+    // And the counter series agrees.
+    assert_eq!(
+        sample_value(&service.metrics_text(), "simrank_slow_queries_total"),
+        Some(3.0)
+    );
+}
+
+#[test]
+fn durable_commits_fill_the_commit_stage_histograms() {
+    let dir = std::env::temp_dir().join(format!("exactsim-obs-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let graph = Arc::new(barabasi_albert(40, 3, true, 11).unwrap());
+    let store = Arc::new(GraphStore::create(&dir, graph).unwrap());
+    let service = SimRankService::with_store(store, ServiceConfig::fast_demo()).unwrap();
+
+    service.store().stage_insert(0, 39).unwrap();
+    service.commit().unwrap();
+    // The next query adopts the new epoch and sweeps the cache.
+    service.query(AlgorithmKind::ExactSim, 0).unwrap();
+
+    let scrape = service.metrics_text();
+    let series = |s: &str| sample_value(&scrape, s);
+    assert_eq!(series("simrank_commits_total"), Some(1.0));
+    assert_eq!(series("simrank_epoch"), Some(1.0));
+    for stage in [
+        "stage",
+        "wal_append",
+        "fsync",
+        "csr_merge",
+        "publish",
+        "cache_sweep",
+    ] {
+        let key = format!("simrank_commit_stage_us_count{{stage=\"{stage}\"}}");
+        assert_eq!(series(&key), Some(1.0), "{stage}");
+    }
+    // fsync time is real wall-clock, so the sum is nonzero in practice — but
+    // clocks can be coarse; assert only that the bucket triple is rendered.
+    assert!(scrape.contains("simrank_commit_stage_us_bucket{stage=\"fsync\",le=\"+Inf\"} 1"));
+
+    // An in-memory commit never records fake WAL/fsync samples.
+    let mem = demo_service();
+    mem.store().stage_insert(0, 59).unwrap();
+    mem.commit().unwrap();
+    let mem_scrape = mem.metrics_text();
+    assert_eq!(
+        sample_value(
+            &mem_scrape,
+            "simrank_commit_stage_us_count{stage=\"fsync\"}"
+        ),
+        Some(0.0)
+    );
+    assert_eq!(
+        sample_value(
+            &mem_scrape,
+            "simrank_commit_stage_us_count{stage=\"csr_merge\"}"
+        ),
+        Some(1.0)
+    );
+
+    drop(service);
+    let _ = std::fs::remove_dir_all(&dir);
+}

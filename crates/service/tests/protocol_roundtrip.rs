@@ -66,6 +66,22 @@ fn every_command_parses_to_its_request() {
         ("save", Request::Save),
         ("snapshot", Request::Save), // alias
         ("stats", Request::Stats),
+        ("metrics", Request::Metrics),
+        ("slowlog", Request::SlowLog { n: None }),
+        ("slowlog 5", Request::SlowLog { n: Some(5) }),
+        (
+            // The inner request is canonicalized at parse time.
+            "trace   query   4   prsim",
+            Request::Trace {
+                line: "query 4 prsim".into(),
+            },
+        ),
+        (
+            "trace commit",
+            Request::Trace {
+                line: "commit".into(),
+            },
+        ),
         ("help", Request::Help),
         ("quit", Request::Quit),
         ("exit", Request::Quit), // alias
@@ -111,6 +127,12 @@ fn every_request_formats_to_a_line_that_round_trips() {
         Request::Epoch,
         Request::Save,
         Request::Stats,
+        Request::Metrics,
+        Request::SlowLog { n: None },
+        Request::SlowLog { n: Some(12) },
+        Request::Trace {
+            line: "topk 9 25 prsim".into(),
+        },
         Request::Help,
         Request::Quit,
         Request::Shutdown,
@@ -146,6 +168,14 @@ fn malformed_lines_map_to_stable_codes() {
         ("save please", codes::BAD_REQUEST),
         ("snapshot x", codes::BAD_REQUEST),
         ("stats -v", codes::BAD_REQUEST),
+        ("metrics now", codes::BAD_REQUEST),
+        ("slowlog x", codes::BAD_REQUEST), // count must be a usize
+        ("slowlog 1 2", codes::BAD_REQUEST), // at most one argument
+        ("trace", codes::BAD_REQUEST),     // nothing to trace
+        ("trace stats", codes::BAD_REQUEST), // only query/topk/commit
+        ("trace trace query 1", codes::BAD_REQUEST), // no nesting
+        ("trace query", codes::BAD_REQUEST), // inner parse errors surface
+        ("trace query 1 bogus", codes::UNKNOWN_ALGORITHM),
         ("help me", codes::BAD_REQUEST),
         ("quit now", codes::BAD_REQUEST),
         ("shutdown now", codes::BAD_REQUEST),
@@ -328,6 +358,51 @@ fn execute_answers_each_command_with_its_wire_shape() {
             assert!(json.contains("\"latency_saturated\":0"), "{json}");
         }
         other => panic!("stats -> {other:?}"),
+    }
+
+    // metrics is the one multi-line outcome: Prometheus text exposition
+    // framed by a `# EOF` terminator line.
+    match execute(&service, AlgorithmKind::ExactSim, &Request::Metrics) {
+        Outcome::Text(payload) => {
+            assert!(
+                payload.contains("# TYPE simrank_queries_total counter"),
+                "{payload}"
+            );
+            assert!(payload.ends_with("# EOF\n"), "{payload}");
+        }
+        other => panic!("metrics -> {other:?}"),
+    }
+
+    // slowlog reports its threshold and the retained ring (empty here: the
+    // fast_demo queries above are far under the 100 ms default threshold).
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::SlowLog { n: None },
+    ) {
+        Outcome::Reply(json) => {
+            assert!(json.contains("\"op\":\"slowlog\""), "{json}");
+            assert!(json.contains("\"threshold_us\":100000"), "{json}");
+            assert!(json.contains("\"entries\":["), "{json}");
+        }
+        other => panic!("slowlog -> {other:?}"),
+    }
+
+    // trace wraps the inner reply with a stage breakdown.
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::Trace {
+            line: "query 0".into(),
+        },
+    ) {
+        Outcome::Reply(json) => {
+            assert!(json.contains("\"op\":\"trace\""), "{json}");
+            assert!(json.contains("\"request\":\"query 0\""), "{json}");
+            assert!(json.contains("\"spans\":["), "{json}");
+            assert!(json.contains("\"reply\":{"), "{json}");
+        }
+        other => panic!("trace -> {other:?}"),
     }
 
     // Session-control outcomes.

@@ -18,6 +18,7 @@
 //! | [`DeltaBuffer`] | sorted, deduplicated pending insert/delete sets |
 //! | [`GraphSnapshot`] | a consistent `(graph, epoch)` pair readers pin |
 //! | [`CommitReport`] | what a commit materialized (epoch, counts, build time) |
+//! | [`CommitTimings`] | per-stage commit breakdown (staging, CSR merge, WAL append, fsync, publish) |
 //! | [`persist`] | snapshot files + delta WAL: formats, recovery, compaction |
 //! | [`DurabilityInfo`] | operator-visible durable state (data dir, WAL length, snapshot epoch) |
 //!
@@ -101,4 +102,6 @@ pub mod store;
 pub use delta::{DeltaBuffer, Staged};
 pub use error::StoreError;
 pub use persist::DurabilityInfo;
-pub use store::{CommitReport, GraphSnapshot, GraphStore, Opened, DEFAULT_COMPACT_EVERY};
+pub use store::{
+    CommitReport, CommitTimings, GraphSnapshot, GraphStore, Opened, DEFAULT_COMPACT_EVERY,
+};

@@ -668,21 +668,29 @@ impl DurableLog {
 
     /// Appends one commit record and fsyncs — the durability point of a
     /// commit. On error nothing is considered written (the caller keeps its
-    /// staged delta).
-    pub(crate) fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+    /// staged delta). Returns how long the buffered write and the fsync each
+    /// took, for the commit-stage timings in [`crate::store::CommitTimings`].
+    pub(crate) fn append(
+        &mut self,
+        record: &WalRecord,
+    ) -> Result<(std::time::Duration, std::time::Duration), StoreError> {
         let payload = record.encode_payload();
         let mut framed = Vec::with_capacity(8 + payload.len());
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
+        let write_start = std::time::Instant::now();
         self.wal
             .write_all(&framed)
             .map_err(|e| StoreError::io(&self.wal_path, "write", e))?;
+        let write_time = write_start.elapsed();
+        let sync_start = std::time::Instant::now();
         self.wal
             .sync_data()
             .map_err(|e| StoreError::io(&self.wal_path, "sync", e))?;
+        let fsync_time = sync_start.elapsed();
         self.wal_records += 1;
-        Ok(())
+        Ok((write_time, fsync_time))
     }
 
     /// Folds the WAL into a fresh snapshot of `graph` at `epoch`: write the

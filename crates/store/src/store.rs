@@ -38,6 +38,26 @@ pub struct GraphSnapshot {
     pub epoch: u64,
 }
 
+/// Per-stage wall-clock breakdown of one effective commit.
+///
+/// Mirrors the commit pipeline in order: stage the delta, merge it into a
+/// new CSR graph, append to the WAL, fsync, publish the new epoch. The two
+/// WAL fields are zero for in-memory stores (there is no log); every field
+/// is zero for an empty commit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommitTimings {
+    /// Copying the staged insert/delete lists out of the delta buffer.
+    pub staging: Duration,
+    /// Materializing the new CSR graph ([`DiGraph::apply_delta`]).
+    pub csr_merge: Duration,
+    /// Writing the delta record into the WAL (buffered write).
+    pub wal_append: Duration,
+    /// `fsync` of the WAL — the durability point.
+    pub fsync: Duration,
+    /// Swapping the published `(graph, epoch)` pair under the write lock.
+    pub publish: Duration,
+}
+
 /// What one [`GraphStore::commit`] did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CommitReport {
@@ -55,6 +75,8 @@ pub struct CommitReport {
     /// Wall-clock time spent materializing and swapping the new CSR graph
     /// (zero for an empty commit).
     pub build_time: Duration,
+    /// Per-stage breakdown of `build_time` (all zero for an empty commit).
+    pub timings: CommitTimings,
 }
 
 impl CommitReport {
@@ -315,27 +337,44 @@ impl GraphStore {
                 num_nodes: snapshot.graph.num_nodes(),
                 num_edges: snapshot.graph.num_edges(),
                 build_time: Duration::ZERO,
+                timings: CommitTimings::default(),
             });
         }
         let start = Instant::now();
+        let mut timings = CommitTimings::default();
         // Copy (not drain) so a failed WAL append leaves the delta staged.
-        let (insertions, deletions) = pending.lists();
+        let (insertions, deletions) = {
+            let stage_start = Instant::now();
+            let lists = pending.lists();
+            timings.staging = stage_start.elapsed();
+            exactsim_obs::trace::record("stage", stage_start, timings.staging);
+            lists
+        };
         // The pending lock serializes commits, so the published graph cannot
         // change between this read and the swap below.
         let base = self.snapshot();
+        let merge_start = Instant::now();
         let next = Arc::new(base.graph.apply_delta(&insertions, &deletions));
+        timings.csr_merge = merge_start.elapsed();
+        exactsim_obs::trace::record("csr_merge", merge_start, timings.csr_merge);
         let next_epoch = base.epoch + 1;
 
         let mut durable = self.durable.lock().expect("durable log poisoned");
         if let Some(log) = durable.as_mut() {
-            log.append(&WalRecord {
+            let append_start = Instant::now();
+            let (wal_append, fsync) = log.append(&WalRecord {
                 epoch: next_epoch,
                 insertions: insertions.clone(),
                 deletions: deletions.clone(),
             })?;
+            timings.wal_append = wal_append;
+            timings.fsync = fsync;
+            exactsim_obs::trace::record("wal_append", append_start, wal_append);
+            exactsim_obs::trace::record("fsync", append_start + wal_append, fsync);
         }
         pending.clear();
 
+        let publish_start = Instant::now();
         let epoch = {
             let mut published = self.published.write().expect("published snapshot poisoned");
             published.epoch = next_epoch;
@@ -343,6 +382,8 @@ impl GraphStore {
             self.epoch.store(published.epoch, Ordering::Release);
             published.epoch
         };
+        timings.publish = publish_start.elapsed();
+        exactsim_obs::trace::record("publish", publish_start, timings.publish);
         self.commits.fetch_add(1, Ordering::Relaxed);
 
         if let Some(log) = durable.as_mut() {
@@ -360,6 +401,7 @@ impl GraphStore {
             num_nodes: next.num_nodes(),
             num_edges: next.num_edges(),
             build_time: start.elapsed(),
+            timings,
         })
     }
 

@@ -125,6 +125,28 @@ fn main() {
     assert!(stats.contains("\"connections_accepted\":4"), "{stats}");
     assert!(stats.contains("\"connections_rejected\":0"), "{stats}");
 
+    // The Prometheus scrape is the protocol's one multi-line reply; it must
+    // frame on the `# EOF` sentinel and carry the traffic just generated.
+    let scrape = updater
+        .round_trip_multi("metrics", "# EOF")
+        .expect("metrics scrape");
+    assert!(scrape.ends_with("# EOF\n"), "scrape framing");
+    for series in [
+        "simrank_queries_total{algo=\"exactsim\",outcome=\"miss\"}",
+        "simrank_query_latency_us_bucket{algo=\"exactsim\"",
+        "simrank_query_stage_us_count{stage=\"kernel\"}",
+        "simrank_connections_accepted_total 4",
+        "simrank_net_bytes_total{direction=\"out\"}",
+        "simrank_commits_total 1",
+    ] {
+        assert!(scrape.contains(series), "scrape missing `{series}`");
+    }
+    println!(
+        "network_demo: metrics scrape ok ({} lines, {} bytes)",
+        scrape.lines().count(),
+        scrape.len()
+    );
+
     let ack = round_trip(&mut updater, "shutdown");
     assert!(ack.contains("\"op\":\"shutdown\""), "{ack}");
     handle.join();
