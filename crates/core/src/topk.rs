@@ -16,13 +16,30 @@ pub struct TopKEntry {
 /// algorithms, which matters when computing Precision@k at the paper's
 /// `k = 500` where the tail of the ranking often contains equal scores.
 pub fn top_k(scores: &[f64], source: u32, k: usize) -> Vec<TopKEntry> {
+    top_k_where(scores, source, k, |_| true)
+}
+
+/// [`top_k`] restricted to the candidate nodes for which `keep` is true
+/// (the source is always excluded, whatever `keep` says about it).
+///
+/// This is the shard-side half of a scatter/gathered top-k: each shard
+/// extracts the top-k of *its owned candidate subset* from the full column,
+/// and merging the per-shard lists with [`merge_top_k`] reproduces the
+/// global [`top_k`] answer bit-for-bit — each shard's k best bound how deep
+/// the global answer can reach into that shard.
+pub fn top_k_where(
+    scores: &[f64],
+    source: u32,
+    k: usize,
+    mut keep: impl FnMut(u32) -> bool,
+) -> Vec<TopKEntry> {
     if k == 0 || scores.is_empty() {
         return Vec::new();
     }
     let mut entries: Vec<TopKEntry> = scores
         .iter()
         .enumerate()
-        .filter(|&(node, _)| node as u32 != source)
+        .filter(|&(node, _)| node as u32 != source && keep(node as u32))
         .map(|(node, &score)| TopKEntry {
             node: node as u32,
             score,
@@ -45,6 +62,21 @@ fn compare(a: &TopKEntry, b: &TopKEntry) -> std::cmp::Ordering {
         .partial_cmp(&a.score)
         .unwrap_or(std::cmp::Ordering::Equal)
         .then(a.node.cmp(&b.node))
+}
+
+/// Merges per-shard top-k lists into the global top-k answer.
+///
+/// Precondition: the lists cover disjoint candidate sets (each produced by
+/// [`top_k_where`] over one shard of a partition) and each list holds its
+/// shard's `k` best. Under that precondition the merge is *exactly* the
+/// unsharded [`top_k`]: it sorts with the same comparator (score descending,
+/// ties by ascending node id) and truncates to `k`, so sharded and unsharded
+/// answers are bit-identical — including the order of tied scores.
+pub fn merge_top_k(lists: Vec<Vec<TopKEntry>>, k: usize) -> Vec<TopKEntry> {
+    let mut merged: Vec<TopKEntry> = lists.into_iter().flatten().collect();
+    merged.sort_unstable_by(compare);
+    merged.truncate(k);
+    merged
 }
 
 /// Returns just the node ids of the top-k answer (ordering as [`top_k`]).
@@ -105,6 +137,41 @@ mod tests {
         let nodes: Vec<u32> = top.iter().map(|e| e.node).collect();
         // With all scores tied, the smallest ids (excluding source 7) win.
         assert_eq!(nodes, vec![0, 1, 2, 3, 4, 5, 6, 8, 9, 10]);
+    }
+
+    #[test]
+    fn sharded_extract_then_merge_is_bit_identical_to_unsharded() {
+        // Pseudo-random scores with deliberate ties; every (shards, k) pair
+        // must merge back to exactly the unsharded answer.
+        let scores: Vec<f64> = (0..500).map(|i| ((i * 7919) % 97) as f64 / 97.0).collect();
+        for source in [0u32, 3, 499] {
+            for shards in [1usize, 2, 3, 4, 7] {
+                for k in [0usize, 1, 5, 50, 600] {
+                    let per_shard: Vec<Vec<TopKEntry>> = (0..shards)
+                        .map(|s| {
+                            top_k_where(&scores, source, k, |node| {
+                                ((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32)
+                                    % shards as u64
+                                    == s as u64
+                            })
+                        })
+                        .collect();
+                    let merged = merge_top_k(per_shard, k);
+                    assert_eq!(
+                        merged,
+                        top_k(&scores, source, k),
+                        "source {source}, {shards} shards, k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_where_excludes_source_even_when_kept() {
+        let scores = vec![0.5, 1.0, 0.2];
+        let top = top_k_where(&scores, 1, 3, |_| true);
+        assert!(top.iter().all(|e| e.node != 1));
     }
 
     #[test]

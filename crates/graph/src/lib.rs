@@ -18,6 +18,9 @@
 //!   Barabási–Albert, power-law configuration model, stochastic block model,
 //!   and regular families) used as stand-ins for the SNAP/LAW datasets.
 //! * [`analysis`] — degree statistics, connected components and PageRank.
+//! * [`partition`] — the deterministic node-to-shard assignment of the
+//!   sharded serving tier ([`PartitionMap`]), a pure function of
+//!   `(node, num_shards)` shared by routers and shard processes.
 //! * [`linalg`] — dense/sparse vectors and the transition-matrix kernels
 //!   `P·x` and `Pᵀ·x` that every Linearization-style algorithm is built on.
 //!
@@ -65,12 +68,14 @@ pub mod error;
 pub mod generators;
 pub mod io;
 pub mod linalg;
+pub mod partition;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrAdjacency;
 pub use digraph::DiGraph;
 pub use error::GraphError;
 pub use linalg::SparseVec;
+pub use partition::PartitionMap;
 
 /// Dense node identifier. Nodes of an `n`-node graph are `0..n`.
 ///

@@ -26,6 +26,13 @@
 //! (`BENCH_tcp.json`). The process exits nonzero unless every request
 //! succeeded and throughput is nonzero, which is what makes it a CI gate.
 //!
+//! When the server turns out to be a **router** (`--shards` / `--shard-of`;
+//! detected from the `per_shard` breakdown in its `stats` reply), the bench
+//! JSON additionally embeds a `router` object: shard count, the `topk`
+//! fan-out total, mixed-epoch retries, the barrier-wait p99, and per-shard
+//! qps computed from the pre/post-bench per-shard request deltas — which is
+//! what CI uploads as `BENCH_router.json`.
+//!
 //! `--shutdown` sends the `shutdown` command after the bench (or REPL EOF),
 //! asking the server to drain gracefully — CI uses it to assert a clean
 //! server exit.
@@ -76,6 +83,8 @@ const HELP: &str = "simrank-client: TCP client / load generator for simrank-serv
   --algo A         explicit algorithm per request (default: server default)\n\
   --out PATH       also write the bench JSON to PATH (e.g. BENCH_tcp.json)\n\
   --shutdown       send `shutdown` when done (graceful server drain)\n\
+against a router (--shards / --shard-of) the bench JSON embeds a `router`\n\
+object with per-shard qps, fan-out, and barrier-wait quantiles\n\
 without --bench: REPL — forward stdin lines, print reply lines";
 
 fn parse_args() -> Result<Options, String> {
@@ -136,6 +145,34 @@ fn parse_args() -> Result<Options, String> {
 
 fn connect(addr: &str) -> Result<LineClient, String> {
     LineClient::connect(addr).map_err(|e| format!("cannot connect {addr}: {e}"))
+}
+
+/// The unsigned integer value of the first `"field":123` in `json` (the
+/// protocol's stats replies are flat enough for a scan).
+fn u64_field(json: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The `"requests":` counter of each entry in a router stats reply's
+/// `per_shard` array, in shard order. Empty when the reply has no breakdown
+/// (a plain single-process server).
+fn per_shard_requests(stats: &str) -> Vec<u64> {
+    let Some(start) = stats.find("\"per_shard\":[") else {
+        return Vec::new();
+    };
+    let body = &stats[start..];
+    let Some(end) = body.find(']') else {
+        return Vec::new();
+    };
+    body[..end]
+        .match_indices("\"requests\":")
+        .filter_map(|(at, needle)| u64_field(&body[at..at + needle.len() + 24], "requests"))
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -219,6 +256,12 @@ fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
     for _ in 0..conns {
         sessions.push(connect(&opts.connect)?);
     }
+    // A pre-bench stats snapshot: against a router, the per-shard request
+    // deltas across the bench window are what per-shard qps is computed
+    // from. (One extra request on the first socket; not timed.)
+    let pre_stats = sessions[0]
+        .round_trip("stats")
+        .map_err(|e| format!("stats: {e}"))?;
 
     let started = Instant::now();
     let threads: Vec<_> = sessions
@@ -286,13 +329,21 @@ fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
         return Err(format!("unexpected stats reply: {server_stats}"));
     }
     // A final Prometheus scrape rides along in the bench artifact, so a CI
-    // run's BENCH_tcp.json carries the complete post-load series state.
+    // run's bench JSON carries the complete post-load series state. What the
+    // scrape must contain depends on who answered: a single service counts
+    // simrank_queries_total; a router counts its fan-out instead.
+    let routed = server_stats.contains("\"per_shard\"");
     let metrics_scrape = tail
         .round_trip_multi("metrics", "# EOF")
         .map_err(|e| format!("metrics: {e}"))?;
-    if !metrics_scrape.contains("simrank_queries_total") {
+    let expected_series = if routed {
+        "simrank_router_fanout_total"
+    } else {
+        "simrank_queries_total"
+    };
+    if !metrics_scrape.contains(expected_series) {
         return Err(format!(
-            "unexpected metrics reply (no simrank_queries_total): {}",
+            "unexpected metrics reply (no {expected_series}): {}",
             metrics_scrape.lines().next().unwrap_or("")
         ));
     }
@@ -309,13 +360,46 @@ fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
     let errored = errors.load(Ordering::Relaxed);
     let qps = completed as f64 / elapsed.as_secs_f64().max(f64::EPSILON);
     let us = |d: Option<Duration>| d.map_or("null".to_string(), |d| d.as_micros().to_string());
+    // The router breakdown (satellite of the sharded serving tier): shard
+    // count, topk fan-out, barrier p99, and per-shard qps over the bench
+    // window from the pre/post request-counter deltas.
+    let router_json = if routed {
+        let before = per_shard_requests(&pre_stats);
+        let after = per_shard_requests(&server_stats);
+        let per_shard_qps: Vec<String> = after
+            .iter()
+            .enumerate()
+            .map(|(i, &post)| {
+                let delta = post.saturating_sub(before.get(i).copied().unwrap_or(0));
+                format!(
+                    "{:.1}",
+                    delta as f64 / elapsed.as_secs_f64().max(f64::EPSILON)
+                )
+            })
+            .collect();
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+        format!(
+            concat!(
+                "{{\"shards\":{},\"fanout_topk\":{},\"mixed_epoch_retries\":{},",
+                "\"barrier_wait_p99_us\":{},\"per_shard_qps\":[{}]}}"
+            ),
+            opt(u64_field(&server_stats, "shards")),
+            opt(u64_field(&server_stats, "topk")),
+            opt(u64_field(&server_stats, "mixed_epoch_retries")),
+            opt(u64_field(&server_stats, "barrier_wait_p99_us")),
+            per_shard_qps.join(","),
+        )
+    } else {
+        "null".to_string()
+    };
     let json = format!(
         concat!(
-            "{{\"bench\":\"tcp_serving\",\"schema_version\":1,",
+            "{{\"bench\":\"tcp_serving\",\"schema_version\":2,",
             "\"addr\":\"{}\",\"requests\":{},\"completed\":{},\"conns\":{},",
             "\"sources\":{},\"topk\":{},",
             "\"elapsed_ms\":{:.3},\"queries_per_sec\":{:.1},",
             "\"p50_us\":{},\"p99_us\":{},\"errors\":{},",
+            "\"router\":{},",
             "\"server_stats\":{},\"metrics_scrape\":\"{}\"}}"
         ),
         escape_json(&opts.connect),
@@ -329,6 +413,7 @@ fn bench(opts: &Options, n: u64) -> Result<ExitCode, String> {
         us(histogram.quantile(0.50)),
         us(histogram.quantile(0.99)),
         errored,
+        router_json,
         server_stats,
         escape_json(&metrics_scrape),
     );

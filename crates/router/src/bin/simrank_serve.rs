@@ -1,11 +1,12 @@
 //! `simrank-serve` — the [`exactsim_service::protocol`] server, on stdin or
-//! on the network.
+//! on the network, fronting one service or a shard fan-out.
 //!
 //! ```text
 //! simrank-serve [--dataset KEY | --ba N M] [--scale F] [--seed S]
 //!               [--algo exactsim|prsim|mc] [--epsilon E]
 //!               [--workers W] [--cache-capacity C] [--walk-budget B]
 //!               [--data-dir DIR]
+//!               [--shards N | --shard-of ADDR,ADDR,...]
 //!               [--listen ADDR] [--max-conns N] [--addr-file PATH]
 //!               [--log-json] [--slowlog-threshold-ms N]
 //! ```
@@ -19,31 +20,45 @@
 //! With `--listen ADDR` (e.g. `127.0.0.1:7878`, or port `0` for an
 //! ephemeral port), the same protocol is served over TCP: an acceptor
 //! thread spawns one handler thread per connection, bounded by a
-//! `--max-conns` semaphore, all multiplexed onto one shared
-//! [`exactsim_service::SimRankService`] — cache, in-flight dedup, and epoch
-//! refresh are shared across every connection. The bound address is printed
-//! as a `{"listening": ...}` JSON line on stdout (and to `--addr-file` when
+//! `--max-conns` semaphore. The bound address is printed as a
+//! `{"listening": ...}` JSON line on stdout (and to `--addr-file` when
 //! given, which is how scripts find an ephemeral port). The server drains
 //! gracefully on SIGTERM/SIGINT or on the `shutdown` protocol command from
 //! any client: in-flight requests finish, and with `--data-dir` the WAL is
 //! folded into a fresh snapshot before exit.
+//!
+//! ## Sharded serving
+//!
+//! `--shards N` boots an in-process [`exactsim_router::ShardRouter`] over N
+//! full-replica [`exactsim_service::SimRankService`] shards (each with its
+//! own cache, worker pool, and — under `--data-dir DIR` — its own
+//! `DIR/shard-<i>` store). `--shard-of A,B,...` boots the same router over
+//! *remote* shards: unmodified `simrank-serve --listen` processes at those
+//! addresses, spoken to over the regular TCP protocol. Either way the
+//! front-end (stdin or `--listen`) is unchanged; `query` routes to the
+//! owning shard, `topk` is scatter/gathered bit-identically, and updates
+//! commit under an epoch barrier (see `exactsim_router::router`). With
+//! `--shard-of`, the graph/service flags are refused — the remote processes
+//! own their graphs.
 //!
 //! Protocol commands (see `exactsim_service::protocol` for the grammar):
 //!
 //! ```text
 //! query <node> [algo]      full single-source column (scores truncated to 32)
 //! topk <node> <k> [algo]   top-k most similar nodes
+//! shardtopk <node> <k> <shard> <num_shards> [algo]
+//!                          one shard's owned-candidate top-k (router-facing)
 //! addedge <u> <v>          stage the insertion of edge u -> v
 //! deledge <u> <v>          stage the deletion of edge u -> v
 //! commit                   publish staged updates as a new graph epoch
 //! epoch                    current epoch + pending update counts
 //! save | snapshot          fold the WAL into a fresh snapshot file
-//! stats                    serving counters (hit rate, p50/p99, epoch,
-//!                          connections, durability state) as JSON
+//! stats                    serving counters as JSON (routers: fan-out,
+//!                          barrier, per-shard breakdown)
 //! metrics                  all series in Prometheus text format (multi-line,
 //!                          terminated by a `# EOF` line)
-//! slowlog [n]              newest n slow-query records
-//! trace <request>          run a query/topk/commit with per-stage tracing
+//! slowlog [n]              newest n slow-query records (single service only)
+//! trace <request>          per-stage tracing (single service only)
 //! help                     this summary
 //! quit                     close this session (server keeps running)
 //! shutdown                 gracefully stop the whole server
@@ -71,10 +86,11 @@ use exactsim::exactsim::ExactSimConfig;
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::DiGraph;
 use exactsim_obs::log::{self as oplog, LogFormat};
-use exactsim_service::net::{self, signal, NetOptions};
-use exactsim_service::protocol::{self, Outcome};
+use exactsim_router::{LocalShard, RemoteShard, ShardBackend, ShardRouter};
+use exactsim_service::net::{self, signal, NetOptions, ProtocolHost};
+use exactsim_service::protocol::Outcome;
 use exactsim_service::{
-    AlgorithmKind, GraphStore, Opened, ServiceConfig, SimRankService, StoreError,
+    protocol, AlgorithmKind, GraphStore, Opened, ServiceConfig, SimRankService, StoreError,
 };
 
 struct Options {
@@ -88,6 +104,8 @@ struct Options {
     cache_capacity: usize,
     walk_budget: u64,
     data_dir: Option<PathBuf>,
+    shards: Option<usize>,
+    shard_of: Option<Vec<String>>,
     listen: Option<String>,
     max_conns: usize,
     addr_file: Option<PathBuf>,
@@ -108,6 +126,8 @@ impl Default for Options {
             cache_capacity: 1024,
             walk_budget: 2_000_000,
             data_dir: None,
+            shards: None,
+            shard_of: None,
             listen: None,
             max_conns: 64,
             addr_file: None,
@@ -165,6 +185,28 @@ fn parse_args() -> Result<Options, String> {
             "--data-dir" => {
                 opts.data_dir = Some(PathBuf::from(next_value("--data-dir", &mut args)?));
             }
+            "--shards" => {
+                let v = next_value("--shards", &mut args)?;
+                opts.shards = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .ok_or_else(|| format!("bad shard count `{v}`"))?,
+                );
+            }
+            "--shard-of" => {
+                let v = next_value("--shard-of", &mut args)?;
+                let addrs: Vec<String> = v
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if addrs.is_empty() {
+                    return Err("--shard-of needs at least one host:port".to_string());
+                }
+                opts.shard_of = Some(addrs);
+            }
             "--listen" => opts.listen = Some(next_value("--listen", &mut args)?),
             "--max-conns" => {
                 let v = next_value("--max-conns", &mut args)?;
@@ -196,6 +238,17 @@ fn parse_args() -> Result<Options, String> {
     if opts.addr_file.is_some() && opts.listen.is_none() {
         return Err("--addr-file only makes sense with --listen".to_string());
     }
+    if opts.shards.is_some() && opts.shard_of.is_some() {
+        return Err("--shards and --shard-of are mutually exclusive".to_string());
+    }
+    if opts.shard_of.is_some()
+        && (opts.dataset.is_some() || opts.ba.is_some() || opts.data_dir.is_some())
+    {
+        return Err(
+            "--shard-of fronts remote servers; graph and --data-dir flags belong to them"
+                .to_string(),
+        );
+    }
     Ok(opts)
 }
 
@@ -213,6 +266,12 @@ const FLAG_HELP: &str = "simrank-serve: SimRank query server (stdin REPL or TCP)
                        cap lifted or the error target will not be met)\n\
   --data-dir DIR       durable store: recover DIR on boot (or initialize it\n\
                        from the graph flags), WAL-log every commit\n\
+  --shards N           front N in-process full-replica shards with a router:\n\
+                       queries route by owner, topk is scatter/gathered\n\
+                       bit-identically, commits run under an epoch barrier;\n\
+                       with --data-dir, shard i persists in DIR/shard-i\n\
+  --shard-of A,B,...   front *remote* shards at those addresses (unmodified\n\
+                       simrank-serve --listen processes) with the same router\n\
   --listen ADDR        serve the protocol over TCP (e.g. 127.0.0.1:7878;\n\
                        port 0 picks an ephemeral port, reported on stdout)\n\
   --max-conns N        concurrent TCP connection bound (default 64)\n\
@@ -226,12 +285,69 @@ fn help_text() -> String {
     format!("{FLAG_HELP}\n{}", protocol::PROTOCOL_HELP)
 }
 
+/// The front-end the listener serves: one service, or a router over shards.
+/// Both implement [`ProtocolHost`]; this enum only exists so the binary can
+/// hold either and render mode-appropriate final stats.
+enum Host {
+    Single(SimRankService),
+    Router(ShardRouter),
+}
+
+impl Host {
+    fn stats_json(&self) -> String {
+        match self {
+            Host::Single(service) => service.stats().to_json(),
+            Host::Router(router) => router.stats_json(),
+        }
+    }
+
+    fn stats_human(&self) -> String {
+        match self {
+            Host::Single(service) => service.stats().to_string(),
+            Host::Router(router) => router.stats_json(),
+        }
+    }
+}
+
+impl Clone for Host {
+    fn clone(&self) -> Self {
+        match self {
+            Host::Single(s) => Host::Single(s.clone()),
+            Host::Router(r) => Host::Router(r.clone()),
+        }
+    }
+}
+
+impl ProtocolHost for Host {
+    fn serve_line(&self, default_algo: AlgorithmKind, line: &str) -> Option<Outcome> {
+        match self {
+            Host::Single(s) => s.serve_line(default_algo, line),
+            Host::Router(r) => r.serve_line(default_algo, line),
+        }
+    }
+
+    fn net_stats(&self) -> &exactsim_service::ServiceStats {
+        match self {
+            Host::Single(s) => s.net_stats(),
+            Host::Router(r) => r.net_stats(),
+        }
+    }
+
+    fn on_drain(&self) {
+        match self {
+            Host::Single(s) => s.on_drain(),
+            Host::Router(r) => r.on_drain(),
+        }
+    }
+}
+
 /// With `--data-dir`, recovery takes precedence: a directory that already
 /// holds a store restarts the server into its last committed epoch and the
 /// graph flags are not consulted; a fresh (or missing) directory is
 /// initialized from the flags. Without `--data-dir` the store is in-memory.
-fn build_store(opts: &Options) -> Result<GraphStore, String> {
-    let Some(dir) = &opts.data_dir else {
+/// For in-process shards, each shard's directory is `DIR/shard-<i>`.
+fn build_store(opts: &Options, dir: Option<&PathBuf>) -> Result<GraphStore, String> {
+    let Some(dir) = dir else {
         return Ok(GraphStore::new(Arc::new(build_graph(opts)?)));
     };
     let (store, how) = GraphStore::open_or_create(dir, || {
@@ -278,25 +394,8 @@ fn build_graph(opts: &Options) -> Result<DiGraph, String> {
     Ok(generated.graph)
 }
 
-fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(opts) => opts,
-        Err(msg) => {
-            eprintln!("simrank-serve: {msg}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if opts.log_json {
-        oplog::set_format(LogFormat::Json);
-    }
-    let store = match build_store(&opts) {
-        Ok(store) => store,
-        Err(msg) => {
-            oplog::error("simrank-serve", &msg, &[]);
-            return ExitCode::FAILURE;
-        }
-    };
-    let config = ServiceConfig {
+fn service_config(opts: &Options) -> ServiceConfig {
+    ServiceConfig {
         workers: opts.workers,
         cache_capacity: opts.cache_capacity,
         slowlog_threshold: Duration::from_millis(opts.slowlog_threshold_ms),
@@ -314,28 +413,90 @@ fn main() -> ExitCode {
             ..Default::default()
         },
         ..ServiceConfig::default()
-    };
-    let service = match SimRankService::with_store(Arc::new(store), config) {
-        Ok(s) => s,
-        Err(e) => {
-            oplog::error("simrank-serve", &e.to_string(), &[]);
-            return ExitCode::FAILURE;
+    }
+}
+
+fn build_service(opts: &Options, dir: Option<&PathBuf>) -> Result<SimRankService, String> {
+    let store = build_store(opts, dir)?;
+    SimRankService::with_store(Arc::new(store), service_config(opts)).map_err(|e| e.to_string())
+}
+
+/// Boots the requested front-end: a plain service, a router over N
+/// in-process replicas, or a router over remote shards.
+fn build_host(opts: &Options) -> Result<Host, String> {
+    if let Some(addrs) = &opts.shard_of {
+        let backends: Vec<Box<dyn ShardBackend>> = addrs
+            .iter()
+            .map(|addr| Box::new(RemoteShard::new(addr.clone())) as Box<dyn ShardBackend>)
+            .collect();
+        let router = ShardRouter::new(backends)?;
+        oplog::info(
+            "simrank-serve",
+            "routing over remote shards",
+            &[
+                ("shards", addrs.len().into()),
+                ("addrs", addrs.join(",").into()),
+                ("epoch", router.epoch().into()),
+            ],
+        );
+        return Ok(Host::Router(router));
+    }
+    if let Some(n) = opts.shards {
+        let mut backends: Vec<Box<dyn ShardBackend>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let dir = opts.data_dir.as_ref().map(|d| d.join(format!("shard-{i}")));
+            let service =
+                build_service(opts, dir.as_ref()).map_err(|msg| format!("shard {i}: {msg}"))?;
+            backends.push(Box::new(LocalShard::new(service)));
         }
-    };
+        let router = ShardRouter::new(backends)?;
+        oplog::info(
+            "simrank-serve",
+            "routing over in-process shards",
+            &[("shards", n.into()), ("epoch", router.epoch().into())],
+        );
+        return Ok(Host::Router(router));
+    }
+    let service = build_service(opts, opts.data_dir.as_ref())?;
     oplog::info(
         "simrank-serve",
         "ready (type `help`)",
         &[
             ("nodes", service.graph().num_nodes().into()),
             ("edges", service.graph().num_edges().into()),
-            ("default_algo", opts.algo.to_string().into()),
             ("workers", service.workers().into()),
         ],
     );
+    Ok(Host::Single(service))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("simrank-serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.log_json {
+        oplog::set_format(LogFormat::Json);
+    }
+    let host = match build_host(&opts) {
+        Ok(host) => host,
+        Err(msg) => {
+            oplog::error("simrank-serve", &msg, &[]);
+            return ExitCode::FAILURE;
+        }
+    };
+    oplog::info(
+        "simrank-serve",
+        "serving",
+        &[("default_algo", opts.algo.to_string().into())],
+    );
 
     let code = match &opts.listen {
-        Some(addr) => serve_tcp(&service, addr, &opts),
-        None => serve_stdin(&service, &opts),
+        Some(addr) => serve_tcp(&host, addr, &opts),
+        None => serve_stdin(&host, &opts),
     };
     // The final counters: the human block in text mode, one structured event
     // in JSON mode (so a `--log-json` stderr stream stays machine-parseable).
@@ -343,17 +504,18 @@ fn main() -> ExitCode {
         LogFormat::Json => oplog::info(
             "simrank-serve",
             "final stats",
-            &[("stats", service.stats().to_json().into())],
+            &[("stats", host.stats_json().into())],
         ),
-        LogFormat::Text => eprintln!("--- final stats ---\n{}", service.stats()),
+        LogFormat::Text => eprintln!("--- final stats ---\n{}", host.stats_human()),
     }
     code
 }
 
 /// The original stdin/stdout REPL. `help` goes to stderr (stdout stays pure
-/// JSON); `shutdown` behaves like `quit` plus — on a durable store — a final
-/// snapshot flush, mirroring the TCP drain.
-fn serve_stdin(service: &SimRankService, opts: &Options) -> ExitCode {
+/// JSON); `shutdown` behaves like `quit` plus the host's drain (snapshot
+/// flush on a durable service, shard drain fan-out on a router), mirroring
+/// the TCP path.
+fn serve_stdin(host: &Host, opts: &Options) -> ExitCode {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     for line in stdin.lock().lines() {
@@ -362,7 +524,7 @@ fn serve_stdin(service: &SimRankService, opts: &Options) -> ExitCode {
             Err(_) => break,
         };
         let mut out = stdout.lock();
-        match protocol::serve_line(service, opts.algo, line.trim()) {
+        match host.serve_line(opts.algo, line.trim()) {
             None => {}
             Some(Outcome::Reply(reply)) => {
                 let _ = writeln!(out, "{reply}");
@@ -379,7 +541,7 @@ fn serve_stdin(service: &SimRankService, opts: &Options) -> ExitCode {
             Some(Outcome::Shutdown(reply)) => {
                 let _ = writeln!(out, "{reply}");
                 let _ = out.flush();
-                net::flush_shutdown_snapshot(service);
+                host.on_drain();
                 break;
             }
         }
@@ -389,9 +551,9 @@ fn serve_stdin(service: &SimRankService, opts: &Options) -> ExitCode {
 
 /// TCP mode: bind, report the address, then babysit the listener until a
 /// signal or a remote `shutdown` command asks for the drain.
-fn serve_tcp(service: &SimRankService, addr: &str, opts: &Options) -> ExitCode {
+fn serve_tcp(host: &Host, addr: &str, opts: &Options) -> ExitCode {
     let handle = match net::serve(
-        service.clone(),
+        host.clone(),
         addr,
         NetOptions {
             max_conns: opts.max_conns,
@@ -451,7 +613,8 @@ fn serve_tcp(service: &SimRankService, addr: &str, opts: &Options) -> ExitCode {
         }
         std::thread::sleep(Duration::from_millis(50));
     }
-    // join() drains handlers and — on a durable store — flushes a snapshot.
+    // join() drains handlers and runs the host's drain hook (snapshot flush
+    // on a durable service; shard drain fan-out on a router).
     handle.join();
     ExitCode::SUCCESS
 }

@@ -1,0 +1,53 @@
+//! # exactsim-router
+//!
+//! The sharded serving tier: one protocol endpoint fronting N SimRank
+//! shards, in-process or remote, behind the same [`ShardBackend`] trait.
+//!
+//! | module | role |
+//! |---|---|
+//! | [`backend`] | [`ShardBackend`]: one shard the router can ask — [`LocalShard`] wraps an in-process [`exactsim_service::SimRankService`], [`RemoteShard`] speaks the unmodified TCP line protocol to a `simrank-serve --listen` process with connect/read deadlines |
+//! | [`router`] | [`ShardRouter`]: routes `query` to the owning shard, scatter/gathers `topk` via the `shardtopk` verb (bit-identical merge), fans out updates with compensation and commits under a write barrier, and answers `stats`/`metrics` with fan-out, barrier, and per-shard series |
+//! | `wire` (private) | field scanners for the protocol's flat JSON reply lines |
+//!
+//! The router implements [`exactsim_service::net::ProtocolHost`], so the
+//! same TCP listener (and stdin REPL) serves either a single service or a
+//! shard fan-out — `simrank-serve --shards N` / `--shard-of a:1,b:2` is the
+//! only difference an operator sees. Consistency story and the replica
+//! model are documented on [`router`].
+//!
+//! ## Quickstart (in-process shards)
+//!
+//! ```
+//! use std::sync::Arc;
+//! use exactsim_graph::generators::barabasi_albert;
+//! use exactsim_router::{LocalShard, ShardBackend, ShardRouter};
+//! use exactsim_service::protocol::{parse_line, Outcome};
+//! use exactsim_service::{AlgorithmKind, ServiceConfig, SimRankService};
+//!
+//! let graph = Arc::new(barabasi_albert(120, 3, true, 7).unwrap());
+//! let shards: Vec<Box<dyn ShardBackend>> = (0..4)
+//!     .map(|_| {
+//!         let service =
+//!             SimRankService::new(Arc::clone(&graph), ServiceConfig::fast_demo()).unwrap();
+//!         Box::new(LocalShard::new(service)) as Box<dyn ShardBackend>
+//!     })
+//!     .collect();
+//! let router = ShardRouter::new(shards).unwrap();
+//!
+//! let request = parse_line("topk 7 5").unwrap().unwrap();
+//! match router.execute(AlgorithmKind::ExactSim, &request) {
+//!     Outcome::Reply(reply) => assert!(reply.contains("\"results\":[")),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![warn(clippy::all)]
+
+pub mod backend;
+pub mod router;
+pub(crate) mod wire;
+
+pub use backend::{LocalShard, RemoteShard, ShardBackend, ShardError};
+pub use router::ShardRouter;

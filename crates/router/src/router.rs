@@ -1,0 +1,743 @@
+//! The [`ShardRouter`]: one protocol endpoint scatter/gathering over N
+//! [`ShardBackend`]s.
+//!
+//! ## Why replicas, and what the partition actually partitions
+//!
+//! SimRank single-source needs the whole graph — every node's similarity to
+//! the source is a function of global structure — so each shard holds a
+//! **full graph replica** and computes complete columns. What the
+//! deterministic partition ([`exactsim_graph::partition`]) assigns is
+//! *candidate ownership*: for a gathered top-k, shard `i` ranks only the
+//! nodes it owns (`shardtopk <node> <k> <i> <N>`), and the router merges the
+//! per-shard lists with [`exactsim::topk::merge_top_k`]. Because ownership
+//! is disjoint and exhaustive and both sides use the same
+//! score-descending / node-id-ascending comparator, the merged answer is
+//! **bit-identical** to the unsharded `topk` — scores travel as shortest
+//! round-trip `f64` strings, which parse back to the exact bits.
+//!
+//! Single-source `query` goes to the one shard that owns the source node
+//! (any replica could answer; routing by owner spreads cache footprint), and
+//! updates fan out to every replica.
+//!
+//! ## Epoch barrier
+//!
+//! Cross-shard answers must never mix epochs. Two mechanisms compose:
+//!
+//! 1. An `RwLock` barrier: queries and gathers hold it for read, the commit
+//!    fan-out holds it for write — so no gather ever straddles a
+//!    router-driven commit.
+//! 2. Gathers verify that every shard replied at the same epoch anyway
+//!    (guarding against out-of-band commits on a remote shard and divergent
+//!    boot states) and retry once before answering `internal`.
+//!
+//! Commits are two-phase from the router's perspective: `addedge`/`deledge`
+//! stage on every replica (compensated on partial failure), `commit` fans
+//! out under the write barrier, and the router's published epoch advances
+//! only when **every** shard reports the same new epoch. A partially-failed
+//! commit leaves shards divergent but heals on retry: an already-committed
+//! shard answers the retry with an empty commit (`advanced:false`, epoch
+//! unchanged) while the lagging shard catches up.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+
+use exactsim::topk::merge_top_k;
+use exactsim_graph::partition::PartitionMap;
+use exactsim_obs::json::escape_json;
+use exactsim_obs::log as oplog;
+use exactsim_obs::metrics::{Counter, Histogram, Registry};
+use exactsim_service::net::ProtocolHost;
+use exactsim_service::protocol::{self, codes, Outcome, ProtoError, Request};
+use exactsim_service::{AlgorithmKind, ServiceStats, ServingShape, TopKResponse};
+
+use crate::backend::{ShardBackend, ShardError};
+use crate::wire;
+
+/// Per-verb fan-out counters: how many shard requests each verb caused.
+struct Fanout {
+    query: Arc<Counter>,
+    topk: Arc<Counter>,
+    update: Arc<Counter>,
+    commit: Arc<Counter>,
+    epoch: Arc<Counter>,
+    save: Arc<Counter>,
+}
+
+struct Counters {
+    /// Query-shaped requests routed (query / topk / shardtopk).
+    queries: Arc<Counter>,
+    /// Requests the router itself failed (shard unreachable, mixed epochs,
+    /// malformed shard replies) — shard-side protocol rejections passed
+    /// through verbatim do not count.
+    errors: Arc<Counter>,
+    fanout: Fanout,
+    shard_requests: Vec<Arc<Counter>>,
+    shard_errors: Vec<Arc<Counter>>,
+    shard_latency: Vec<Arc<Histogram>>,
+    barrier_wait: Arc<Histogram>,
+    mixed_epoch_retries: Arc<Counter>,
+}
+
+struct Inner {
+    shards: Vec<Box<dyn ShardBackend>>,
+    partition: PartitionMap,
+    epoch: Arc<AtomicU64>,
+    barrier: RwLock<()>,
+    net_stats: ServiceStats,
+    metrics: Registry,
+    counters: Counters,
+}
+
+/// The sharded serving tier: implements [`ProtocolHost`], so the same TCP
+/// listener (and stdin REPL) that fronts a single [`exactsim_service::SimRankService`]
+/// can front N shards instead. Cheap to clone (shared interior).
+#[derive(Clone)]
+pub struct ShardRouter {
+    inner: Arc<Inner>,
+}
+
+impl ShardRouter {
+    /// Builds a router over `shards` backends. Probes every shard's epoch up
+    /// front — a fail-fast connectivity check for remote backends — and
+    /// publishes the highest observed epoch (divergence is logged, not
+    /// fatal: a retried `commit` heals it).
+    pub fn new(shards: Vec<Box<dyn ShardBackend>>) -> Result<ShardRouter, String> {
+        if shards.is_empty() {
+            return Err("a router needs at least one shard".to_string());
+        }
+        let mut epochs = Vec::with_capacity(shards.len());
+        for (i, shard) in shards.iter().enumerate() {
+            let reply = shard.request("epoch").map_err(|e| {
+                format!(
+                    "cannot reach shard {i} ({}): {}",
+                    shard.describe(),
+                    e.message()
+                )
+            })?;
+            let epoch = wire::u64_field(&reply, "epoch").ok_or_else(|| {
+                format!(
+                    "shard {i} ({}) answered a malformed epoch reply: {reply}",
+                    shard.describe()
+                )
+            })?;
+            epochs.push(epoch);
+        }
+        let max_epoch = epochs.iter().copied().max().unwrap_or(0);
+        if epochs.iter().any(|&e| e != max_epoch) {
+            oplog::warn(
+                "simrank-router",
+                "shard epochs diverge at boot; a commit will heal them",
+                &[("epochs", format!("{epochs:?}").into())],
+            );
+        }
+
+        let metrics = Registry::new();
+        let epoch = Arc::new(AtomicU64::new(max_epoch));
+        {
+            let epoch = Arc::clone(&epoch);
+            metrics.gauge_fn(
+                "simrank_router_epoch",
+                "Graph epoch the router currently publishes",
+                &[],
+                move || epoch.load(Ordering::Acquire) as f64,
+            );
+        }
+        let fanout = |verb: &str| {
+            metrics.counter(
+                "simrank_router_fanout_total",
+                "Shard requests issued, by originating verb",
+                &[("verb", verb)],
+            )
+        };
+        let mut shard_requests = Vec::with_capacity(shards.len());
+        let mut shard_errors = Vec::with_capacity(shards.len());
+        let mut shard_latency = Vec::with_capacity(shards.len());
+        for i in 0..shards.len() {
+            let label = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+            shard_requests.push(metrics.counter(
+                "simrank_router_shard_requests_total",
+                "Requests the router sent to each shard",
+                labels,
+            ));
+            shard_errors.push(metrics.counter(
+                "simrank_router_shard_errors_total",
+                "Shard requests that failed (unreachable or malformed)",
+                labels,
+            ));
+            shard_latency.push(metrics.histogram(
+                "simrank_router_shard_latency_us",
+                "Per-shard request latency as observed by the router",
+                labels,
+            ));
+        }
+        let counters = Counters {
+            queries: metrics.counter(
+                "simrank_router_requests_total",
+                "Query-shaped requests routed (query/topk/shardtopk)",
+                &[],
+            ),
+            errors: metrics.counter(
+                "simrank_router_errors_total",
+                "Requests the router failed (shard unreachable, mixed epochs)",
+                &[],
+            ),
+            fanout: Fanout {
+                query: fanout("query"),
+                topk: fanout("topk"),
+                update: fanout("update"),
+                commit: fanout("commit"),
+                epoch: fanout("epoch"),
+                save: fanout("save"),
+            },
+            shard_requests,
+            shard_errors,
+            shard_latency,
+            barrier_wait: metrics.histogram(
+                "simrank_router_barrier_wait_us",
+                "Time spent acquiring the epoch barrier",
+                &[],
+            ),
+            mixed_epoch_retries: metrics.counter(
+                "simrank_router_mixed_epoch_retries_total",
+                "Gathers re-scattered because shard epochs disagreed",
+                &[],
+            ),
+        };
+        let partition = PartitionMap::new(shards.len());
+        Ok(ShardRouter {
+            inner: Arc::new(Inner {
+                shards,
+                partition,
+                epoch,
+                barrier: RwLock::new(()),
+                net_stats: ServiceStats::default(),
+                metrics,
+                counters,
+            }),
+        })
+    }
+
+    /// How many shards the router fans out over.
+    pub fn num_shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The epoch the router currently publishes (advanced only when every
+    /// shard reported the same committed epoch).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Drains every shard (local shards flush their durable snapshot;
+    /// remote shards are left to their own operator).
+    pub fn drain(&self) {
+        for shard in &self.inner.shards {
+            shard.drain();
+        }
+    }
+
+    /// The router's Prometheus exposition (the `metrics` verb payload).
+    pub fn metrics_text(&self) -> String {
+        self.inner.metrics.render()
+    }
+
+    /// The router's `stats` reply: its own epoch/shard topology, fan-out and
+    /// barrier counters, the listener's connection counters, and a
+    /// `per_shard` breakdown — one JSON line, like every `stats` reply.
+    pub fn stats_json(&self) -> String {
+        let c = &self.inner.counters;
+        let net = self.inner.net_stats.snapshot(
+            self.epoch(),
+            0,
+            0,
+            0,
+            None,
+            [None; 3],
+            ServingShape {
+                workers: 0,
+                kernel_threads: 0,
+                shards: self.num_shards(),
+            },
+        );
+        let us = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
+        let per_shard: Vec<String> = self
+            .inner
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                format!(
+                    concat!(
+                        "{{\"shard\":{},\"backend\":\"{}\",\"requests\":{},",
+                        "\"errors\":{},\"p50_us\":{},\"p99_us\":{}}}"
+                    ),
+                    i,
+                    escape_json(&shard.describe()),
+                    c.shard_requests[i].get(),
+                    c.shard_errors[i].get(),
+                    us(c.shard_latency[i].quantile_value(0.50)),
+                    us(c.shard_latency[i].quantile_value(0.99)),
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"epoch\":{},\"shards\":{},\"queries\":{},\"errors\":{},",
+                "\"fanout\":{{\"query\":{},\"topk\":{},\"update\":{},",
+                "\"commit\":{},\"epoch\":{},\"save\":{}}},",
+                "\"mixed_epoch_retries\":{},",
+                "\"barrier_wait_p50_us\":{},\"barrier_wait_p99_us\":{},",
+                "\"net_requests\":{},\"connections_accepted\":{},",
+                "\"connections_closed\":{},\"connections_rejected\":{},",
+                "\"bytes_in\":{},\"bytes_out\":{},",
+                "\"per_shard\":[{}]}}"
+            ),
+            self.epoch(),
+            self.num_shards(),
+            c.queries.get(),
+            c.errors.get(),
+            c.fanout.query.get(),
+            c.fanout.topk.get(),
+            c.fanout.update.get(),
+            c.fanout.commit.get(),
+            c.fanout.epoch.get(),
+            c.fanout.save.get(),
+            c.mixed_epoch_retries.get(),
+            us(c.barrier_wait.quantile_value(0.50)),
+            us(c.barrier_wait.quantile_value(0.99)),
+            net.net_requests,
+            net.connections_accepted,
+            net.connections_closed,
+            net.connections_rejected,
+            net.bytes_in,
+            net.bytes_out,
+            per_shard.join(","),
+        )
+    }
+
+    /// Executes one parsed request. Mirrors
+    /// [`exactsim_service::protocol::execute`] but over the shard fan-out;
+    /// every failure is a typed `{"error","code"}` reply, never a panic and
+    /// never a hang.
+    pub fn execute(&self, default_algo: AlgorithmKind, request: &Request) -> Outcome {
+        match request {
+            Request::Help => Outcome::Help(protocol::PROTOCOL_HELP),
+            Request::Quit => Outcome::Quit,
+            Request::Shutdown => {
+                Outcome::Shutdown("{\"op\":\"shutdown\",\"draining\":true}".into())
+            }
+            Request::Stats => Outcome::Reply(self.stats_json()),
+            Request::Metrics => Outcome::Text(self.metrics_text()),
+            // Shard-local diagnostics have no meaningful cross-shard merge;
+            // a clean rejection beats a misleading partial answer.
+            Request::SlowLog { .. } | Request::Trace { .. } => Outcome::Reply(
+                ProtoError::bad_request(
+                    "the router does not serve this verb; ask a shard directly",
+                )
+                .to_json(),
+            ),
+            Request::Query { node, algo } => self.route_query(*node, algo.unwrap_or(default_algo)),
+            Request::ShardTopK {
+                node,
+                k,
+                shard,
+                num_shards,
+                algo,
+            } => {
+                self.route_shard_topk(*node, *k, *shard, *num_shards, algo.unwrap_or(default_algo))
+            }
+            Request::TopK { node, k, algo } => {
+                self.gathered_topk(*node, *k, algo.unwrap_or(default_algo))
+            }
+            Request::AddEdge { u, v } => self.fan_update(true, *u, *v),
+            Request::DelEdge { u, v } => self.fan_update(false, *u, *v),
+            Request::Commit => self.commit(),
+            Request::Epoch => self.gather_epoch(),
+            Request::Save => self.fan_save(),
+        }
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn read_barrier(&self) -> RwLockReadGuard<'_, ()> {
+        let started = Instant::now();
+        let guard = self.inner.barrier.read().expect("epoch barrier poisoned");
+        self.inner.counters.barrier_wait.record(started.elapsed());
+        guard
+    }
+
+    fn write_barrier(&self) -> RwLockWriteGuard<'_, ()> {
+        let started = Instant::now();
+        let guard = self.inner.barrier.write().expect("epoch barrier poisoned");
+        self.inner.counters.barrier_wait.record(started.elapsed());
+        guard
+    }
+
+    fn timed_request(&self, shard: usize, line: &str) -> Result<String, ShardError> {
+        let c = &self.inner.counters;
+        c.shard_requests[shard].inc();
+        let started = Instant::now();
+        let result = self.inner.shards[shard].request(line);
+        c.shard_latency[shard].record(started.elapsed());
+        if result.is_err() {
+            c.shard_errors[shard].inc();
+        }
+        result
+    }
+
+    /// One request line to every shard, concurrently (scoped threads — the
+    /// scatter width is the shard count, not a pool).
+    fn scatter(&self, lines: &[String]) -> Vec<Result<String, ShardError>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = lines
+                .iter()
+                .enumerate()
+                .map(|(i, line)| scope.spawn(move || self.timed_request(i, line.as_str())))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ShardError::Malformed("scatter thread panicked".into()))
+                    })
+                })
+                .collect()
+        })
+    }
+
+    fn shard_error_reply(&self, e: &ShardError) -> Outcome {
+        self.inner.counters.errors.inc();
+        let proto = ProtoError {
+            code: match e {
+                ShardError::Unavailable(_) => codes::SHARD_UNAVAILABLE,
+                ShardError::Malformed(_) => codes::INTERNAL,
+            },
+            message: e.message().to_string(),
+        };
+        Outcome::Reply(proto.to_json())
+    }
+
+    fn internal_reply(&self, message: String) -> Outcome {
+        self.inner.counters.errors.inc();
+        Outcome::Reply(
+            ProtoError {
+                code: codes::INTERNAL,
+                message,
+            }
+            .to_json(),
+        )
+    }
+
+    /// `query` goes to the one shard that owns the source node. Any replica
+    /// could answer; routing by owner keeps each shard's result cache warm
+    /// for a disjoint slice of the source space.
+    fn route_query(&self, node: u32, algo: AlgorithmKind) -> Outcome {
+        self.inner.counters.queries.inc();
+        let owner = self.inner.partition.owner(node);
+        let line = Request::Query {
+            node,
+            algo: Some(algo),
+        }
+        .to_line();
+        let _epoch_stable = self.read_barrier();
+        self.inner.counters.fanout.query.inc();
+        match self.timed_request(owner, &line) {
+            Ok(reply) => Outcome::Reply(reply),
+            Err(e) => self.shard_error_reply(&e),
+        }
+    }
+
+    /// A `shardtopk` addressed to the router is answered by one replica
+    /// (whichever backend `shard` hashes onto — every replica holds the full
+    /// graph, and ownership is a pure function of the request's own
+    /// `num_shards`, which need not match the router's width).
+    fn route_shard_topk(
+        &self,
+        node: u32,
+        k: usize,
+        shard: usize,
+        num_shards: usize,
+        algo: AlgorithmKind,
+    ) -> Outcome {
+        self.inner.counters.queries.inc();
+        let backend = shard % self.num_shards();
+        let line = Request::ShardTopK {
+            node,
+            k,
+            shard,
+            num_shards,
+            algo: Some(algo),
+        }
+        .to_line();
+        let _epoch_stable = self.read_barrier();
+        self.inner.counters.fanout.query.inc();
+        match self.timed_request(backend, &line) {
+            Ok(reply) => Outcome::Reply(reply),
+            Err(e) => self.shard_error_reply(&e),
+        }
+    }
+
+    /// The gathered `topk`: scatter `shardtopk` to every shard, verify one
+    /// epoch, merge. Retries the scatter once on an epoch mismatch (an
+    /// out-of-band commit landed mid-gather) before failing typed.
+    fn gathered_topk(&self, node: u32, k: usize, algo: AlgorithmKind) -> Outcome {
+        self.inner.counters.queries.inc();
+        let width = self.num_shards();
+        let lines: Vec<String> = (0..width)
+            .map(|shard| {
+                Request::ShardTopK {
+                    node,
+                    k,
+                    shard,
+                    num_shards: width,
+                    algo: Some(algo),
+                }
+                .to_line()
+            })
+            .collect();
+        let started = Instant::now();
+        let mut last_epochs: Vec<u64> = Vec::new();
+        for attempt in 0..2 {
+            if attempt > 0 {
+                self.inner.counters.mixed_epoch_retries.inc();
+            }
+            let replies = {
+                let _epoch_stable = self.read_barrier();
+                self.inner.counters.fanout.topk.add(width as u64);
+                self.scatter(&lines)
+            };
+            let mut oks = Vec::with_capacity(width);
+            for reply in replies {
+                match reply {
+                    Ok(reply) => {
+                        // A shard-side rejection (out_of_range, ...) is
+                        // deterministic across replicas; pass it through.
+                        if wire::error_code(&reply).is_some() {
+                            return Outcome::Reply(reply);
+                        }
+                        oks.push(reply);
+                    }
+                    Err(e) => return self.shard_error_reply(&e),
+                }
+            }
+            let epochs: Option<Vec<u64>> =
+                oks.iter().map(|r| wire::u64_field(r, "epoch")).collect();
+            let Some(epochs) = epochs else {
+                return self.internal_reply("a shard answered topk without an epoch".into());
+            };
+            if epochs.windows(2).all(|w| w[0] == w[1]) {
+                let lists: Option<Vec<_>> = oks.iter().map(|r| wire::results(r)).collect();
+                let Some(lists) = lists else {
+                    return self
+                        .internal_reply("a shard answered topk with unparsable results".into());
+                };
+                let response = TopKResponse {
+                    algorithm: algo,
+                    epoch: epochs[0],
+                    source: node,
+                    k,
+                    entries: merge_top_k(lists, k),
+                    query_time: started.elapsed(),
+                };
+                return Outcome::Reply(response.to_json());
+            }
+            last_epochs = epochs;
+        }
+        self.internal_reply(format!(
+            "shard epochs still diverge after a retry ({last_epochs:?}); commit to heal"
+        ))
+    }
+
+    /// `addedge`/`deledge` stage on every replica. On partial failure the
+    /// successful `pending` stages are compensated with the opposite op
+    /// (staging is cancellative), so no replica is left ahead of the others.
+    fn fan_update(&self, insert: bool, u: u32, v: u32) -> Outcome {
+        let request = if insert {
+            Request::AddEdge { u, v }
+        } else {
+            Request::DelEdge { u, v }
+        };
+        let line = request.to_line();
+        let lines: Vec<String> = (0..self.num_shards()).map(|_| line.clone()).collect();
+        let _epoch_stable = self.read_barrier();
+        self.inner
+            .counters
+            .fanout
+            .update
+            .add(self.num_shards() as u64);
+        let replies = self.scatter(&lines);
+        let failed = replies.iter().any(|r| match r {
+            Ok(reply) => wire::error_code(reply).is_some(),
+            Err(_) => true,
+        });
+        if !failed {
+            // Replicas answer identically; the first reply speaks for all.
+            return match replies.into_iter().next() {
+                Some(Ok(reply)) => Outcome::Reply(reply),
+                _ => self.internal_reply("update fan-out produced no reply".into()),
+            };
+        }
+        // Compensation: undo only the stages that actually took (`pending`);
+        // `noop`/`cancelled` stages changed nothing that needs undoing.
+        let undo = if insert {
+            Request::DelEdge { u, v }
+        } else {
+            Request::AddEdge { u, v }
+        }
+        .to_line();
+        let mut first_unavailable: Option<ShardError> = None;
+        let mut first_rejection: Option<String> = None;
+        for (shard, reply) in replies.into_iter().enumerate() {
+            match reply {
+                Ok(reply) => {
+                    if let Some(_code) = wire::error_code(&reply) {
+                        first_rejection.get_or_insert(reply);
+                    } else if wire::str_field(&reply, "staged") == Some("pending") {
+                        let _ = self.timed_request(shard, &undo);
+                    }
+                }
+                Err(e) => {
+                    first_unavailable.get_or_insert(e);
+                }
+            }
+        }
+        match (first_unavailable, first_rejection) {
+            (Some(e), _) => self.shard_error_reply(&e),
+            // Every replica rejected the same way (e.g. out_of_range):
+            // that is the answer, not a router failure.
+            (None, Some(reply)) => Outcome::Reply(reply),
+            (None, None) => self.internal_reply("update fan-out failed without a cause".into()),
+        }
+    }
+
+    /// The commit fan-out: write barrier (no gather straddles it), commit on
+    /// every shard, publish the router epoch only on unanimous agreement.
+    fn commit(&self) -> Outcome {
+        let _epoch_frozen = self.write_barrier();
+        let width = self.num_shards();
+        self.inner.counters.fanout.commit.add(width as u64);
+        let lines: Vec<String> = (0..width).map(|_| "commit".to_string()).collect();
+        let replies = self.scatter(&lines);
+        let mut oks = Vec::with_capacity(width);
+        for reply in replies {
+            match reply {
+                Ok(reply) => {
+                    if wire::error_code(&reply).is_some() {
+                        // A shard refused the commit; shards that accepted it
+                        // are now ahead, which the next commit heals (their
+                        // empty commit does not advance further).
+                        self.inner.counters.errors.inc();
+                        return Outcome::Reply(reply);
+                    }
+                    oks.push(reply);
+                }
+                Err(e) => return self.shard_error_reply(&e),
+            }
+        }
+        let epochs: Option<Vec<u64>> = oks.iter().map(|r| wire::u64_field(r, "epoch")).collect();
+        let Some(epochs) = epochs else {
+            return self.internal_reply("a shard answered commit without an epoch".into());
+        };
+        if !epochs.windows(2).all(|w| w[0] == w[1]) {
+            return self.internal_reply(format!(
+                "shard epochs diverge after commit ({epochs:?}); retry commit to heal"
+            ));
+        }
+        self.inner.epoch.store(epochs[0], Ordering::Release);
+        // Prefer a reply that actually advanced: after a heal, the lagging
+        // shard's reply describes the edges applied, while an
+        // already-committed replica reports an empty commit.
+        let reply = oks
+            .iter()
+            .find(|r| r.contains("\"advanced\":true"))
+            .or_else(|| oks.first())
+            .cloned();
+        match reply {
+            Some(reply) => Outcome::Reply(reply),
+            None => self.internal_reply("commit fan-out produced no reply".into()),
+        }
+    }
+
+    /// `epoch` gathers every shard's view and verifies agreement — the
+    /// operator-facing probe for the consistency the barrier maintains.
+    fn gather_epoch(&self) -> Outcome {
+        let width = self.num_shards();
+        let lines: Vec<String> = (0..width).map(|_| "epoch".to_string()).collect();
+        let _epoch_stable = self.read_barrier();
+        self.inner.counters.fanout.epoch.add(width as u64);
+        let replies = self.scatter(&lines);
+        let mut oks = Vec::with_capacity(width);
+        for reply in replies {
+            match reply {
+                Ok(reply) => {
+                    if wire::error_code(&reply).is_some() {
+                        self.inner.counters.errors.inc();
+                        return Outcome::Reply(reply);
+                    }
+                    oks.push(reply);
+                }
+                Err(e) => return self.shard_error_reply(&e),
+            }
+        }
+        let epochs: Option<Vec<u64>> = oks.iter().map(|r| wire::u64_field(r, "epoch")).collect();
+        let Some(epochs) = epochs else {
+            return self.internal_reply("a shard answered epoch unparsably".into());
+        };
+        if !epochs.windows(2).all(|w| w[0] == w[1]) {
+            return self
+                .internal_reply(format!("shard epochs diverge ({epochs:?}); commit to heal"));
+        }
+        match oks.into_iter().next() {
+            Some(reply) => Outcome::Reply(reply),
+            None => self.internal_reply("epoch fan-out produced no reply".into()),
+        }
+    }
+
+    /// `save` fans out to every shard; in-memory shards answer `not_durable`
+    /// (passed through — the deployment either is durable everywhere or the
+    /// operator learns it is not).
+    fn fan_save(&self) -> Outcome {
+        let width = self.num_shards();
+        let lines: Vec<String> = (0..width).map(|_| "save".to_string()).collect();
+        let _epoch_stable = self.read_barrier();
+        self.inner.counters.fanout.save.add(width as u64);
+        let replies = self.scatter(&lines);
+        let mut first: Option<String> = None;
+        for reply in replies {
+            match reply {
+                Ok(reply) => {
+                    if wire::error_code(&reply).is_some() {
+                        self.inner.counters.errors.inc();
+                        return Outcome::Reply(reply);
+                    }
+                    first.get_or_insert(reply);
+                }
+                Err(e) => return self.shard_error_reply(&e),
+            }
+        }
+        match first {
+            Some(reply) => Outcome::Reply(reply),
+            None => self.internal_reply("save fan-out produced no reply".into()),
+        }
+    }
+}
+
+impl ProtocolHost for ShardRouter {
+    fn serve_line(&self, default_algo: AlgorithmKind, line: &str) -> Option<Outcome> {
+        match protocol::parse_line(line) {
+            Ok(None) => None,
+            Ok(Some(request)) => Some(self.execute(default_algo, &request)),
+            Err(e) => Some(Outcome::Reply(e.to_json())),
+        }
+    }
+
+    fn net_stats(&self) -> &ServiceStats {
+        &self.inner.net_stats
+    }
+
+    fn on_drain(&self) {
+        self.drain();
+    }
+}

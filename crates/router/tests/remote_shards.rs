@@ -1,0 +1,173 @@
+//! Remote mode end-to-end: a [`ShardRouter`] over [`RemoteShard`] backends
+//! speaking the **unmodified** TCP line protocol to real `net::serve`
+//! listeners — replies bit-identical to the in-process path (the f64 wire
+//! round-trip is exact), updates commit on every shard, and a shard that
+//! dies costs the router a typed `shard_unavailable` reply, never a hang.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exactsim::exactsim::ExactSimConfig;
+use exactsim_graph::generators::barabasi_albert;
+use exactsim_graph::partition::shard_of;
+use exactsim_router::{RemoteShard, ShardBackend, ShardRouter};
+use exactsim_service::net::{self, NetOptions};
+use exactsim_service::protocol::{self, parse_line, Outcome};
+use exactsim_service::{AlgorithmKind, ServiceConfig, SimRankService};
+
+fn test_config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        exactsim: ExactSimConfig {
+            epsilon: 1e-2,
+            walk_budget: Some(50_000),
+            ..ExactSimConfig::default()
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+fn ask(router: &ShardRouter, line: &str) -> String {
+    let request = parse_line(line).unwrap().unwrap();
+    match router.execute(AlgorithmKind::ExactSim, &request) {
+        Outcome::Reply(reply) => reply,
+        other => panic!("`{line}`: unexpected outcome {other:?}"),
+    }
+}
+
+fn strip_query_time(json: &str) -> String {
+    let Some(at) = json.find("\"query_time_us\":") else {
+        return json.to_string();
+    };
+    let vstart = at + "\"query_time_us\":".len();
+    let vend = json[vstart..]
+        .find(|c: char| !c.is_ascii_digit())
+        .map_or(json.len(), |o| vstart + o);
+    format!("{}0{}", &json[..vstart], &json[vend..])
+}
+
+#[test]
+fn remote_shards_serve_bit_identically_and_a_dead_shard_yields_a_typed_error_fast() {
+    let graph = Arc::new(barabasi_albert(120, 3, true, 7).unwrap());
+    let config = test_config();
+
+    // Two unmodified `net::serve` listeners, each a full replica: exactly
+    // what two `simrank-serve --listen` processes would be.
+    let serve = |graph: &Arc<exactsim_graph::DiGraph>| {
+        let service = SimRankService::new(Arc::clone(graph), config.clone()).unwrap();
+        net::serve(service, "127.0.0.1:0", NetOptions::default()).expect("bind shard listener")
+    };
+    let shard0 = serve(&graph);
+    let shard1 = serve(&graph);
+
+    let tight = |addr: std::net::SocketAddr| {
+        Box::new(
+            RemoteShard::new(addr.to_string())
+                .with_timeouts(Duration::from_millis(500), Duration::from_secs(30)),
+        ) as Box<dyn ShardBackend>
+    };
+    let router =
+        ShardRouter::new(vec![tight(shard0.local_addr()), tight(shard1.local_addr())]).unwrap();
+
+    // Replies through the remote scatter/gather are bit-identical to a
+    // direct in-process execution: the protocol's f64 formatting round-trips
+    // exactly, so remoting adds no drift.
+    let baseline = SimRankService::new(Arc::clone(&graph), config.clone()).unwrap();
+    for line in ["query 3", "topk 5 7", "shardtopk 5 7 1 2"] {
+        let routed = ask(&router, line);
+        let direct = match protocol::execute(
+            &baseline,
+            AlgorithmKind::ExactSim,
+            &parse_line(line).unwrap().unwrap(),
+        ) {
+            Outcome::Reply(reply) => reply,
+            other => panic!("`{line}`: {other:?}"),
+        };
+        assert!(!routed.contains("\"error\""), "{line}: {routed}");
+        assert_eq!(
+            strip_query_time(&routed),
+            strip_query_time(&direct),
+            "`{line}` must be bit-identical over the wire"
+        );
+    }
+
+    // An update fans out to both remote replicas and the epoch barrier
+    // publishes only after both commit.
+    let staged = ask(&router, "addedge 0 119");
+    assert!(staged.contains("\"staged\":\"pending\""), "{staged}");
+    let committed = ask(&router, "commit");
+    assert!(committed.contains("\"epoch\":1"), "{committed}");
+    assert_eq!(router.epoch(), 1);
+    let epochs = ask(&router, "epoch");
+    assert!(epochs.contains("\"epoch\":1"), "{epochs}");
+
+    // Kill shard 1. A routed request owned by it must come back as the
+    // typed shard_unavailable error — promptly (reconnect is bounded by the
+    // connect deadline), and without wedging requests shard 0 can answer.
+    shard1.request_shutdown();
+    shard1.join();
+    let owned_by_dead = (0..120u32)
+        .find(|&n| shard_of(n, 2) == 1)
+        .expect("some node maps to shard 1");
+    let owned_by_live = (0..120u32)
+        .find(|&n| shard_of(n, 2) == 0)
+        .expect("some node maps to shard 0");
+
+    let started = Instant::now();
+    let dead = ask(&router, &format!("query {owned_by_dead}"));
+    assert!(
+        dead.contains("\"error\"") && dead.contains("\"code\":\"shard_unavailable\""),
+        "{dead}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "dead shard must fail fast, took {:?}",
+        started.elapsed()
+    );
+
+    // A gather needs every shard, so it degrades to the same typed error...
+    let gathered = ask(&router, &format!("topk {owned_by_live} 5"));
+    assert!(
+        gathered.contains("\"code\":\"shard_unavailable\""),
+        "{gathered}"
+    );
+    // ...while single-shard routes to the surviving replica still serve.
+    let live = ask(&router, &format!("query {owned_by_live}"));
+    assert!(!live.contains("\"error\""), "{live}");
+    assert!(live.contains("\"epoch\":1"), "{live}");
+
+    // The stats breakdown names both backends and counts the failures.
+    let stats = router.stats_json();
+    assert!(stats.contains("\"per_shard\":["), "{stats}");
+    assert!(stats.contains(&shard0.local_addr().to_string()), "{stats}");
+    assert!(stats.contains("\"errors\":"), "{stats}");
+
+    router.drain();
+    shard0.request_shutdown();
+    shard0.join();
+}
+
+#[test]
+fn a_shard_down_at_construction_fails_router_new_with_a_typed_error() {
+    // A port that briefly had a listener and no longer does: connection
+    // refused, immediately.
+    let vacated = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let shard = Box::new(
+        RemoteShard::new(vacated.to_string())
+            .with_timeouts(Duration::from_millis(300), Duration::from_secs(1)),
+    ) as Box<dyn ShardBackend>;
+    let started = Instant::now();
+    let err = match ShardRouter::new(vec![shard]) {
+        Err(message) => message,
+        Ok(_) => panic!("router must refuse a dead shard"),
+    };
+    assert!(err.contains(&vacated.to_string()), "{err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "construction probe must fail fast"
+    );
+}

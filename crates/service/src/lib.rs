@@ -101,11 +101,11 @@ pub mod stats;
 pub use cache::{epsilon_tier, CacheKey, ShardedLruCache};
 pub use error::ServiceError;
 pub use executor::WorkerPool;
-pub use net::{NetOptions, NetServerHandle};
+pub use net::{NetOptions, NetServerHandle, ProtocolHost};
 pub use protocol::{Outcome, ProtoError, Request};
-pub use response::{AlgorithmKind, QueryResponse, TopKResponse};
+pub use response::{AlgorithmKind, QueryResponse, ShardTopKResponse, TopKResponse};
 pub use service::{BatchAnswer, BatchItem, BatchRequest, ServiceConfig, SimRankService};
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use stats::{ServiceStats, ServingShape, StatsSnapshot};
 
 // Re-exported so protocol front-ends can drive updates and persistence
 // without naming the store crate themselves.

@@ -6,6 +6,7 @@
 
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A blocking line-protocol session over one TCP connection: send one
 /// request line, read one JSON reply line (see [`crate::protocol`] for the
@@ -24,6 +25,35 @@ impl LineClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
         })
+    }
+
+    /// [`LineClient::connect`] with explicit connect and read deadlines, for
+    /// callers that must answer *something* when a server is down rather
+    /// than block — the router treats either timeout as a
+    /// `shard_unavailable` condition. A `read_timeout` of `None` keeps reads
+    /// blocking.
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        connect_timeout: Duration,
+        read_timeout: Option<Duration>,
+    ) -> io::Result<LineClient> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(read_timeout)?;
+                    return Ok(LineClient {
+                        reader: BufReader::new(stream.try_clone()?),
+                        writer: BufWriter::new(stream),
+                    });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
     }
 
     /// Sends one request line (the newline is appended here).

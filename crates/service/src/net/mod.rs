@@ -38,4 +38,4 @@ mod server;
 pub mod signal;
 
 pub use client::LineClient;
-pub use server::{flush_shutdown_snapshot, serve, NetOptions, NetServerHandle};
+pub use server::{flush_shutdown_snapshot, serve, NetOptions, NetServerHandle, ProtocolHost};

@@ -43,6 +43,39 @@ impl Default for NetOptions {
     }
 }
 
+/// A front-end the TCP listener can serve. The plain [`SimRankService`]
+/// implements it (one process, one graph); the router crate implements it
+/// over a shard fan-out. Implementations answer whole request lines and
+/// expose a [`ServiceStats`] for the listener to account connections and
+/// bytes against, so `stats` replies look the same whichever host answers.
+pub trait ProtocolHost: Send + Sync + 'static {
+    /// Answers one trimmed, non-empty request line. `None` means "no reply"
+    /// (the stdin front-end's blank-line behaviour); the TCP listener treats
+    /// it the same way.
+    fn serve_line(&self, default_algo: AlgorithmKind, line: &str) -> Option<Outcome>;
+
+    /// The counters the listener bumps for connections, requests, and bytes.
+    fn net_stats(&self) -> &ServiceStats;
+
+    /// Runs once after the acceptor and every handler have drained (durable
+    /// snapshot flush, shard drain fan-out, ...).
+    fn on_drain(&self);
+}
+
+impl ProtocolHost for SimRankService {
+    fn serve_line(&self, default_algo: AlgorithmKind, line: &str) -> Option<Outcome> {
+        protocol::serve_line(self, default_algo, line)
+    }
+
+    fn net_stats(&self) -> &ServiceStats {
+        self.raw_stats()
+    }
+
+    fn on_drain(&self) {
+        flush_shutdown_snapshot(self);
+    }
+}
+
 /// A counting semaphore over connection-handler permits. `try_acquire` never
 /// blocks: the acceptor load-sheds instead of queueing, so the listener can
 /// always make progress whatever the handlers are doing.
@@ -72,25 +105,27 @@ impl Semaphore {
     }
 }
 
-struct Shared {
-    service: SimRankService,
+struct Shared<H: ProtocolHost> {
+    host: H,
     options: NetOptions,
-    shutdown: AtomicBool,
+    shutdown: Arc<AtomicBool>,
     permits: Semaphore,
 }
 
-impl Shared {
+impl<H: ProtocolHost> Shared<H> {
     fn stats(&self) -> &ServiceStats {
-        self.service.raw_stats()
+        self.host.net_stats()
     }
 }
 
 /// Handle to a running TCP server. Dropping the handle does **not** stop the
 /// server; call [`NetServerHandle::request_shutdown`] then
-/// [`NetServerHandle::join`] for a graceful stop.
+/// [`NetServerHandle::join`] for a graceful stop. The handle is host-agnostic
+/// (not generic over [`ProtocolHost`]) so binaries can store one whatever
+/// front-end they booted.
 pub struct NetServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
     acceptor: JoinHandle<()>,
 }
 
@@ -104,14 +139,14 @@ impl NetServerHandle {
     /// Whether a shutdown has been requested (by this handle, or by a
     /// `shutdown` protocol command on any connection).
     pub fn shutdown_requested(&self) -> bool {
-        self.shared.shutdown.load(Ordering::Acquire)
+        self.shutdown.load(Ordering::Acquire)
     }
 
     /// Asks the server to stop: the acceptor closes, handlers drain their
     /// in-flight request and hang up. Idempotent; returns immediately —
     /// [`NetServerHandle::join`] observes completion.
     pub fn request_shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::Release);
+        self.shutdown.store(true, Ordering::Release);
     }
 
     /// Blocks until the acceptor and every handler thread have finished and
@@ -125,20 +160,22 @@ impl NetServerHandle {
 
 /// Binds `addr` and serves the [`crate::protocol`] grammar over TCP until a
 /// shutdown is requested. Returns once the listener is bound and accepting —
-/// queries can race the returned handle immediately.
-pub fn serve(
-    service: SimRankService,
+/// queries can race the returned handle immediately. `host` is usually a
+/// [`SimRankService`]; the router crate passes its shard fan-out instead.
+pub fn serve<H: ProtocolHost>(
+    host: H,
     addr: impl ToSocketAddrs,
     options: NetOptions,
 ) -> io::Result<NetServerHandle> {
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
     let shared = Arc::new(Shared {
-        service,
+        host,
         permits: Semaphore::new(options.max_conns.max(1)),
         options,
-        shutdown: AtomicBool::new(false),
+        shutdown: Arc::clone(&shutdown),
     });
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -148,12 +185,12 @@ pub fn serve(
     };
     Ok(NetServerHandle {
         addr,
-        shared,
+        shutdown,
         acceptor,
     })
 }
 
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+fn accept_loop<H: ProtocolHost>(listener: TcpListener, shared: Arc<Shared<H>>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shared.shutdown.load(Ordering::Acquire) {
         match listener.accept() {
@@ -203,7 +240,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     for handle in handlers {
         let _ = handle.join();
     }
-    flush_shutdown_snapshot(&shared.service);
+    shared.host.on_drain();
 }
 
 /// Folds the WAL into a fresh snapshot on durable stores, logging the
@@ -242,7 +279,7 @@ fn reject_at_capacity(stream: TcpStream, max_conns: usize) {
 /// Serves one connection until EOF, `quit`, a fatal socket error, or server
 /// shutdown. Never panics on request contents; a panicking computation is
 /// answered as an `internal` protocol error and the connection lives on.
-fn handle_connection(stream: &TcpStream, shared: &Shared) {
+fn handle_connection<H: ProtocolHost>(stream: &TcpStream, shared: &Shared<H>) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
@@ -314,9 +351,9 @@ fn oversized_line(writer: &mut BufWriter<&TcpStream>, stats: &ServiceStats) {
 
 /// Parses, executes, and answers one request line. Returns `true` when the
 /// connection (or the whole server) should stop.
-fn serve_one(
+fn serve_one<H: ProtocolHost>(
     line: &str,
-    shared: &Shared,
+    shared: &Shared<H>,
     writer: &mut BufWriter<&TcpStream>,
     requests: &mut u64,
 ) -> bool {
@@ -330,7 +367,7 @@ fn serve_one(
     // followers); over TCP that must cost an `internal` error reply, not the
     // handler thread (which would leak the permit and hang up mid-session).
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        protocol::serve_line(&shared.service, shared.options.default_algo, trimmed)
+        shared.host.serve_line(shared.options.default_algo, trimmed)
     }))
     .unwrap_or_else(|_| {
         Some(Outcome::Reply(

@@ -62,6 +62,31 @@ pub struct ServiceStats {
     pub(crate) requests_per_conn: Arc<LatencyHistogram>,
 }
 
+/// The statically-configured serving topology, reported explicitly by the
+/// `stats` verb so operators never have to re-derive it from boot flags:
+/// how many batch workers the service runs, how many threads the ExactSim
+/// kernel uses per query, and how many shards the deployment has (always 1
+/// for a plain single-process service; a router reports its real width).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServingShape {
+    /// Batch-executor worker threads (resolved, not the `0 = per-core` flag).
+    pub workers: usize,
+    /// ExactSim kernel threads per query (`SimRankConfig::threads`).
+    pub kernel_threads: usize,
+    /// Shards behind this endpoint (1 unless answered by a router).
+    pub shards: usize,
+}
+
+impl Default for ServingShape {
+    fn default() -> Self {
+        ServingShape {
+            workers: 0,
+            kernel_threads: 1,
+            shards: 1,
+        }
+    }
+}
+
 impl ServiceStats {
     pub(crate) fn new() -> Self {
         Self::default()
@@ -74,6 +99,7 @@ impl ServiceStats {
 
     /// Takes a consistent-enough snapshot (individual counters are exact;
     /// ratios between them can be off by in-flight queries).
+    #[allow(clippy::too_many_arguments)] // one call site per host, all named state
     pub fn snapshot(
         &self,
         epoch: u64,
@@ -82,12 +108,14 @@ impl ServiceStats {
         cached_entries: usize,
         durability: Option<DurabilityInfo>,
         index_memory_bytes: [Option<u64>; 3],
+        shape: ServingShape,
     ) -> StatsSnapshot {
         let queries = self.queries.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let dedup_joins = self.dedup_joins.load(Ordering::Relaxed);
         StatsSnapshot {
             epoch,
+            shape,
             data_dir: durability
                 .as_ref()
                 .map(|d| d.data_dir.display().to_string()),
@@ -128,6 +156,10 @@ impl ServiceStats {
 pub struct StatsSnapshot {
     /// The graph epoch the service is currently serving.
     pub epoch: u64,
+    /// The configured serving topology (worker threads, kernel threads,
+    /// shard count) — explicit so operators read it instead of inferring it
+    /// from the boot flags.
+    pub shape: ServingShape,
     /// Data directory of the backing store (`None` for in-memory stores).
     pub data_dir: Option<String>,
     /// Delta records currently in the write-ahead log (`None` when not
@@ -215,7 +247,8 @@ impl StatsSnapshot {
         };
         format!(
             concat!(
-                "{{\"epoch\":{},\"queries\":{},\"cache_hits\":{},\"dedup_joins\":{},",
+                "{{\"epoch\":{},\"shards\":{},\"workers\":{},\"kernel_threads\":{},",
+                "\"queries\":{},\"cache_hits\":{},\"dedup_joins\":{},",
                 "\"computations\":{},\"index_builds\":{},\"errors\":{},",
                 "\"epoch_refreshes\":{},\"evictions\":{},\"invalidations\":{},",
                 "\"cached_entries\":{},\"hit_rate\":{:.4},",
@@ -228,6 +261,9 @@ impl StatsSnapshot {
                 "\"data_dir\":{},\"wal_len\":{},\"last_snapshot_epoch\":{}}}"
             ),
             self.epoch,
+            self.shape.shards,
+            self.shape.workers,
+            self.shape.kernel_threads,
             self.queries,
             self.cache_hits,
             self.dedup_joins,
@@ -262,6 +298,11 @@ impl StatsSnapshot {
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "graph epoch:        {}", self.epoch)?;
+        writeln!(
+            f,
+            "topology:           {} shard(s), {} workers, {} kernel thread(s)",
+            self.shape.shards, self.shape.workers, self.shape.kernel_threads
+        )?;
         writeln!(f, "queries served:     {}", self.queries)?;
         writeln!(
             f,
@@ -374,7 +415,7 @@ mod tests {
 
         let stats = ServiceStats::new();
         stats.latency.record(Duration::from_micros(u64::MAX));
-        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3]);
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
         assert_eq!(snap.latency_saturated, 1);
         assert!(snap.to_json().contains("\"latency_saturated\":1"));
         assert!(snap.to_string().contains("latency saturated:  1"));
@@ -387,7 +428,7 @@ mod tests {
         stats.connections_closed.store(3, Ordering::Relaxed);
         stats.connections_rejected.store(2, Ordering::Relaxed);
         stats.net_requests.store(40, Ordering::Relaxed);
-        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3]);
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
         assert_eq!(snap.connections_accepted, 5);
         assert_eq!(snap.net_requests, 40);
         let json = snap.to_json();
@@ -401,7 +442,7 @@ mod tests {
         );
         // A stdin-only server never shows the TCP line.
         let quiet = ServiceStats::new()
-            .snapshot(0, 0, 0, 0, None, [None; 3])
+            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default())
             .to_string();
         assert!(!quiet.contains("tcp connections"));
     }
@@ -416,7 +457,7 @@ mod tests {
         // Two finished connections: 3 requests and 5 requests.
         stats.requests_per_conn.record_value(3);
         stats.requests_per_conn.record_value(5);
-        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3]);
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
         assert_eq!(snap.bytes_in, 120);
         assert_eq!(snap.bytes_out, 4096);
         // p50 of {3, 5} resolves to the upper bound of 3's bucket [2, 4).
@@ -434,7 +475,7 @@ mod tests {
         // the Display suffix is omitted.
         let fresh = ServiceStats::new();
         fresh.connections_accepted.store(1, Ordering::Relaxed);
-        let early = fresh.snapshot(0, 0, 0, 0, None, [None; 3]);
+        let early = fresh.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
         assert!(early.to_json().contains("\"requests_per_conn_p50\":null"));
         assert!(early
             .to_string()
@@ -444,7 +485,15 @@ mod tests {
     #[test]
     fn index_memory_surfaces_in_json_and_display() {
         let stats = ServiceStats::new();
-        let snap = stats.snapshot(0, 0, 0, 0, None, [Some(0), Some(4096), None]);
+        let snap = stats.snapshot(
+            0,
+            0,
+            0,
+            0,
+            None,
+            [Some(0), Some(4096), None],
+            ServingShape::default(),
+        );
         let json = snap.to_json();
         assert!(
             json.contains("\"memory_bytes\":{\"exactsim\":0,\"prsim\":4096,\"mc\":null}"),
@@ -465,7 +514,15 @@ mod tests {
         stats.dedup_joins.store(3, Ordering::Relaxed);
         stats.computations.store(1, Ordering::Relaxed);
         stats.epoch_refreshes.store(2, Ordering::Relaxed);
-        let snap = stats.snapshot(7, 0, 4, 5, None, [Some(0), Some(1024), None]);
+        let snap = stats.snapshot(
+            7,
+            0,
+            4,
+            5,
+            None,
+            [Some(0), Some(1024), None],
+            ServingShape::default(),
+        );
         assert!((snap.hit_rate - 0.9).abs() < 1e-12);
         assert_eq!(snap.cached_entries, 5);
         assert_eq!(snap.epoch, 7);
@@ -480,7 +537,8 @@ mod tests {
 
     #[test]
     fn zero_queries_mean_zero_hit_rate() {
-        let snap = ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3]);
+        let snap =
+            ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
         assert_eq!(snap.hit_rate, 0.0);
         assert_eq!(snap.p50, None);
     }
@@ -491,7 +549,9 @@ mod tests {
         stats.queries.store(4, Ordering::Relaxed);
         stats.cache_hits.store(2, Ordering::Relaxed);
         stats.latency.record(Duration::from_micros(100));
-        let json = stats.snapshot(3, 1, 0, 2, None, [None; 3]).to_json();
+        let json = stats
+            .snapshot(3, 1, 0, 2, None, [None; 3], ServingShape::default())
+            .to_json();
         assert!(json.starts_with("{\"epoch\":3,"));
         assert!(json.contains("\"queries\":4"));
         assert!(json.contains("\"hit_rate\":0.5000"));
@@ -503,9 +563,33 @@ mod tests {
         assert!(json.contains("\"last_snapshot_epoch\":null"));
         // Before any query, quantiles serialize as null.
         let empty = ServiceStats::new()
-            .snapshot(0, 0, 0, 0, None, [None; 3])
+            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default())
             .to_json();
         assert!(empty.contains("\"p99_us\":null"));
+    }
+
+    #[test]
+    fn serving_shape_surfaces_in_json_and_display() {
+        let shape = ServingShape {
+            workers: 4,
+            kernel_threads: 2,
+            shards: 3,
+        };
+        let snap = ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], shape);
+        let json = snap.to_json();
+        // Shape rides immediately after the epoch so scrapers that read a
+        // prefix still see it.
+        assert!(
+            json.starts_with("{\"epoch\":0,\"shards\":3,\"workers\":4,\"kernel_threads\":2,"),
+            "{json}"
+        );
+        let rendered = snap.to_string();
+        assert!(rendered.contains("3 shard(s), 4 workers, 2 kernel thread(s)"));
+        // The single-process default reports one shard.
+        let plain = ServiceStats::new()
+            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default())
+            .to_json();
+        assert!(plain.contains("\"shards\":1"), "{plain}");
     }
 
     #[test]
@@ -516,7 +600,7 @@ mod tests {
             wal_records: 12,
             last_snapshot_epoch: 3,
         };
-        let snap = stats.snapshot(5, 0, 0, 0, Some(info), [None; 3]);
+        let snap = stats.snapshot(5, 0, 0, 0, Some(info), [None; 3], ServingShape::default());
         assert_eq!(snap.wal_len, Some(12));
         assert_eq!(snap.last_snapshot_epoch, Some(3));
         let json = snap.to_json();

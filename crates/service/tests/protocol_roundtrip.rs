@@ -59,6 +59,28 @@ fn every_command_parses_to_its_request() {
                 algo: Some(AlgorithmKind::ExactSim),
             },
         ),
+        (
+            // The router's scatter verb: shard-restricted top-k, partition
+            // carried on the line so the serving process stays stateless.
+            "shardtopk 3 10 1 4",
+            Request::ShardTopK {
+                node: 3,
+                k: 10,
+                shard: 1,
+                num_shards: 4,
+                algo: None,
+            },
+        ),
+        (
+            "shardtopk 3 10 1 4 prsim",
+            Request::ShardTopK {
+                node: 3,
+                k: 10,
+                shard: 1,
+                num_shards: 4,
+                algo: Some(AlgorithmKind::PrSim),
+            },
+        ),
         ("addedge 1 2", Request::AddEdge { u: 1, v: 2 }),
         ("deledge 1 2", Request::DelEdge { u: 1, v: 2 }),
         ("commit", Request::Commit),
@@ -121,6 +143,20 @@ fn every_request_formats_to_a_line_that_round_trips() {
             k: 25,
             algo: Some(AlgorithmKind::PrSim),
         },
+        Request::ShardTopK {
+            node: 9,
+            k: 25,
+            shard: 0,
+            num_shards: 1,
+            algo: None,
+        },
+        Request::ShardTopK {
+            node: 9,
+            k: 25,
+            shard: 3,
+            num_shards: 4,
+            algo: Some(AlgorithmKind::MonteCarlo),
+        },
         Request::AddEdge { u: 3, v: 4 },
         Request::DelEdge { u: 4, v: 3 },
         Request::Commit,
@@ -158,6 +194,11 @@ fn malformed_lines_map_to_stable_codes() {
         ("topk 1", codes::BAD_REQUEST),   // missing k
         ("topk 1 x", codes::BAD_REQUEST), // unparsable k
         ("topk 1 5 bogus", codes::UNKNOWN_ALGORITHM),
+        ("shardtopk 1 5", codes::BAD_REQUEST), // missing shard/num_shards
+        ("shardtopk 1 5 0", codes::BAD_REQUEST), // missing num_shards
+        ("shardtopk 1 5 0 0", codes::BAD_REQUEST), // num_shards must be >= 1
+        ("shardtopk 1 5 4 4", codes::BAD_REQUEST), // shard out of partition
+        ("shardtopk 1 5 0 2 bogus", codes::UNKNOWN_ALGORITHM),
         ("addedge 1", codes::BAD_REQUEST), // missing head
         ("addedge a b", codes::BAD_REQUEST),
         ("deledge 1", codes::BAD_REQUEST),
@@ -255,6 +296,11 @@ fn every_error_variant_maps_to_its_documented_code() {
         assert_eq!(mapped.code, *code, "{error:?}");
     }
 
+    // The router-facing code is part of the stable vocabulary even though no
+    // local error maps to it: a router answers for an unreachable shard with
+    // exactly this code, and clients key on the literal string.
+    assert_eq!(codes::SHARD_UNAVAILABLE, "shard_unavailable");
+
     // The error message is JSON-escaped on the wire.
     let hostile = ProtoError::bad_request("a \"quoted\"\nline");
     assert_eq!(
@@ -297,6 +343,26 @@ fn execute_answers_each_command_with_its_wire_shape() {
             assert!(json.contains("\"results\":["), "{json}");
         }
         other => panic!("topk -> {other:?}"),
+    }
+
+    // The shard-restricted top-k echoes its partition slot so a gathering
+    // router can attribute every candidate list.
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::ShardTopK {
+            node: 1,
+            k: 5,
+            shard: 1,
+            num_shards: 4,
+            algo: None,
+        },
+    ) {
+        Outcome::Reply(json) => {
+            assert!(json.contains("\"shard\":1,\"num_shards\":4"), "{json}");
+            assert!(json.contains("\"results\":["), "{json}");
+        }
+        other => panic!("shardtopk -> {other:?}"),
     }
 
     // The update protocol: stage, inspect, publish.
@@ -356,6 +422,11 @@ fn execute_answers_each_command_with_its_wire_shape() {
         Outcome::Reply(json) => {
             assert!(json.contains("\"connections_accepted\":0"), "{json}");
             assert!(json.contains("\"latency_saturated\":0"), "{json}");
+            // The serving topology is explicit: a plain (unsharded) service
+            // reports its worker/kernel-thread configuration and shards=1.
+            assert!(json.contains("\"shards\":1"), "{json}");
+            assert!(json.contains("\"workers\":"), "{json}");
+            assert!(json.contains("\"kernel_threads\":"), "{json}");
         }
         other => panic!("stats -> {other:?}"),
     }
