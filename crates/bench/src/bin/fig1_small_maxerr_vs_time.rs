@@ -1,5 +1,9 @@
 //! Figure 1: MaxError vs. query time for all five algorithms on the four
 //! small datasets (GQ, HT, WV, HP), with Power-Method ground truth.
+//!
+//! Plotted axes: x = query_seconds, y = max_error (log–log in the paper).
+//! Standalone twin of `simrank-repro --only fig1` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
 

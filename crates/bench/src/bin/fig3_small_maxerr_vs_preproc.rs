@@ -1,5 +1,9 @@
 //! Figure 3: MaxError vs. preprocessing time for the index-based methods
 //! (MC, PRSim, Linearization) on the four small datasets.
+//!
+//! Plotted axes: x = preprocessing_seconds, y = max_error.
+//! Standalone twin of `simrank-repro --only fig3` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
 

@@ -1,5 +1,9 @@
 //! Figure 4: MaxError vs. index size for the index-based methods
 //! (MC, PRSim, Linearization) on the four small datasets.
+//!
+//! Plotted axes: x = index_bytes, y = max_error.
+//! Standalone twin of `simrank-repro --only fig4` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
 

@@ -1,6 +1,10 @@
 //! Figure 5: MaxError vs. query time for all five algorithms on the four
 //! large dataset stand-ins (DB, IC, IT, TW), with ExactSim(1e-7) as the
 //! reference — exactly the convention of the paper's §4.2.
+//!
+//! Plotted axes: x = query_seconds, y = max_error (log–log in the paper).
+//! Standalone twin of `simrank-repro --only fig5` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
 

@@ -1,5 +1,9 @@
 //! Figure 6: Precision@500 vs. query time for all five algorithms on the four
 //! large dataset stand-ins (DB, IC, IT, TW).
+//!
+//! Plotted axes: x = query_seconds, y = precision_at_500.
+//! Standalone twin of `simrank-repro --only fig6` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
 

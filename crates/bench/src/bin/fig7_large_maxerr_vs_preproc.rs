@@ -1,5 +1,9 @@
 //! Figure 7: MaxError vs. preprocessing time for the index-based methods on
 //! the four large dataset stand-ins.
+//!
+//! Plotted axes: x = preprocessing_seconds, y = max_error.
+//! Standalone twin of `simrank-repro --only fig7` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
 

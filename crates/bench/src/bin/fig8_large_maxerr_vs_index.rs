@@ -1,5 +1,9 @@
 //! Figure 8: MaxError vs. index size for the index-based methods on the four
 //! large dataset stand-ins.
+//!
+//! Plotted axes: x = index_bytes, y = max_error.
+//! Standalone twin of `simrank-repro --only fig8` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::{print_rows, run_figure, AlgorithmFamily, DatasetGroup};
 

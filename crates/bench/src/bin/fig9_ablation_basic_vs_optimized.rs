@@ -1,5 +1,9 @@
 //! Figure 9: time/error trade-off of basic vs. optimized ExactSim on the HP
 //! and DB stand-ins (the paper's ablation of the §3.2 optimisations).
+//!
+//! Plotted axes: x = query_seconds, y = max_error, one series per ExactSim variant.
+//! Standalone twin of `simrank-repro --only fig9` (every column of the
+//! shared sweep-row schema is emitted; the figure plots the axes above).
 
 use exactsim_bench::runner::{generate_dataset, group_ground_truth, DatasetGroup};
 use exactsim_bench::{print_rows, run_quality_sweep, AlgorithmFamily, HarnessParams};

@@ -1,50 +1,28 @@
-//! Table 2: dataset statistics — the paper's numbers next to the synthetic
-//! stand-ins actually used by this harness.
+//! Table 2 of the paper: dataset statistics — the paper's reported node/edge
+//! counts next to the synthetic stand-ins actually used by this harness
+//! (columns: paper n/m, stand-in n/m, average degree, max in-degree, fitted
+//! power-law exponent, scale factor).
+//!
+//! Standalone twin of `simrank-repro --only table2`; the row computation is
+//! shared via [`exactsim_bench::tables::table2_rows`].
 
-use exactsim_bench::runner::generate_dataset;
-use exactsim_bench::HarnessParams;
-use exactsim_datasets::{all_datasets, DatasetKind};
-use exactsim_graph::analysis::DegreeStats;
+use exactsim_bench::{table2_rows, HarnessParams, Table2Row};
 
 fn main() {
     let params = HarnessParams::from_env();
     println!("# Table 2: datasets (paper statistics vs generated stand-ins)");
-    println!(
-        "key,name,type,paper_nodes,paper_edges,standin_nodes,standin_edges,standin_avg_degree,standin_max_in_degree,standin_power_law_exponent,scale"
-    );
-    for spec in all_datasets() {
-        let dataset = generate_dataset(spec, &params);
-        let stats = DegreeStats::compute(&dataset.graph);
-        let kind = match spec.kind {
-            DatasetKind::Undirected => "undirected",
-            DatasetKind::Directed => "directed",
-        };
-        println!(
-            "{},{},{},{},{},{},{},{:.2},{},{},{}",
-            spec.key,
-            spec.name,
-            kind,
-            spec.paper_nodes,
-            spec.paper_edges,
-            stats.nodes,
-            stats.edges,
-            stats.average_degree,
-            stats.max_in_degree,
-            stats
-                .in_degree_power_law_exponent
-                .map(|g| format!("{g:.2}"))
-                .unwrap_or_else(|| "n/a".to_string()),
-            dataset.scale,
-        );
+    println!("{}", Table2Row::csv_header());
+    for row in table2_rows(&params) {
+        println!("{}", row.to_csv());
         eprintln!(
             "  {:>3} {:<14} paper n={:>10} m={:>13} | stand-in n={:>8} m={:>10} avg_deg={:>6.2}",
-            spec.key,
-            spec.name,
-            spec.paper_nodes,
-            spec.paper_edges,
-            stats.nodes,
-            stats.edges,
-            stats.average_degree
+            row.key,
+            row.name,
+            row.paper_nodes,
+            row.paper_edges,
+            row.standin_nodes,
+            row.standin_edges,
+            row.standin_avg_degree
         );
     }
 }

@@ -1,57 +1,25 @@
-//! Table 3: auxiliary memory of basic vs. optimized ExactSim next to the
-//! graph size, on the four large dataset stand-ins.
+//! Table 3 of the paper: auxiliary memory (GB) of basic vs. optimized
+//! ExactSim next to the graph's own size, on the four large dataset
+//! stand-ins (columns: basic GB, optimized GB, graph GB, reduction factor).
+//!
+//! Standalone twin of `simrank-repro --only table3`; the row computation is
+//! shared via [`exactsim_bench::tables::table3_rows`].
 
-use exactsim::exactsim::{ExactSim, ExactSimConfig, ExactSimVariant};
-use exactsim_bench::runner::generate_dataset;
-use exactsim_bench::HarnessParams;
-use exactsim_datasets::{large_datasets, query_sources};
+use exactsim_bench::{table3_rows, HarnessParams, Table3Row};
 
 fn main() {
     let params = HarnessParams::from_env();
     println!("# Table 3: memory overhead (GB) of ExactSim variants vs graph size");
-    println!("dataset,basic_exactsim_gb,optimized_exactsim_gb,graph_size_gb,reduction_factor");
-    for spec in large_datasets() {
-        eprintln!("[dataset {}] generating stand-in …", spec.key);
-        let dataset = generate_dataset(spec, &params);
-        let source = query_sources(&dataset.graph, 1, params.seed)[0];
-        let epsilon = 1e-5;
-        let mut per_variant = Vec::new();
-        for variant in [ExactSimVariant::Basic, ExactSimVariant::Optimized] {
-            let config = ExactSimConfig {
-                epsilon,
-                variant,
-                walk_budget: Some(params.walk_budget.min(1_000_000)),
-                simrank: exactsim::SimRankConfig {
-                    seed: params.seed,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            let result = ExactSim::new(&dataset.graph, config)
-                .expect("config is valid")
-                .query(source)
-                .expect("query succeeds");
-            per_variant.push(result.stats.aux_memory_bytes);
-        }
-        let to_gb = |b: usize| b as f64 / (1u64 << 30) as f64;
-        let basic = per_variant[0];
-        let optimized = per_variant[1];
-        let graph_bytes = dataset.graph.memory_bytes();
-        println!(
-            "{},{:.6},{:.6},{:.6},{:.1}",
-            spec.key,
-            to_gb(basic),
-            to_gb(optimized),
-            to_gb(graph_bytes),
-            basic as f64 / optimized.max(1) as f64
-        );
+    println!("{}", Table3Row::csv_header());
+    for row in table3_rows(&params) {
+        println!("{}", row.to_csv());
         eprintln!(
             "  {:>3}: basic {:>12} B, optimized {:>12} B, graph {:>12} B (x{:.1} reduction)",
-            spec.key,
-            basic,
-            optimized,
-            graph_bytes,
-            basic as f64 / optimized.max(1) as f64
+            row.key,
+            row.basic_bytes,
+            row.optimized_bytes,
+            row.graph_bytes,
+            row.reduction_factor()
         );
     }
 }

@@ -3,10 +3,19 @@
 //! The benchmark harness that regenerates every table and figure of the
 //! ExactSim paper's evaluation (§4) on the synthetic stand-in datasets.
 //!
-//! Each figure/table has a dedicated binary in `src/bin/`; they are thin
-//! wrappers around the sweep machinery in this library. Every binary prints
-//! CSV rows to stdout (one row per measured configuration — the same series
-//! the paper plots) and a human-readable summary to stderr.
+//! Two entry points share the machinery in this library:
+//!
+//! * **`simrank-repro`** (the [`repro`] module) — the one-command
+//!   reproducibility pipeline: `simrank-repro --quick|--full [--only
+//!   fig5,table3]` regenerates the selected figures/tables into `repro/out/`
+//!   (CSV + JSON per target, `SUMMARY.md`, `MANIFEST.json`), computing each
+//!   underlying sweep once and projecting every dependent figure from it.
+//!   This is what CI's `repro-smoke` job runs; REPRODUCING.md at the
+//!   repository root is the operator walkthrough.
+//! * **Standalone binaries** — each figure/table also has a dedicated binary
+//!   in `src/bin/` (thin wrappers over the same sweeps) printing CSV rows to
+//!   stdout (one row per measured configuration — the same series the paper
+//!   plots) and a human-readable summary to stderr.
 //!
 //! ## Environment variables
 //!
@@ -25,11 +34,14 @@
 pub mod ground_truth;
 pub mod output;
 pub mod params;
+pub mod repro;
 pub mod runner;
 pub mod sweep;
+pub mod tables;
 
 pub use ground_truth::{ground_truth_exactsim, ground_truth_power_method, GroundTruth};
 pub use output::{print_rows, SweepRow};
 pub use params::{HarnessParams, SweepSizes};
-pub use runner::{run_figure, DatasetGroup};
+pub use runner::{run_figure, run_figure_with, DatasetGroup};
 pub use sweep::{run_quality_sweep, AlgorithmFamily};
+pub use tables::{table2_rows, table3_rows, Table2Row, Table3Row};

@@ -44,6 +44,46 @@ impl SweepRow {
             self.precision_at_500
         )
     }
+
+    /// Serialises the row as one JSON object (hand-rolled: the offline build
+    /// has no serde), for the machine-readable halves of `repro/out/`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"dataset\":\"{}\",\"algorithm\":\"{}\",\"parameter\":\"{}\",",
+                "\"preprocessing_seconds\":{:.6},\"index_bytes\":{},",
+                "\"query_seconds\":{:.6},\"max_error\":{:e},\"precision_at_500\":{:.4}}}"
+            ),
+            self.dataset,
+            self.algorithm,
+            self.parameter.replace('"', ""),
+            self.preprocessing_seconds,
+            self.index_bytes,
+            self.query_seconds,
+            self.max_error,
+            self.precision_at_500
+        )
+    }
+}
+
+/// Writes `header` plus one line per row to `path`, creating parent
+/// directories as needed. Used by `simrank-repro` for every CSV artifact.
+pub fn write_csv_file(
+    path: &std::path::Path,
+    title: &str,
+    header: &str,
+    lines: &[String],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut body = String::with_capacity(lines.len() * 64 + header.len() + title.len() + 4);
+    body.push_str(&format!("# {title}\n{header}\n"));
+    for line in lines {
+        body.push_str(line);
+        body.push('\n');
+    }
+    std::fs::write(path, body)
 }
 
 /// Prints the header plus every row to stdout and a short summary to stderr.
@@ -115,5 +155,25 @@ mod tests {
     fn print_rows_does_not_panic() {
         print_rows("unit-test", &[sample()]);
         print_rows("empty", &[]);
+    }
+
+    #[test]
+    fn json_row_carries_every_csv_field() {
+        let json = sample().to_json();
+        for field in SweepRow::csv_header().split(',') {
+            assert!(json.contains(&format!("\"{field}\":")), "missing {field}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn write_csv_file_creates_parents_and_content() {
+        let dir = std::env::temp_dir().join(format!("exactsim-output-test-{}", std::process::id()));
+        let path = dir.join("nested/fig0.csv");
+        write_csv_file(&path, "unit", SweepRow::csv_header(), &[sample().to_csv()]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("# unit\n"));
+        assert_eq!(content.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -41,6 +41,38 @@ impl Default for HarnessParams {
 }
 
 impl HarnessParams {
+    /// The CI-sized preset used by `simrank-repro --quick`: stand-ins scaled
+    /// far enough down that every figure's ground truth is computable in
+    /// seconds, one query source per dataset, and a small walk budget. The
+    /// point of the quick run is to prove the *pipeline* end to end (every
+    /// sweep executes, every artifact is written), not to reproduce the
+    /// paper's absolute numbers.
+    pub fn quick_repro() -> Self {
+        HarnessParams {
+            scale_small: 0.06,
+            scale_large: Some(0.002),
+            queries: 1,
+            walk_budget: 300_000,
+            sizes: SweepSizes::Quick,
+            seed: 2020,
+        }
+    }
+
+    /// The paper-faithful preset used by `simrank-repro --full`: small
+    /// stand-ins at the paper's node counts, large stand-ins at their
+    /// registry default scales, the paper's 50 query sources, and the full
+    /// parameter sweeps. Expect hours, as the paper's own evaluation did.
+    pub fn full_repro() -> Self {
+        HarnessParams {
+            scale_small: 1.0,
+            scale_large: None,
+            queries: 50,
+            walk_budget: 20_000_000,
+            sizes: SweepSizes::Full,
+            seed: 2020,
+        }
+    }
+
     /// Reads the parameters from the environment (see the crate docs).
     pub fn from_env() -> Self {
         let mut p = HarnessParams::default();
@@ -150,6 +182,19 @@ mod tests {
         assert!(full.mc_walk_counts().len() >= quick.mc_walk_counts().len());
         assert!(full.parsim_iterations().len() >= quick.parsim_iterations().len());
         assert!(full.index_method_epsilons().len() >= quick.index_method_epsilons().len());
+    }
+
+    #[test]
+    fn repro_presets_bracket_the_default() {
+        let quick = HarnessParams::quick_repro();
+        let full = HarnessParams::full_repro();
+        assert!(quick.scale_small < HarnessParams::default().scale_small);
+        assert!(quick.queries <= full.queries);
+        assert_eq!(quick.sizes, SweepSizes::Quick);
+        assert_eq!(full.sizes, SweepSizes::Full);
+        assert_eq!(full.scale_small, 1.0);
+        // Both presets pin the same seed so runs are comparable.
+        assert_eq!(quick.seed, full.seed);
     }
 
     #[test]

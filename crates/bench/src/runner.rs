@@ -8,7 +8,7 @@ use crate::params::HarnessParams;
 use crate::sweep::{run_quality_sweep, AlgorithmFamily};
 
 /// Which of the paper's two dataset groups a figure uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DatasetGroup {
     /// GQ / HT / WV / HP with Power-Method ground truth (Figures 1–4).
     Small,
@@ -51,10 +51,20 @@ pub fn group_ground_truth(
     }
 }
 
+/// Runs one figure with environment-derived parameters: the behaviour of the
+/// standalone `figN_*` binaries. See [`run_figure_with`] for the
+/// explicitly-parameterised variant the `simrank-repro` runner uses.
+pub fn run_figure(group: DatasetGroup, family: AlgorithmFamily) -> Vec<SweepRow> {
+    run_figure_with(group, family, &HarnessParams::from_env())
+}
+
 /// Runs one figure: for every dataset in the group, generate the stand-in,
 /// compute the ground truth and run the requested sweep.
-pub fn run_figure(group: DatasetGroup, family: AlgorithmFamily) -> Vec<SweepRow> {
-    let params = HarnessParams::from_env();
+pub fn run_figure_with(
+    group: DatasetGroup,
+    family: AlgorithmFamily,
+    params: &HarnessParams,
+) -> Vec<SweepRow> {
     let specs = match group {
         DatasetGroup::Small => small_datasets(),
         DatasetGroup::Large => large_datasets(),
@@ -62,7 +72,7 @@ pub fn run_figure(group: DatasetGroup, family: AlgorithmFamily) -> Vec<SweepRow>
     let mut rows = Vec::new();
     for spec in specs {
         eprintln!("[dataset {}] generating stand-in …", spec.key);
-        let dataset = generate_dataset(spec, &params);
+        let dataset = generate_dataset(spec, params);
         eprintln!(
             "[dataset {}] n = {}, m = {} ({} of paper scale)",
             spec.key,
@@ -76,13 +86,13 @@ pub fn run_figure(group: DatasetGroup, family: AlgorithmFamily) -> Vec<SweepRow>
             spec.key,
             sources.len()
         );
-        let truth = group_ground_truth(group, &dataset, &sources, &params);
+        let truth = group_ground_truth(group, &dataset, &sources, params);
         eprintln!("[dataset {}] ground truth: {}", spec.key, truth.method);
         rows.extend(run_quality_sweep(
             spec.key,
             &dataset.graph,
             &truth,
-            &params,
+            params,
             family,
         ));
     }

@@ -571,19 +571,17 @@ pub fn execute(
             trace::begin();
             let outcome = {
                 let inner = {
-                    let _parse = trace::stage(
-                        "parse",
-                        Some(service.metrics().query_stage(STAGE_PARSE)),
-                    );
+                    let _parse =
+                        trace::stage("parse", Some(service.metrics().query_stage(STAGE_PARSE)));
                     parse_line(line)
                 };
                 match inner {
                     Ok(Some(request)) => execute(service, default_algo, &request),
                     // Canonical lines always re-parse; keep the error paths
                     // total anyway.
-                    Ok(None) => Outcome::Reply(
-                        ProtoError::bad_request("usage: trace <request>").to_json(),
-                    ),
+                    Ok(None) => {
+                        Outcome::Reply(ProtoError::bad_request("usage: trace <request>").to_json())
+                    }
                     Err(e) => Outcome::Reply(e.to_json()),
                 }
             };
@@ -619,6 +617,7 @@ pub fn execute(
             };
             match result {
                 Ok(staged) => {
+                    crate::stats::ServiceStats::bump(&service.raw_stats().updates_staged);
                     let staged = match staged {
                         exactsim_store::Staged::Pending => "pending",
                         exactsim_store::Staged::Cancelled => "cancelled",
@@ -633,7 +632,9 @@ pub fn execute(
             }
         }
         Request::Commit => match service.commit() {
-            Ok(report) => Outcome::Reply(format!(
+            Ok(report) => {
+                crate::stats::ServiceStats::bump(&service.raw_stats().commit_requests);
+                Outcome::Reply(format!(
                 "{{\"op\":\"commit\",\"epoch\":{},\"advanced\":{},\"edges_inserted\":{},\"edges_deleted\":{},\"num_edges\":{},\"build_us\":{}}}",
                 report.epoch,
                 report.advanced(),
@@ -641,7 +642,8 @@ pub fn execute(
                 report.edges_deleted,
                 report.num_edges,
                 report.build_time.as_micros(),
-            )),
+                ))
+            }
             Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
         },
         Request::Save => match service.store().save() {
@@ -656,18 +658,16 @@ pub fn execute(
             }
             Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
         },
-        Request::Query { node, algo } => {
-            match service.query(algo.unwrap_or(default_algo), *node) {
-                Ok(response) => {
-                    let _ser = trace::stage(
-                        "serialize",
-                        Some(service.metrics().query_stage(STAGE_SERIALIZE)),
-                    );
-                    Outcome::Reply(response.to_json(Some(32)))
-                }
-                Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+        Request::Query { node, algo } => match service.query(algo.unwrap_or(default_algo), *node) {
+            Ok(response) => {
+                let _ser = trace::stage(
+                    "serialize",
+                    Some(service.metrics().query_stage(STAGE_SERIALIZE)),
+                );
+                Outcome::Reply(response.to_json(Some(32)))
             }
-        }
+            Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+        },
         Request::TopK { node, k, algo } => {
             match service.top_k(algo.unwrap_or(default_algo), *node, *k) {
                 Ok(response) => {

@@ -46,6 +46,11 @@ pub struct ServiceStats {
     pub(crate) index_builds: AtomicU64,
     pub(crate) errors: AtomicU64,
     pub(crate) epoch_refreshes: AtomicU64,
+    /// `addedge`/`deledge` requests that staged (or cancelled/no-op'd) an
+    /// update — the write half of a scenario's read/write mix.
+    pub(crate) updates_staged: AtomicU64,
+    /// `commit` requests accepted (whether or not they advanced the epoch).
+    pub(crate) commit_requests: AtomicU64,
     pub(crate) connections_accepted: AtomicU64,
     pub(crate) connections_closed: AtomicU64,
     pub(crate) connections_rejected: AtomicU64,
@@ -113,6 +118,8 @@ impl ServiceStats {
         let queries = self.queries.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let dedup_joins = self.dedup_joins.load(Ordering::Relaxed);
+        let connections_accepted = self.connections_accepted.load(Ordering::Relaxed);
+        let connections_rejected = self.connections_rejected.load(Ordering::Relaxed);
         StatsSnapshot {
             epoch,
             shape,
@@ -128,6 +135,8 @@ impl ServiceStats {
             index_builds: self.index_builds.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             epoch_refreshes: self.epoch_refreshes.load(Ordering::Relaxed),
+            updates_staged: self.updates_staged.load(Ordering::Relaxed),
+            commit_requests: self.commit_requests.load(Ordering::Relaxed),
             evictions,
             invalidations,
             cached_entries,
@@ -140,9 +149,14 @@ impl ServiceStats {
             p50: self.latency.quantile(0.50),
             p99: self.latency.quantile(0.99),
             latency_saturated: self.latency.saturated(),
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_accepted,
             connections_closed: self.connections_closed.load(Ordering::Relaxed),
-            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            connections_rejected,
+            shed_rate: if connections_accepted + connections_rejected == 0 {
+                0.0
+            } else {
+                connections_rejected as f64 / (connections_accepted + connections_rejected) as f64
+            },
             net_requests: self.net_requests.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
@@ -182,6 +196,11 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Times the service rebuilt its per-epoch state after a store commit.
     pub epoch_refreshes: u64,
+    /// `addedge`/`deledge` requests that reached the store's staging area
+    /// (including cancels and no-ops) — the write half of a workload mix.
+    pub updates_staged: u64,
+    /// `commit` requests accepted, whether or not each advanced the epoch.
+    pub commit_requests: u64,
     /// Cache entries evicted under capacity pressure.
     pub evictions: u64,
     /// Cache entries swept by epoch-generation invalidations.
@@ -212,6 +231,10 @@ pub struct StatsSnapshot {
     pub connections_closed: u64,
     /// TCP connections turned away because `--max-conns` handlers were busy.
     pub connections_rejected: u64,
+    /// `connections_rejected / (connections_accepted + connections_rejected)`
+    /// — the fraction of offered connections the listener load-shed. Zero
+    /// before any connection attempt (and always zero without a listener).
+    pub shed_rate: f64,
     /// Protocol requests served over TCP connections (a subset of the
     /// activity in `queries`: updates/stats/etc. count here too).
     pub net_requests: u64,
@@ -250,13 +273,14 @@ impl StatsSnapshot {
                 "{{\"epoch\":{},\"shards\":{},\"workers\":{},\"kernel_threads\":{},",
                 "\"queries\":{},\"cache_hits\":{},\"dedup_joins\":{},",
                 "\"computations\":{},\"index_builds\":{},\"errors\":{},",
-                "\"epoch_refreshes\":{},\"evictions\":{},\"invalidations\":{},",
+                "\"epoch_refreshes\":{},\"updates_staged\":{},\"commit_requests\":{},",
+                "\"evictions\":{},\"invalidations\":{},",
                 "\"cached_entries\":{},\"hit_rate\":{:.4},",
                 "\"memory_bytes\":{{\"exactsim\":{},\"prsim\":{},\"mc\":{}}},",
                 "\"p50_us\":{},\"p99_us\":{},",
                 "\"latency_saturated\":{},",
                 "\"connections_accepted\":{},\"connections_closed\":{},",
-                "\"connections_rejected\":{},\"net_requests\":{},",
+                "\"connections_rejected\":{},\"shed_rate\":{:.4},\"net_requests\":{},",
                 "\"bytes_in\":{},\"bytes_out\":{},\"requests_per_conn_p50\":{},",
                 "\"data_dir\":{},\"wal_len\":{},\"last_snapshot_epoch\":{}}}"
             ),
@@ -271,6 +295,8 @@ impl StatsSnapshot {
             self.index_builds,
             self.errors,
             self.epoch_refreshes,
+            self.updates_staged,
+            self.commit_requests,
             self.evictions,
             self.invalidations,
             self.cached_entries,
@@ -284,6 +310,7 @@ impl StatsSnapshot {
             self.connections_accepted,
             self.connections_closed,
             self.connections_rejected,
+            self.shed_rate,
             self.net_requests,
             self.bytes_in,
             self.bytes_out,
@@ -319,6 +346,13 @@ impl fmt::Display for StatsSnapshot {
             self.cached_entries, self.evictions, self.invalidations
         )?;
         writeln!(f, "epoch refreshes:    {}", self.epoch_refreshes)?;
+        if self.updates_staged > 0 || self.commit_requests > 0 {
+            writeln!(
+                f,
+                "writes:             {} updates staged, {} commits",
+                self.updates_staged, self.commit_requests
+            )?;
+        }
         let mem = |v: Option<u64>| match v {
             Some(bytes) => format!("{bytes} B"),
             None => "unbuilt".to_string(),
@@ -334,11 +368,12 @@ impl fmt::Display for StatsSnapshot {
         if self.connections_accepted > 0 || self.connections_rejected > 0 {
             writeln!(
                 f,
-                "tcp connections:    {} accepted, {} live, {} rejected, {} requests",
+                "tcp connections:    {} accepted, {} live, {} rejected ({:.1}% shed), {} requests",
                 self.connections_accepted,
                 self.connections_accepted
                     .saturating_sub(self.connections_closed),
                 self.connections_rejected,
+                self.shed_rate * 100.0,
                 self.net_requests
             )?;
             let per_conn = match self.requests_per_conn_p50 {
@@ -435,9 +470,12 @@ mod tests {
         assert!(json.contains("\"connections_accepted\":5"), "{json}");
         assert!(json.contains("\"connections_rejected\":2"), "{json}");
         assert!(json.contains("\"net_requests\":40"), "{json}");
+        // 2 of 7 offered connections were shed.
+        assert!((snap.shed_rate - 2.0 / 7.0).abs() < 1e-12);
+        assert!(json.contains("\"shed_rate\":0.2857"), "{json}");
         let rendered = snap.to_string();
         assert!(
-            rendered.contains("5 accepted, 2 live, 2 rejected, 40 requests"),
+            rendered.contains("5 accepted, 2 live, 2 rejected (28.6% shed), 40 requests"),
             "{rendered}"
         );
         // A stdin-only server never shows the TCP line.
@@ -480,6 +518,29 @@ mod tests {
         assert!(early
             .to_string()
             .contains("tcp bytes:          0 in, 0 out\n"));
+    }
+
+    #[test]
+    fn write_counters_and_shed_rate_surface_in_json_and_display() {
+        let stats = ServiceStats::new();
+        stats.updates_staged.store(12, Ordering::Relaxed);
+        stats.commit_requests.store(3, Ordering::Relaxed);
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
+        assert_eq!(snap.updates_staged, 12);
+        assert_eq!(snap.commit_requests, 3);
+        let json = snap.to_json();
+        assert!(json.contains("\"updates_staged\":12"), "{json}");
+        assert!(json.contains("\"commit_requests\":3"), "{json}");
+        assert!(
+            snap.to_string()
+                .contains("writes:             12 updates staged, 3 commits"),
+            "{snap}"
+        );
+        // A read-only server omits the Display line and sheds nothing.
+        let quiet = ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], Default::default());
+        assert!(!quiet.to_string().contains("writes:"));
+        assert_eq!(quiet.shed_rate, 0.0);
+        assert!(quiet.to_json().contains("\"shed_rate\":0.0000"));
     }
 
     #[test]

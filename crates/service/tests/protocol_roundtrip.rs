@@ -427,6 +427,12 @@ fn execute_answers_each_command_with_its_wire_shape() {
             assert!(json.contains("\"shards\":1"), "{json}");
             assert!(json.contains("\"workers\":"), "{json}");
             assert!(json.contains("\"kernel_threads\":"), "{json}");
+            // The write path bumped its counters: exactly one addedge and
+            // one commit were executed earlier in this test.
+            assert!(json.contains("\"updates_staged\":1"), "{json}");
+            assert!(json.contains("\"commit_requests\":1"), "{json}");
+            // No listener in this fixture, so nothing was ever shed.
+            assert!(json.contains("\"shed_rate\":0.0000"), "{json}");
         }
         other => panic!("stats -> {other:?}"),
     }
