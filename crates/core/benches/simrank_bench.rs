@@ -2,11 +2,16 @@
 //!
 //! Times every single-source solver on a fixed family of generated graphs
 //! (Erdős–Rényi, stochastic block model, preferential attachment at several
-//! sizes) plus a set of allocation-sensitive kernel microbenches, and emits
+//! sizes), a set of allocation-sensitive kernel microbenches, and a
+//! buffer-pool residency sweep that serves the optimized solver through the
+//! paged storage backend at 25/50/100% page residency, and emits
 //! `BENCH_core.json`. This file is the perf baseline every PR is measured
 //! against: CI runs it with `--quick` and fails if any tracked per-op p50
 //! regresses more than `--max-regression` (default 2.5×) against the
-//! checked-in `bench/baseline_core.json`.
+//! checked-in `bench/baseline_core.json` and `bench/baseline_paged.json`
+//! (`--baseline` is repeatable), or if the paged sweep violates its own
+//! gates: 100%-residency p50 within 1.5× of in-memory, and the 25%-residency
+//! pool completing bit-identically with evictions > 0.
 //!
 //! Run it locally with
 //!
@@ -36,8 +41,10 @@ use exactsim_graph::{DiGraph, NodeId};
 
 /// One measured configuration of `BENCH_core.json`.
 struct Record {
-    /// "query" (per-query latency), "kernel" (per-op latency) or "build"
-    /// (index construction, reported in ms and exempt from regression gates).
+    /// "query" (per-query latency), "kernel" (per-op latency), "build"
+    /// (index construction, reported in ms and exempt from regression gates)
+    /// or "paged" (per-query latency through the buffer-managed page store
+    /// at a fixed pool residency).
     kind: &'static str,
     algo: String,
     graph: String,
@@ -50,6 +57,10 @@ struct Record {
     p99_us: f64,
     mean_us: f64,
     build_ms: f64,
+    /// Buffer-pool capacity the record ran with (0 for in-memory records).
+    pool_pages: usize,
+    /// Pool evictions incurred across all samples (0 for in-memory records).
+    evictions: u64,
 }
 
 impl Record {
@@ -58,7 +69,8 @@ impl Record {
             concat!(
                 "{{\"kind\":\"{}\",\"algo\":\"{}\",\"graph\":\"{}\",\"n\":{},\"m\":{},",
                 "\"eps\":{:e},\"threads\":{},\"samples\":{},\"p50_us\":{:.2},",
-                "\"p99_us\":{:.2},\"mean_us\":{:.2},\"build_ms\":{:.3}}}"
+                "\"p99_us\":{:.2},\"mean_us\":{:.2},\"build_ms\":{:.3},",
+                "\"pool_pages\":{},\"evictions\":{}}}"
             ),
             self.kind,
             self.algo,
@@ -72,6 +84,8 @@ impl Record {
             self.p99_us,
             self.mean_us,
             self.build_ms,
+            self.pool_pages,
+            self.evictions,
         )
     }
 
@@ -197,6 +211,8 @@ fn push_query_record(
         p99_us: summary.p99_us,
         mean_us: summary.mean_us,
         build_ms,
+        pool_pages: 0,
+        evictions: 0,
     });
 }
 
@@ -373,6 +389,8 @@ fn bench_kernels(records: &mut Vec<Record>, bg: &BenchGraph, quick: bool) {
             p99_us: summary.p99_us,
             mean_us: summary.mean_us,
             build_ms: 0.0,
+            pool_pages: 0,
+            evictions: 0,
         });
     };
 
@@ -434,6 +452,139 @@ fn bench_kernels(records: &mut Vec<Record>, bg: &BenchGraph, quick: bool) {
     );
 }
 
+/// Buffer-pool residency sweep on the mid-size graph: images its CSR into a
+/// page file, then serves the same optimized-ExactSim queries through a
+/// [`PagedGraph`] with the buffer pool sized to 25%, 50% and 100% of the
+/// file's page count, next to an in-memory reference over the identical
+/// source rotation (`exactsim_opt_mem`). Emits one `kind:"paged"` record per
+/// configuration, carrying the pool capacity and the evictions incurred.
+///
+/// Returns the paged backend's acceptance-gate failures instead of exiting,
+/// so `main` can still write the full `BENCH_core.json` first:
+///
+/// 1. the fully-resident pool (100%) must answer within 1.5× of the
+///    in-memory p50 — the pool hit path is bookkeeping, not I/O;
+/// 2. the thrashing pool (25%) must have evicted pages — otherwise the sweep
+///    is not exercising replacement at all;
+/// 3. the thrashing pool must return bit-identical scores to the in-memory
+///    solver (the whole point of the `NeighborAccess` split).
+fn bench_paged(records: &mut Vec<Record>, bg: &BenchGraph, quick: bool) -> Vec<String> {
+    use exactsim_store::{BufferPool, PagedGraph, DEFAULT_PAGE_BYTES};
+    use std::sync::Arc;
+
+    let samples = if quick { 9 } else { 25 };
+    let srcs = sources(bg.graph.num_nodes(), samples);
+    let rotation = |srcs: &[NodeId]| {
+        let srcs = srcs.to_vec();
+        let mut i = 0usize;
+        move || {
+            let s = srcs[i % srcs.len()];
+            i += 1;
+            s
+        }
+    };
+    let eps = 1e-3;
+    let config = || ExactSimConfig {
+        simrank: simrank_config(1),
+        epsilon: eps,
+        variant: ExactSimVariant::Optimized,
+        walk_budget: Some(200_000),
+        ..Default::default()
+    };
+    let mut push = |algo: &str, pool_pages: usize, evictions: u64, summary: Summary| {
+        records.push(Record {
+            kind: "paged",
+            algo: algo.to_string(),
+            graph: bg.name.to_string(),
+            n: bg.graph.num_nodes(),
+            m: bg.graph.num_edges(),
+            eps,
+            threads: 1,
+            samples: summary.samples,
+            p50_us: summary.p50_us,
+            p99_us: summary.p99_us,
+            mean_us: summary.mean_us,
+            build_ms: 0.0,
+            pool_pages,
+            evictions,
+        });
+    };
+
+    // In-memory reference with the exact same source rotation, so the paged
+    // records are compared against like work, not the rotated-offset
+    // `exactsim_opt` record above.
+    let mem = ExactSim::new(&bg.graph, config()).expect("exactsim");
+    let mut next = rotation(&srcs);
+    let mem_summary = measure(samples, 1, || {
+        let s = next();
+        std::hint::black_box(mem.query(s).expect("query"));
+    });
+    let mem_p50 = mem_summary.p50_us;
+    push("exactsim_opt_mem", 0, 0, mem_summary);
+
+    let path = std::env::temp_dir().join(format!("simrank-bench-{}.espg", std::process::id()));
+    PagedGraph::build(&path, &bg.graph, 0, DEFAULT_PAGE_BYTES).expect("page-file image");
+    let total_pages = PagedGraph::open(&path, Arc::new(BufferPool::new(2)))
+        .expect("page file")
+        .num_pages();
+
+    let mut failures = Vec::new();
+    for (tag, pct) in [("r25", 25usize), ("r50", 50), ("r100", 100)] {
+        // Round up and floor at 2 frames (single-threaded queries pin at
+        // most one page at a time; 2 keeps the clock hand meaningful).
+        let cap = (total_pages * pct).div_ceil(100).max(2);
+        let pool = Arc::new(BufferPool::new(cap));
+        let paged = PagedGraph::open(&path, Arc::clone(&pool)).expect("page file");
+        let solver = ExactSim::new(&paged, config()).expect("exactsim paged");
+        let mut next = rotation(&srcs);
+        let summary = measure(samples, 1, || {
+            let s = next();
+            std::hint::black_box(solver.query(s).expect("query"));
+        });
+        let stats = pool.stats();
+        eprintln!(
+            "[simrank-bench] paged {tag}: {cap}/{total_pages} pages, p50 {:.1}µs \
+             (mem {mem_p50:.1}µs), {} evictions, {:.1}% hit rate",
+            summary.p50_us,
+            stats.evictions,
+            stats.hit_rate() * 100.0
+        );
+        match tag {
+            // Same 100µs noise floor as the baseline gate: the ratio is
+            // meant to catch a hit path that grew I/O or lock convoys, not
+            // scheduler jitter on sub-100µs queries.
+            "r100" if summary.p50_us > mem_p50.max(100.0) * 1.5 => failures.push(format!(
+                "paged/{}/r100: p50 {:.1}µs exceeds 1.5x the in-memory {:.1}µs",
+                bg.name, summary.p50_us, mem_p50
+            )),
+            "r25" if stats.evictions == 0 => failures.push(format!(
+                "paged/{}/r25: pool of {cap}/{total_pages} pages incurred no evictions",
+                bg.name
+            )),
+            "r25" => {
+                let s = srcs[0];
+                let a = mem.query(s).expect("query").scores;
+                let b = solver.query(s).expect("query").scores;
+                if a != b {
+                    failures.push(format!(
+                        "paged/{}/r25: scores for source {s} diverge from in-memory",
+                        bg.name
+                    ));
+                }
+            }
+            _ => {}
+        }
+        push(
+            &format!("exactsim_opt_{tag}"),
+            cap,
+            stats.evictions,
+            summary,
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+    failures
+}
+
 /// Minimal extraction of `"key":value` number pairs from the baseline JSON —
 /// enough to read back the file this binary writes (no serde offline).
 fn parse_baseline(text: &str) -> Vec<(String, f64)> {
@@ -486,7 +637,7 @@ fn resolve_path(path: &str) -> std::path::PathBuf {
 fn main() {
     let mut quick = false;
     let mut out_path = String::from("BENCH_core.json");
-    let mut baseline: Option<String> = None;
+    let mut baselines: Vec<String> = Vec::new();
     let mut max_regression = 2.5f64;
     let mut threads = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
     let mut args = std::env::args().skip(1);
@@ -494,7 +645,9 @@ fn main() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
-            "--baseline" => baseline = Some(args.next().expect("--baseline needs a path")),
+            // Repeatable: CI gates one run against both the core and the
+            // paged baselines.
+            "--baseline" => baselines.push(args.next().expect("--baseline needs a path")),
             "--max-regression" => {
                 max_regression = args
                     .next()
@@ -515,6 +668,7 @@ fn main() {
     }
 
     let mut records = Vec::new();
+    let mut paged_failures = Vec::new();
     for bg in &graphs(quick) {
         eprintln!(
             "[simrank-bench] {} (n={}, m={})",
@@ -525,6 +679,7 @@ fn main() {
         bench_algorithms(&mut records, bg, quick, threads);
         if bg.mid_size {
             bench_kernels(&mut records, bg, quick);
+            paged_failures = bench_paged(&mut records, bg, quick);
         }
     }
 
@@ -553,7 +708,14 @@ fn main() {
         );
     }
 
-    if let Some(path) = baseline {
+    if !paged_failures.is_empty() {
+        for f in &paged_failures {
+            eprintln!("[simrank-bench] PAGED GATE {f}");
+        }
+        std::process::exit(1);
+    }
+
+    for path in baselines {
         let path = resolve_path(&path);
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", path.display()));
@@ -582,7 +744,10 @@ fn main() {
                 ));
             }
         }
-        eprintln!("[simrank-bench] baseline check: {compared} records compared");
+        eprintln!(
+            "[simrank-bench] baseline check vs {}: {compared} records compared",
+            path.display()
+        );
         if compared == 0 {
             eprintln!("[simrank-bench] FAIL: no baseline records matched (stale baseline?)");
             std::process::exit(1);

@@ -24,7 +24,7 @@
 //!   validation and ablations.
 
 use exactsim_graph::linalg::{p_multiply_sparse_into, SparseVec};
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 use rand::rngs::SmallRng;
 
 use crate::parallel::split_ranges;
@@ -106,8 +106,8 @@ pub struct LocalNodeStats {
 /// from `node` and returning the fraction of pairs that never meet.
 ///
 /// The result is clamped to the feasible interval `[1 − c, 1]`.
-pub fn estimate_bernoulli(
-    graph: &DiGraph,
+pub fn estimate_bernoulli<G: NeighborAccess>(
+    graph: &G,
     node: NodeId,
     samples: u64,
     sqrt_c: f64,
@@ -163,8 +163,8 @@ pub fn estimate_bernoulli(
 /// verbatim port of the old code) while performing no per-node allocation in
 /// steady state.
 #[allow(clippy::too_many_arguments)]
-pub fn estimate_local_deterministic(
-    graph: &DiGraph,
+pub fn estimate_local_deterministic<G: NeighborAccess>(
+    graph: &G,
     node: NodeId,
     samples: u64,
     sqrt_c: f64,
@@ -211,7 +211,7 @@ pub fn estimate_local_deterministic(
     let mut level = 0usize;
     // Cost model: extending a distribution by one level costs Σ din(j) over
     // its current support.
-    fn extend_cost(v: &SparseVec, graph: &DiGraph) -> u64 {
+    fn extend_cost<G: NeighborAccess>(v: &SparseVec, graph: &G) -> u64 {
         v.iter().map(|(j, _)| graph.in_degree(j) as u64).sum()
     }
 
@@ -327,8 +327,8 @@ pub fn estimate_local_deterministic(
 /// steps without the stopping coin; if they meet during the forced phase (or
 /// either gets stuck) the trial contributes 0. Otherwise both continue as
 /// ordinary √c-walks and the trial contributes 1 iff they eventually meet.
-fn sample_tail_pair(
-    graph: &DiGraph,
+fn sample_tail_pair<G: NeighborAccess>(
+    graph: &G,
     start: NodeId,
     forced: usize,
     sqrt_c: f64,
@@ -382,8 +382,8 @@ struct ShardTallies {
 
 /// One shard of the Bernoulli estimation: fills `values[k - range.start]`
 /// for every `k` in `range` with a positive allocation.
-fn bernoulli_shard(
-    graph: &DiGraph,
+fn bernoulli_shard<G: NeighborAccess>(
+    graph: &G,
     allocation: &[u64],
     range: std::ops::Range<usize>,
     sqrt_c: f64,
@@ -417,8 +417,8 @@ fn bernoulli_shard(
 
 /// One shard of the Algorithm 3 estimation.
 #[allow(clippy::too_many_arguments)]
-fn local_deterministic_shard(
-    graph: &DiGraph,
+fn local_deterministic_shard<G: NeighborAccess>(
+    graph: &G,
     allocation: &[u64],
     range: std::ops::Range<usize>,
     sqrt_c: f64,
@@ -463,8 +463,8 @@ fn local_deterministic_shard(
 /// Estimates `D̂(k,k)` for every node with a positive sample allocation,
 /// allocating its own per-shard scratches (convenience wrapper around
 /// [`estimate_diagonal_with`] for index-build-time callers).
-pub fn estimate_diagonal(
-    graph: &DiGraph,
+pub fn estimate_diagonal<G: NeighborAccess>(
+    graph: &G,
     allocation: &[u64],
     estimator: &DiagonalEstimator,
     sqrt_c: f64,
@@ -496,8 +496,8 @@ pub fn estimate_diagonal(
 /// thread count** (and independent of call order). `scratches` is grown to
 /// the shard count and reused across calls.
 #[allow(clippy::too_many_arguments)]
-pub fn estimate_diagonal_with(
-    graph: &DiGraph,
+pub fn estimate_diagonal_with<G: NeighborAccess>(
+    graph: &G,
     allocation: &[u64],
     estimator: &DiagonalEstimator,
     sqrt_c: f64,

@@ -35,10 +35,8 @@ mod result;
 
 pub use result::{ExactSimResult, ExactSimStats};
 
-use std::borrow::Borrow;
-
 use exactsim_graph::linalg::SparseVec;
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::config::SimRankConfig;
 use crate::diagonal::{estimate_diagonal_with, DiagonalEstimator, LocalExploreCaps};
@@ -151,27 +149,29 @@ impl ExactSimConfig {
 /// [`ExactSim::query`] call is independent (ExactSim is index-free — the
 /// paper classifies it, like ParSim, as requiring no preprocessing).
 ///
-/// Generic over the graph handle `G` so the solver can either borrow the
-/// graph (`ExactSim<&DiGraph>`, the usual library usage) or share ownership
-/// of it (`ExactSim<Arc<DiGraph>>`, which is `'static + Send + Sync` and what
-/// the `exactsim-service` query engine holds behind trait objects).
+/// Generic over the graph backend `G: NeighborAccess`, so the solver can
+/// borrow an in-memory graph (`ExactSim<&DiGraph>`, the usual library
+/// usage), share ownership of one (`ExactSim<Arc<DiGraph>>`, `'static +
+/// Send + Sync`, what the `exactsim-service` query engine holds behind
+/// trait objects), or stream adjacency from a buffer-managed page store
+/// (`exactsim-store`'s `GraphHandle`).
 ///
 /// The solver owns a [`ScratchPool`]: concurrent queries each check out a
 /// reusable [`Scratch`] workspace, so steady-state query traffic performs no
 /// accumulator allocation. Callers that manage their own workspaces (the
 /// benchmark harness, batch drivers) can use [`ExactSim::query_with`].
 #[derive(Clone, Debug)]
-pub struct ExactSim<G: Borrow<DiGraph>> {
+pub struct ExactSim<G: NeighborAccess> {
     graph: G,
     config: ExactSimConfig,
     pool: ScratchPool,
 }
 
-impl<G: Borrow<DiGraph>> ExactSim<G> {
+impl<G: NeighborAccess> ExactSim<G> {
     /// Creates a solver for `graph` with the given configuration.
     pub fn new(graph: G, config: ExactSimConfig) -> Result<Self, SimRankError> {
         config.validate()?;
-        let n = graph.borrow().num_nodes();
+        let n = graph.num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
@@ -219,7 +219,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
         source: NodeId,
         scratch: &mut Scratch,
     ) -> Result<ExactSimResult, SimRankError> {
-        let n = self.graph.borrow().num_nodes();
+        let n = self.graph.num_nodes();
         if scratch.num_nodes() != n {
             return Err(SimRankError::InvalidParameter {
                 name: "scratch",
@@ -245,7 +245,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
     /// `R = 6·ln n / ((1−√c)⁴·ε²)` for the configured ε (before any budget
     /// capping and before the Lemma 3 `‖π_i‖²` scaling).
     pub fn theoretical_sample_count(&self) -> f64 {
-        let n = self.graph.borrow().num_nodes().max(2) as f64;
+        let n = self.graph.num_nodes().max(2) as f64;
         let sqrt_c = self.config.simrank.sqrt_decay();
         let eps = self.effective_epsilon();
         6.0 * n.ln() / ((1.0 - sqrt_c).powi(4) * eps * eps)
@@ -299,7 +299,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
         source: NodeId,
         scratch: &mut Scratch,
     ) -> Result<ExactSimResult, SimRankError> {
-        let n = self.graph.borrow().num_nodes();
+        let n = self.graph.num_nodes();
         let cfg = &self.config.simrank;
         let sqrt_c = cfg.sqrt_decay();
         let eps = self.effective_epsilon();
@@ -315,7 +315,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
 
         // Lines 2–5: ℓ-hop PPR vectors and their aggregate.
         dense_hop_vectors_into(
-            self.graph.borrow(),
+            &self.graph,
             source,
             sqrt_c,
             levels,
@@ -339,7 +339,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
         let (requested, actual) = self.apply_budget(allocation);
         let estimator = self.diagonal_estimator();
         let diag = estimate_diagonal_with(
-            self.graph.borrow(),
+            &self.graph,
             allocation,
             &estimator,
             sqrt_c,
@@ -354,7 +354,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
 
         // Lines 9–12: the Linearization recurrence.
         let scores = accumulate_dense(
-            self.graph.borrow(),
+            &self.graph,
             &hops.hops,
             &diag.values,
             sqrt_c,
@@ -385,7 +385,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
         source: NodeId,
         scratch: &mut Scratch,
     ) -> Result<ExactSimResult, SimRankError> {
-        let n = self.graph.borrow().num_nodes();
+        let n = self.graph.num_nodes();
         let cfg = &self.config.simrank;
         let sqrt_c = cfg.sqrt_decay();
         let eps = self.effective_epsilon();
@@ -408,7 +408,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
             .prune_threshold_override
             .unwrap_or((1.0 - sqrt_c).powi(2) * eps);
         sparse_hop_vectors_into(
-            self.graph.borrow(),
+            &self.graph,
             source,
             sqrt_c,
             levels,
@@ -438,7 +438,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
         let tail_skip = (1.0 - sqrt_c).powi(2) * eps / 4.0;
         let estimator = self.diagonal_estimator();
         let diag = estimate_diagonal_with(
-            self.graph.borrow(),
+            &self.graph,
             allocation,
             &estimator,
             sqrt_c,
@@ -452,7 +452,7 @@ impl<G: Borrow<DiGraph>> ExactSim<G> {
             aux_memory_bytes(hops.memory_bytes(), diag.values.len(), allocation.len(), n);
 
         let scores = accumulate_sparse(
-            self.graph.borrow(),
+            &self.graph,
             &hops.hops,
             &diag.values,
             sqrt_c,
@@ -515,8 +515,8 @@ fn aux_memory_bytes(
 /// Only the returned score column is allocated; the ping-pong temporary is
 /// the caller-owned `tmp`, and the `Pᵀ` multiplies shard over `threads`
 /// workers (bit-identical for any thread count).
-pub(crate) fn accumulate_dense(
-    graph: &DiGraph,
+pub(crate) fn accumulate_dense<G: NeighborAccess>(
+    graph: &G,
     hops: &[Vec<f64>],
     diagonal: &[f64],
     sqrt_c: f64,
@@ -551,8 +551,8 @@ pub(crate) fn accumulate_dense(
 
 /// Same recurrence with sparse hop vectors (the accumulator itself stays
 /// dense: after a few applications of `Pᵀ` it is dense anyway).
-pub(crate) fn accumulate_sparse(
-    graph: &DiGraph,
+pub(crate) fn accumulate_sparse<G: NeighborAccess>(
+    graph: &G,
     hops: &[SparseVec],
     diagonal: &[f64],
     sqrt_c: f64,

@@ -9,6 +9,7 @@ use super::*;
 use crate::metrics::max_error;
 use crate::power_method::{PowerMethod, PowerMethodConfig};
 use exactsim_graph::generators::{barabasi_albert, complete, cycle, grid, star};
+use exactsim_graph::DiGraph;
 
 fn ground_truth(graph: &DiGraph) -> PowerMethod {
     PowerMethod::compute(graph, PowerMethodConfig::default()).unwrap()

@@ -37,8 +37,10 @@
 //! | [`counters`] | process-global kernel counters (scratch reuse, iterations, walks) | engineering: observability without dependencies |
 //! | [`topk`], [`metrics`], [`pooling`] | top-k extraction, MaxError / Precision@k, pooling | evaluation methodology |
 //!
-//! Every solver is generic over its graph handle (`&DiGraph` for borrowing
-//! library use, `Arc<DiGraph>` for `'static + Send + Sync` sharing), and
+//! Every solver is generic over its graph backend
+//! (`G: exactsim_graph::NeighborAccess` — `&DiGraph` for borrowing library
+//! use, `Arc<DiGraph>` for `'static + Send + Sync` sharing, or a paged
+//! buffer-pool handle from `exactsim-store` for out-of-core graphs), and
 //! [`suite`] wraps them behind the uniform [`suite::SingleSourceAlgorithm`]
 //! trait. The workspace's `exactsim-service` crate builds on exactly that: a
 //! concurrent query-serving engine (sharded LRU result cache, in-flight

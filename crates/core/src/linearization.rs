@@ -12,9 +12,7 @@
 //! vertical line in the paper's index-size plots, Figure 4): queries are
 //! deterministic once `D̂` is built.
 
-use std::borrow::Borrow;
-
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::config::SimRankConfig;
 use crate::diagonal::{estimate_diagonal, DiagonalEstimate, DiagonalEstimator};
@@ -50,10 +48,10 @@ impl Default for LinearizationConfig {
 /// The Linearization solver: `build` runs the `O(n·log n/ε²)` preprocessing,
 /// `query` answers single-source queries deterministically.
 ///
-/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
-/// every solver in this crate — see [`crate::exactsim::ExactSim`].
+/// Generic over the graph backend `G: NeighborAccess`, like every solver
+/// in this crate — see [`crate::exactsim::ExactSim`].
 #[derive(Clone, Debug)]
-pub struct Linearization<G: Borrow<DiGraph>> {
+pub struct Linearization<G: NeighborAccess> {
     graph: G,
     config: LinearizationConfig,
     diagonal: Vec<f64>,
@@ -61,7 +59,7 @@ pub struct Linearization<G: Borrow<DiGraph>> {
     pool: ScratchPool,
 }
 
-impl<G: Borrow<DiGraph>> Linearization<G> {
+impl<G: NeighborAccess> Linearization<G> {
     /// Runs the preprocessing phase (Monte-Carlo estimation of `D̂`).
     pub fn build(graph: G, config: LinearizationConfig) -> Result<Self, SimRankError> {
         config.simrank.validate()?;
@@ -71,7 +69,7 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
                 message: format!("epsilon must be in (0, 1), got {}", config.epsilon),
             });
         }
-        let n = graph.borrow().num_nodes();
+        let n = graph.num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
@@ -85,7 +83,7 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
             }
         }
         let estimate: DiagonalEstimate = estimate_diagonal(
-            graph.borrow(),
+            &graph,
             &allocation,
             &DiagonalEstimator::Bernoulli,
             config.simrank.sqrt_decay(),
@@ -125,7 +123,7 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
 
     /// Answers a single-source query using the precomputed `D̂`.
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.borrow().num_nodes();
+        let n = self.graph.num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -137,7 +135,7 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
         let levels = cfg.iterations_for_epsilon(self.config.epsilon);
         let mut scratch = self.pool.checkout();
         dense_hop_vectors_into(
-            self.graph.borrow(),
+            &self.graph,
             source,
             sqrt_c,
             levels,
@@ -147,7 +145,7 @@ impl<G: Borrow<DiGraph>> Linearization<G> {
             &mut scratch.dense_hops,
         );
         let scores = accumulate_dense(
-            self.graph.borrow(),
+            &self.graph,
             &scratch.dense_hops.hops,
             &self.diagonal,
             sqrt_c,

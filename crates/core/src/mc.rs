@@ -9,9 +9,7 @@
 //! calls out; the index (all stored walks) is also by far the largest of the
 //! compared methods (Figure 4/8).
 
-use std::borrow::Borrow;
-
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::config::SimRankConfig;
 use crate::error::SimRankError;
@@ -64,21 +62,22 @@ impl MonteCarloConfig {
 
 /// The MC index: `walks_per_node` stored √c-walks from every node.
 ///
-/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
-/// every solver in this crate — see [`crate::exactsim::ExactSim`].
+/// Generic over the graph backend `G: NeighborAccess` (`&DiGraph`,
+/// `Arc<DiGraph>`, or a paged store handle), like every solver in this
+/// crate — see [`crate::exactsim::ExactSim`].
 #[derive(Clone, Debug)]
-pub struct MonteCarlo<G: Borrow<DiGraph>> {
+pub struct MonteCarlo<G: NeighborAccess> {
     graph: G,
     config: MonteCarloConfig,
     /// `walks[v * r + x]` is the x-th stored walk from node `v`.
     walks: Vec<Walk>,
 }
 
-impl<G: Borrow<DiGraph>> MonteCarlo<G> {
+impl<G: NeighborAccess> MonteCarlo<G> {
     /// Runs the preprocessing phase: samples and stores all walks.
     pub fn build(graph: G, config: MonteCarloConfig) -> Result<Self, SimRankError> {
         config.validate()?;
-        let g = graph.borrow();
+        let g = &graph;
         let n = g.num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
@@ -152,7 +151,7 @@ impl<G: Borrow<DiGraph>> MonteCarlo<G> {
     /// each shard writes a disjoint slice of the output and the result is
     /// bit-identical for any thread count.
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.borrow().num_nodes();
+        let n = self.graph.num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -195,6 +194,7 @@ mod tests {
     use crate::metrics::max_error;
     use crate::power_method::{PowerMethod, PowerMethodConfig};
     use exactsim_graph::generators::{barabasi_albert, complete, cycle, star};
+    use exactsim_graph::DiGraph;
 
     fn build(graph: &DiGraph, walks_per_node: usize) -> MonteCarlo<&DiGraph> {
         MonteCarlo::build(

@@ -87,8 +87,8 @@ pub(crate) const MIN_PARALLEL_EDGES: usize = 200_000;
 /// sequential kernel, the result is **bit-identical for any thread count**.
 /// Graphs under `MIN_PARALLEL_EDGES` (200k edges) stay sequential (spawn cost would
 /// exceed the multiply).
-pub fn p_multiply_threaded(
-    graph: &exactsim_graph::DiGraph,
+pub fn p_multiply_threaded<G: exactsim_graph::NeighborAccess>(
+    graph: &G,
     x: &[f64],
     y: &mut [f64],
     threads: usize,
@@ -105,8 +105,8 @@ pub fn p_multiply_threaded(
 
 /// Dense `y ← Pᵀ·x` across `threads` workers; same determinism contract and
 /// small-graph fallback as [`p_multiply_threaded`].
-pub fn pt_multiply_threaded(
-    graph: &exactsim_graph::DiGraph,
+pub fn pt_multiply_threaded<G: exactsim_graph::NeighborAccess>(
+    graph: &G,
     x: &[f64],
     y: &mut [f64],
     threads: usize,

@@ -9,9 +9,7 @@
 //! Figures 1 and 5 show its error flattening out. The number of iterations
 //! `L` is ParSim's only parameter.
 
-use std::borrow::Borrow;
-
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::config::SimRankConfig;
 use crate::error::SimRankError;
@@ -40,10 +38,10 @@ impl Default for ParSimConfig {
 
 /// The ParSim single-source solver (index-free, deterministic, biased).
 ///
-/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
-/// every solver in this crate — see [`crate::exactsim::ExactSim`].
+/// Generic over the graph backend `G: NeighborAccess`, like every solver
+/// in this crate — see [`crate::exactsim::ExactSim`].
 #[derive(Clone, Debug)]
-pub struct ParSim<G: Borrow<DiGraph>> {
+pub struct ParSim<G: NeighborAccess> {
     graph: G,
     config: ParSimConfig,
     /// The constant `(1 − c)·I` diagonal, materialised once.
@@ -51,7 +49,7 @@ pub struct ParSim<G: Borrow<DiGraph>> {
     pool: ScratchPool,
 }
 
-impl<G: Borrow<DiGraph>> ParSim<G> {
+impl<G: NeighborAccess> ParSim<G> {
     /// Creates a solver for `graph`.
     pub fn new(graph: G, config: ParSimConfig) -> Result<Self, SimRankError> {
         config.simrank.validate()?;
@@ -61,7 +59,7 @@ impl<G: Borrow<DiGraph>> ParSim<G> {
                 message: "ParSim needs at least one iteration".into(),
             });
         }
-        let n = graph.borrow().num_nodes();
+        let n = graph.num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
         }
@@ -81,7 +79,7 @@ impl<G: Borrow<DiGraph>> ParSim<G> {
 
     /// Answers a single-source query; the result carries the ParSim bias.
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.borrow().num_nodes();
+        let n = self.graph.num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -92,7 +90,7 @@ impl<G: Borrow<DiGraph>> ParSim<G> {
         let sqrt_c = cfg.sqrt_decay();
         let mut scratch = self.pool.checkout();
         dense_hop_vectors_into(
-            self.graph.borrow(),
+            &self.graph,
             source,
             sqrt_c,
             self.config.iterations,
@@ -102,7 +100,7 @@ impl<G: Borrow<DiGraph>> ParSim<G> {
             &mut scratch.dense_hops,
         );
         let mut scores = accumulate_dense(
-            self.graph.borrow(),
+            &self.graph,
             &scratch.dense_hops.hops,
             &self.diagonal,
             sqrt_c,

@@ -11,7 +11,7 @@
 //! whole single-source evaluation), which this module lets the benchmark
 //! harness demonstrate against the true exact results.
 
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::config::SimRankConfig;
 use crate::error::SimRankError;
@@ -59,8 +59,8 @@ impl Default for PoolingConfig {
 ///
 /// `submissions[a]` is algorithm `a`'s claimed top-k node list (all lists
 /// should have the same length `k`, but shorter lists are tolerated).
-pub fn evaluate_pool(
-    graph: &DiGraph,
+pub fn evaluate_pool<G: NeighborAccess>(
+    graph: &G,
     source: NodeId,
     submissions: &[Vec<NodeId>],
     k: usize,
@@ -153,8 +153,8 @@ pub fn evaluate_pool(
 
 /// One Monte-Carlo trial for `S(source, candidate)`: do fresh √c-walks from
 /// the two nodes meet?
-fn pair_meets(
-    graph: &DiGraph,
+fn pair_meets<G: NeighborAccess>(
+    graph: &G,
     a: NodeId,
     b: NodeId,
     sqrt_c: f64,
@@ -182,8 +182,8 @@ fn pair_meets(
 
 /// Convenience wrapper matching the paper's usage: returns only the per-
 /// algorithm precision values.
-pub fn pool_precisions(
-    graph: &DiGraph,
+pub fn pool_precisions<G: NeighborAccess>(
+    graph: &G,
     source: NodeId,
     submissions: &[Vec<NodeId>],
     k: usize,

@@ -13,7 +13,7 @@
 //! walk from `v_i` can get stuck.
 
 use exactsim_graph::linalg::{p_multiply_sparse_into, SparseVec, Workspace};
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::parallel::p_multiply_threaded;
 
@@ -45,8 +45,8 @@ impl DenseHopVectors {
 }
 
 /// Computes `π^ℓ_i` for `ℓ = 0..=levels` densely (Algorithm 1, lines 2–5).
-pub fn dense_hop_vectors(
-    graph: &DiGraph,
+pub fn dense_hop_vectors<G: NeighborAccess>(
+    graph: &G,
     source: NodeId,
     sqrt_c: f64,
     levels: usize,
@@ -65,8 +65,8 @@ pub fn dense_hop_vectors(
 /// multiplies are sharded over `threads` workers (bit-identical for any
 /// thread count — see [`crate::parallel::p_multiply_threaded`]).
 #[allow(clippy::too_many_arguments)]
-pub fn dense_hop_vectors_into(
-    graph: &DiGraph,
+pub fn dense_hop_vectors_into<G: NeighborAccess>(
+    graph: &G,
     source: NodeId,
     sqrt_c: f64,
     levels: usize,
@@ -153,8 +153,8 @@ impl SparseHopVectors {
 /// Computes pruned sparse ℓ-hop vectors: every entry of every `π^ℓ_i` below
 /// `threshold` is dropped right after it is produced, so intermediate vectors
 /// never grow beyond `O(1/threshold)` entries.
-pub fn sparse_hop_vectors(
-    graph: &DiGraph,
+pub fn sparse_hop_vectors<G: NeighborAccess>(
+    graph: &G,
     source: NodeId,
     sqrt_c: f64,
     levels: usize,
@@ -184,8 +184,8 @@ pub fn sparse_hop_vectors(
 /// `out`, the two ping-pong walk buffers, and the aggregate entry buffer are
 /// all reused across calls, so a steady-state query allocates nothing here.
 #[allow(clippy::too_many_arguments)]
-pub fn sparse_hop_vectors_into(
-    graph: &DiGraph,
+pub fn sparse_hop_vectors_into<G: NeighborAccess>(
+    graph: &G,
     source: NodeId,
     sqrt_c: f64,
     levels: usize,

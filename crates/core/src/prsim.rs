@@ -24,10 +24,8 @@
 //! * query error tracks ε, and queries are fast because they only touch the
 //!   index entries the source's hop vectors overlap with.
 
-use std::borrow::Borrow;
-
 use exactsim_graph::linalg::Workspace;
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::config::SimRankConfig;
 use crate::diagonal::{estimate_diagonal, DiagonalEstimator};
@@ -89,10 +87,10 @@ struct IndexEntry {
 
 /// The PRSim index.
 ///
-/// Generic over the graph handle `G` (`&DiGraph` or `Arc<DiGraph>`), like
-/// every solver in this crate — see [`crate::exactsim::ExactSim`].
+/// Generic over the graph backend `G: NeighborAccess`, like every solver
+/// in this crate — see [`crate::exactsim::ExactSim`].
 #[derive(Clone, Debug)]
-pub struct PrSim<G: Borrow<DiGraph>> {
+pub struct PrSim<G: NeighborAccess> {
     graph: G,
     config: PrSimConfig,
     levels: usize,
@@ -105,11 +103,11 @@ pub struct PrSim<G: Borrow<DiGraph>> {
     pool: ScratchPool,
 }
 
-impl<G: Borrow<DiGraph>> PrSim<G> {
+impl<G: NeighborAccess> PrSim<G> {
     /// Builds the index: inverted pruned hop columns plus the `D̂` estimate.
     pub fn build(graph: G, config: PrSimConfig) -> Result<Self, SimRankError> {
         config.validate()?;
-        let g = graph.borrow();
+        let g = &graph;
         let n = g.num_nodes();
         if n == 0 {
             return Err(SimRankError::EmptyGraph);
@@ -195,7 +193,7 @@ impl<G: Borrow<DiGraph>> PrSim<G> {
     /// Answers a single-source query by combining the source's hop vectors
     /// with the indexed columns (eq. 7).
     pub fn query(&self, source: NodeId) -> Result<Vec<f64>, SimRankError> {
-        let n = self.graph.borrow().num_nodes();
+        let n = self.graph.num_nodes();
         if source as usize >= n {
             return Err(SimRankError::SourceOutOfRange {
                 source,
@@ -209,7 +207,7 @@ impl<G: Borrow<DiGraph>> PrSim<G> {
         // the pooled scratch makes repeated queries allocation-free here.
         let mut scratch = self.pool.checkout();
         sparse_hop_vectors_into(
-            self.graph.borrow(),
+            &self.graph,
             source,
             sqrt_c,
             self.levels,
@@ -246,8 +244,8 @@ impl<G: Borrow<DiGraph>> PrSim<G> {
 /// running the pruned hop-vector computation from every node. Returns `None`
 /// as soon as `entry_cap` would be exceeded (the caller then retries with a
 /// coarser pruning threshold).
-fn build_columns(
-    graph: &DiGraph,
+fn build_columns<G: NeighborAccess>(
+    graph: &G,
     sqrt_c: f64,
     levels: usize,
     prune: f64,

@@ -6,10 +6,9 @@
 //! algorithm behind [`SingleSourceAlgorithm`] so the harness (and the
 //! comparison example) can treat them interchangeably.
 
-use std::borrow::Borrow;
 use std::time::{Duration, Instant};
 
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 
 use crate::error::SimRankError;
 use crate::exactsim::{ExactSim, ExactSimConfig};
@@ -61,11 +60,11 @@ where
 }
 
 /// [`ExactSim`] behind the uniform interface.
-pub struct ExactSimAlgorithm<G: Borrow<DiGraph>> {
+pub struct ExactSimAlgorithm<G: NeighborAccess> {
     solver: ExactSim<G>,
 }
 
-impl<G: Borrow<DiGraph>> ExactSimAlgorithm<G> {
+impl<G: NeighborAccess> ExactSimAlgorithm<G> {
     /// Wraps an ExactSim configuration (index-free, so construction is cheap).
     pub fn new(graph: G, config: ExactSimConfig) -> Result<Self, SimRankError> {
         Ok(ExactSimAlgorithm {
@@ -74,7 +73,7 @@ impl<G: Borrow<DiGraph>> ExactSimAlgorithm<G> {
     }
 }
 
-impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for ExactSimAlgorithm<G> {
+impl<G: NeighborAccess> SingleSourceAlgorithm for ExactSimAlgorithm<G> {
     fn name(&self) -> &'static str {
         "ExactSim"
     }
@@ -85,11 +84,11 @@ impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for ExactSimAlgorithm<G> {
 }
 
 /// [`ParSim`] behind the uniform interface.
-pub struct ParSimAlgorithm<G: Borrow<DiGraph>> {
+pub struct ParSimAlgorithm<G: NeighborAccess> {
     solver: ParSim<G>,
 }
 
-impl<G: Borrow<DiGraph>> ParSimAlgorithm<G> {
+impl<G: NeighborAccess> ParSimAlgorithm<G> {
     /// Wraps a ParSim configuration (index-free).
     pub fn new(graph: G, config: ParSimConfig) -> Result<Self, SimRankError> {
         Ok(ParSimAlgorithm {
@@ -98,7 +97,7 @@ impl<G: Borrow<DiGraph>> ParSimAlgorithm<G> {
     }
 }
 
-impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for ParSimAlgorithm<G> {
+impl<G: NeighborAccess> SingleSourceAlgorithm for ParSimAlgorithm<G> {
     fn name(&self) -> &'static str {
         "ParSim"
     }
@@ -109,12 +108,12 @@ impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for ParSimAlgorithm<G> {
 }
 
 /// [`MonteCarlo`] behind the uniform interface (index-based).
-pub struct MonteCarloAlgorithm<G: Borrow<DiGraph>> {
+pub struct MonteCarloAlgorithm<G: NeighborAccess> {
     index: MonteCarlo<G>,
     preprocessing: Duration,
 }
 
-impl<G: Borrow<DiGraph>> MonteCarloAlgorithm<G> {
+impl<G: NeighborAccess> MonteCarloAlgorithm<G> {
     /// Builds the walk index, recording the preprocessing time.
     pub fn build(graph: G, config: MonteCarloConfig) -> Result<Self, SimRankError> {
         let start = Instant::now();
@@ -126,7 +125,7 @@ impl<G: Borrow<DiGraph>> MonteCarloAlgorithm<G> {
     }
 }
 
-impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for MonteCarloAlgorithm<G> {
+impl<G: NeighborAccess> SingleSourceAlgorithm for MonteCarloAlgorithm<G> {
     fn name(&self) -> &'static str {
         "MC"
     }
@@ -145,12 +144,12 @@ impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for MonteCarloAlgorithm<G> {
 }
 
 /// [`Linearization`] behind the uniform interface (index-based).
-pub struct LinearizationAlgorithm<G: Borrow<DiGraph>> {
+pub struct LinearizationAlgorithm<G: NeighborAccess> {
     solver: Linearization<G>,
     preprocessing: Duration,
 }
 
-impl<G: Borrow<DiGraph>> LinearizationAlgorithm<G> {
+impl<G: NeighborAccess> LinearizationAlgorithm<G> {
     /// Runs the Monte-Carlo `D` preprocessing, recording its time.
     pub fn build(graph: G, config: LinearizationConfig) -> Result<Self, SimRankError> {
         let start = Instant::now();
@@ -162,7 +161,7 @@ impl<G: Borrow<DiGraph>> LinearizationAlgorithm<G> {
     }
 }
 
-impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for LinearizationAlgorithm<G> {
+impl<G: NeighborAccess> SingleSourceAlgorithm for LinearizationAlgorithm<G> {
     fn name(&self) -> &'static str {
         "Linearization"
     }
@@ -181,12 +180,12 @@ impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for LinearizationAlgorithm<G> {
 }
 
 /// [`PrSim`] behind the uniform interface (index-based).
-pub struct PrSimAlgorithm<G: Borrow<DiGraph>> {
+pub struct PrSimAlgorithm<G: NeighborAccess> {
     index: PrSim<G>,
     preprocessing: Duration,
 }
 
-impl<G: Borrow<DiGraph>> PrSimAlgorithm<G> {
+impl<G: NeighborAccess> PrSimAlgorithm<G> {
     /// Builds the PRSim index, recording the preprocessing time.
     pub fn build(graph: G, config: PrSimConfig) -> Result<Self, SimRankError> {
         let start = Instant::now();
@@ -198,7 +197,7 @@ impl<G: Borrow<DiGraph>> PrSimAlgorithm<G> {
     }
 }
 
-impl<G: Borrow<DiGraph>> SingleSourceAlgorithm for PrSimAlgorithm<G> {
+impl<G: NeighborAccess> SingleSourceAlgorithm for PrSimAlgorithm<G> {
     fn name(&self) -> &'static str {
         "PRSim"
     }

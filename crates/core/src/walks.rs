@@ -14,7 +14,7 @@
 //! estimators of ExactSim (Algorithms 2 and 3) and the pooling evaluator are
 //! all built from the primitives in this module.
 
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -70,7 +70,12 @@ pub fn derive_seed(base: u64, index: u64) -> u64 {
 /// Advances a walk by one step: returns the next node, or `None` if the walk
 /// stops (either by the `1 − √c` coin or because the node has no in-neighbor).
 #[inline]
-pub fn step(graph: &DiGraph, current: NodeId, sqrt_c: f64, rng: &mut SmallRng) -> Option<NodeId> {
+pub fn step<G: NeighborAccess>(
+    graph: &G,
+    current: NodeId,
+    sqrt_c: f64,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
     if rng.gen::<f64>() >= sqrt_c {
         return None;
     }
@@ -81,7 +86,11 @@ pub fn step(graph: &DiGraph, current: NodeId, sqrt_c: f64, rng: &mut SmallRng) -
 /// the "non-stop" walks of Algorithm 3). Returns `None` only when the node has
 /// no in-neighbors.
 #[inline]
-pub fn step_forced(graph: &DiGraph, current: NodeId, rng: &mut SmallRng) -> Option<NodeId> {
+pub fn step_forced<G: NeighborAccess>(
+    graph: &G,
+    current: NodeId,
+    rng: &mut SmallRng,
+) -> Option<NodeId> {
     let neighbors = graph.in_neighbors(current);
     if neighbors.is_empty() {
         None
@@ -91,8 +100,8 @@ pub fn step_forced(graph: &DiGraph, current: NodeId, rng: &mut SmallRng) -> Opti
 }
 
 /// Samples a full √c-walk from `start`, optionally truncated at `max_steps`.
-pub fn sample_walk(
-    graph: &DiGraph,
+pub fn sample_walk<G: NeighborAccess>(
+    graph: &G,
     start: NodeId,
     sqrt_c: f64,
     max_steps: usize,
@@ -131,8 +140,8 @@ pub enum PairOutcome {
 /// Walking both chains in lock-step and stopping at the first meeting (or the
 /// first death) is equivalent to sampling both full walks and comparing, but
 /// does `O(expected meeting time)` work instead of `O(walk length)`.
-pub fn sample_meeting_pair(
-    graph: &DiGraph,
+pub fn sample_meeting_pair<G: NeighborAccess>(
+    graph: &G,
     start: NodeId,
     sqrt_c: f64,
     max_steps: usize,

@@ -5,7 +5,8 @@
 //! vector; the ExactSim paper's §2 discussion reuses that quantity. This module
 //! provides the standard damped power-iteration PageRank used for both.
 
-use crate::digraph::DiGraph;
+use crate::access::NeighborAccess;
+use crate::NodeId;
 
 /// Parameters for [`pagerank`].
 #[derive(Clone, Copy, Debug)]
@@ -32,7 +33,7 @@ impl Default for PageRankConfig {
 /// with uniform teleportation and dangling-node mass redistributed uniformly.
 ///
 /// Returns an empty vector for the empty graph.
-pub fn pagerank(graph: &DiGraph, config: PageRankConfig) -> Vec<f64> {
+pub fn pagerank<G: NeighborAccess>(graph: &G, config: PageRankConfig) -> Vec<f64> {
     let n = graph.num_nodes();
     if n == 0 {
         return Vec::new();
@@ -47,14 +48,14 @@ pub fn pagerank(graph: &DiGraph, config: PageRankConfig) -> Vec<f64> {
         for v in next.iter_mut() {
             *v = 0.0;
         }
-        for u in graph.nodes() {
+        for u in 0..n as NodeId {
             let out = graph.out_neighbors(u);
             let r = rank[u as usize];
             if out.is_empty() {
                 dangling_mass += r;
             } else {
                 let share = r / out.len() as f64;
-                for &w in out {
+                for &w in out.iter() {
                     next[w as usize] += share;
                 }
             }

@@ -63,6 +63,22 @@ impl CsrAdjacency {
         CsrAdjacency { offsets, targets }
     }
 
+    /// Returns a copy of this adjacency covering `additional` extra nodes,
+    /// all isolated: the offsets array is extended by repeating the final
+    /// offset, so existing neighbor lists are untouched and the new nodes
+    /// have degree zero. `O(n + m)` (one copy), the cheap half of the store's
+    /// `addnode` growth path.
+    pub fn grow(&self, additional: usize) -> Self {
+        let last = *self.offsets.last().expect("offsets never empty");
+        let mut offsets = Vec::with_capacity(self.offsets.len() + additional);
+        offsets.extend_from_slice(&self.offsets);
+        offsets.resize(self.offsets.len() + additional, last);
+        CsrAdjacency {
+            offsets,
+            targets: self.targets.clone(),
+        }
+    }
+
     /// Number of nodes covered by this adjacency.
     #[inline]
     pub fn num_nodes(&self) -> usize {

@@ -122,6 +122,22 @@ impl DiGraph {
         &self.in_adj
     }
 
+    /// Returns a copy of this graph with `additional` extra isolated nodes
+    /// appended at the top of the id space (`n .. n + additional`).
+    ///
+    /// The edge set is unchanged; both CSR orientations just extend their
+    /// offsets arrays ([`CsrAdjacency::grow`]). This is the store's `addnode`
+    /// growth path: grow first, then [`DiGraph::apply_delta`] may attach
+    /// edges to the new ids in the same commit.
+    pub fn grow(&self, additional: usize) -> DiGraph {
+        DiGraph {
+            num_nodes: self.num_nodes + additional,
+            num_edges: self.num_edges,
+            out_adj: self.out_adj.grow(additional),
+            in_adj: self.in_adj.grow(additional),
+        }
+    }
+
     /// Returns the transposed graph (every edge reversed).
     pub fn transpose(&self) -> DiGraph {
         DiGraph {
@@ -226,6 +242,25 @@ mod tests {
         assert_eq!(g.num_edges(), 4);
         assert!(!g.is_empty());
         assert!((g.average_degree() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grow_appends_isolated_nodes_without_touching_edges() {
+        let g = sample();
+        let grown = g.grow(3);
+        assert_eq!(grown.num_nodes(), 7);
+        assert_eq!(grown.num_edges(), 4);
+        assert!(grown.validate());
+        for v in 4..7 {
+            assert_eq!(grown.in_degree(v), 0);
+            assert_eq!(grown.out_degree(v), 0);
+        }
+        assert!(grown.has_edge(0, 2));
+        // Edges may then attach to the new ids via the delta path.
+        let attached = grown.grow(0).apply_delta(&[(4, 0), (5, 6)], &[]);
+        assert!(attached.validate());
+        assert!(attached.has_edge(5, 6));
+        assert_eq!(attached.in_degree(0), 2);
     }
 
     #[test]

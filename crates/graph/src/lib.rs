@@ -5,6 +5,10 @@
 //!
 //! Everything the SimRank algorithms need from a graph lives here:
 //!
+//! * [`NeighborAccess`] — the storage/compute seam: read-only adjacency
+//!   access (counts, degrees, sorted neighbor lists behind a deref guard)
+//!   that every kernel and solver is generic over, so in-memory CSR and
+//!   buffer-managed paged backends are interchangeable.
 //! * [`DiGraph`] — a compressed-sparse-row directed graph that materialises
 //!   *both* orientations (out-edges and in-edges). SimRank's √c-walks follow
 //!   in-edges; the Linearization family needs both `P·x` and `Pᵀ·x`.
@@ -59,6 +63,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(clippy::all)]
 
+pub mod access;
 pub mod analysis;
 pub mod binfmt;
 pub mod builder;
@@ -70,6 +75,7 @@ pub mod io;
 pub mod linalg;
 pub mod partition;
 
+pub use access::NeighborAccess;
 pub use builder::GraphBuilder;
 pub use csr::CsrAdjacency;
 pub use digraph::DiGraph;

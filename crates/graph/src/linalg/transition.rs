@@ -14,7 +14,7 @@
 //! stops (the paper's Algorithm 3 handles this case explicitly with
 //! `D(k,k) = 1`).
 
-use crate::digraph::DiGraph;
+use crate::access::NeighborAccess;
 use crate::linalg::sparse_vec::SparseVec;
 use crate::NodeId;
 
@@ -22,7 +22,7 @@ use crate::NodeId;
 ///
 /// # Panics
 /// Panics if `x` or `y` has length different from `graph.num_nodes()`.
-pub fn p_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
+pub fn p_multiply<G: NeighborAccess>(graph: &G, x: &[f64], y: &mut [f64]) {
     let n = graph.num_nodes();
     assert_eq!(x.len(), n, "input vector length must equal num_nodes");
     assert_eq!(y.len(), n, "output vector length must equal num_nodes");
@@ -43,7 +43,7 @@ pub fn p_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
             continue;
         }
         let share = xj / din as f64;
-        for &i in graph.in_neighbors(j) {
+        for &i in graph.in_neighbors(j).iter() {
             y[i as usize] += share;
         }
     }
@@ -53,7 +53,7 @@ pub fn p_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
 ///
 /// # Panics
 /// Panics if `x` or `y` has length different from `graph.num_nodes()`.
-pub fn pt_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
+pub fn pt_multiply<G: NeighborAccess>(graph: &G, x: &[f64], y: &mut [f64]) {
     let n = graph.num_nodes();
     assert_eq!(x.len(), n, "input vector length must equal num_nodes");
     assert_eq!(y.len(), n, "output vector length must equal num_nodes");
@@ -64,7 +64,7 @@ pub fn pt_multiply(graph: &DiGraph, x: &[f64], y: &mut [f64]) {
             continue;
         }
         let mut acc = 0.0;
-        for &j in graph.in_neighbors(i) {
+        for &j in graph.in_neighbors(i).iter() {
             acc += x[j as usize];
         }
         y[i as usize] = acc / din as f64;
@@ -201,7 +201,11 @@ impl Workspace {
 ///
 /// Cost is `O(Σ_{j ∈ supp(x)} din(j) + |out| log |out|)` — independent of `n`,
 /// which is what makes the sparse Linearization of §3.2 scale.
-pub fn p_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> SparseVec {
+pub fn p_multiply_sparse<G: NeighborAccess>(
+    graph: &G,
+    x: &SparseVec,
+    ws: &mut Workspace,
+) -> SparseVec {
     accumulate_p_multiply(graph, x, ws);
     ws.drain_sparse()
 }
@@ -209,8 +213,8 @@ pub fn p_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> 
 /// Sparse `P·x` into a caller-owned output vector (cleared first): the
 /// allocation-free variant the Scratch-based kernels use. `out` must be a
 /// different vector from `x`.
-pub fn p_multiply_sparse_into(
-    graph: &DiGraph,
+pub fn p_multiply_sparse_into<G: NeighborAccess>(
+    graph: &G,
     x: &SparseVec,
     ws: &mut Workspace,
     out: &mut SparseVec,
@@ -219,7 +223,7 @@ pub fn p_multiply_sparse_into(
     ws.drain_into(out);
 }
 
-fn accumulate_p_multiply(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) {
+fn accumulate_p_multiply<G: NeighborAccess>(graph: &G, x: &SparseVec, ws: &mut Workspace) {
     debug_assert_eq!(ws.len(), graph.num_nodes());
     for (j, xj) in x.iter() {
         let din = graph.in_degree(j);
@@ -227,7 +231,7 @@ fn accumulate_p_multiply(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) {
             continue;
         }
         let share = xj / din as f64;
-        for &i in graph.in_neighbors(j) {
+        for &i in graph.in_neighbors(j).iter() {
             ws.add(i, share);
         }
     }
@@ -237,15 +241,19 @@ fn accumulate_p_multiply(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) {
 ///
 /// For every node `j` in the support of `x`, its contribution `x(j)` is spread
 /// to each out-neighbor `i` of `j` with weight `1/din(i)`.
-pub fn pt_multiply_sparse(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) -> SparseVec {
+pub fn pt_multiply_sparse<G: NeighborAccess>(
+    graph: &G,
+    x: &SparseVec,
+    ws: &mut Workspace,
+) -> SparseVec {
     accumulate_pt_multiply(graph, x, ws);
     ws.drain_sparse()
 }
 
 /// Sparse `Pᵀ·x` into a caller-owned output vector (cleared first). `out`
 /// must be a different vector from `x`.
-pub fn pt_multiply_sparse_into(
-    graph: &DiGraph,
+pub fn pt_multiply_sparse_into<G: NeighborAccess>(
+    graph: &G,
     x: &SparseVec,
     ws: &mut Workspace,
     out: &mut SparseVec,
@@ -254,13 +262,13 @@ pub fn pt_multiply_sparse_into(
     ws.drain_into(out);
 }
 
-fn accumulate_pt_multiply(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) {
+fn accumulate_pt_multiply<G: NeighborAccess>(graph: &G, x: &SparseVec, ws: &mut Workspace) {
     debug_assert_eq!(ws.len(), graph.num_nodes());
     for (j, xj) in x.iter() {
         if xj == 0.0 {
             continue;
         }
-        for &i in graph.out_neighbors(j) {
+        for &i in graph.out_neighbors(j).iter() {
             let din = graph.in_degree(i);
             debug_assert!(din > 0, "out-neighbor must have at least one in-edge");
             ws.add(i, xj / din as f64);
@@ -279,7 +287,12 @@ fn accumulate_pt_multiply(graph: &DiGraph, x: &SparseVec, ws: &mut Workspace) {
 /// # Panics
 /// Panics if `x` is not `num_nodes` long, `rows` is out of range, or `out`
 /// does not have exactly `rows.len()` elements.
-pub fn p_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>, out: &mut [f64]) {
+pub fn p_multiply_rows<G: NeighborAccess>(
+    graph: &G,
+    x: &[f64],
+    rows: std::ops::Range<usize>,
+    out: &mut [f64],
+) {
     let n = graph.num_nodes();
     assert_eq!(x.len(), n, "input vector length must equal num_nodes");
     assert!(rows.end <= n, "row range out of bounds");
@@ -290,7 +303,7 @@ pub fn p_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>,
     );
     for (slot, i) in out.iter_mut().zip(rows) {
         let mut acc = 0.0;
-        for &j in graph.out_neighbors(i as NodeId) {
+        for &j in graph.out_neighbors(i as NodeId).iter() {
             let xj = x[j as usize];
             if xj == 0.0 {
                 continue;
@@ -309,7 +322,12 @@ pub fn p_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>,
 /// # Panics
 /// Panics if `x` is not `num_nodes` long, `rows` is out of range, or `out`
 /// does not have exactly `rows.len()` elements.
-pub fn pt_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>, out: &mut [f64]) {
+pub fn pt_multiply_rows<G: NeighborAccess>(
+    graph: &G,
+    x: &[f64],
+    rows: std::ops::Range<usize>,
+    out: &mut [f64],
+) {
     let n = graph.num_nodes();
     assert_eq!(x.len(), n, "input vector length must equal num_nodes");
     assert!(rows.end <= n, "row range out of bounds");
@@ -326,7 +344,7 @@ pub fn pt_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>
             continue;
         }
         let mut acc = 0.0;
-        for &j in graph.in_neighbors(i) {
+        for &j in graph.in_neighbors(i).iter() {
             acc += x[j as usize];
         }
         *slot = acc / din as f64;
@@ -336,6 +354,7 @@ pub fn pt_multiply_rows(graph: &DiGraph, x: &[f64], rows: std::ops::Range<usize>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::digraph::DiGraph;
     use crate::linalg::dense::{l1_norm, unit_vector};
 
     /// 0 -> 2, 1 -> 2, 2 -> 3, 3 -> 0 (same sample as digraph tests).

@@ -5,7 +5,7 @@
 //! simrank-serve [--dataset KEY | --ba N M] [--scale F] [--seed S]
 //!               [--algo exactsim|prsim|mc] [--epsilon E]
 //!               [--workers W] [--cache-capacity C] [--walk-budget B]
-//!               [--data-dir DIR]
+//!               [--data-dir DIR] [--paged] [--pool-pages N]
 //!               [--shards N | --shard-of ADDR,ADDR,...]
 //!               [--listen ADDR] [--max-conns N] [--addr-file PATH]
 //!               [--log-json] [--slowlog-threshold-ms N]
@@ -50,6 +50,7 @@
 //!                          one shard's owned-candidate top-k (router-facing)
 //! addedge <u> <v>          stage the insertion of edge u -> v
 //! deledge <u> <v>          stage the deletion of edge u -> v
+//! addnode [count]          stage count (default 1) new isolated node ids
 //! commit                   publish staged updates as a new graph epoch
 //! epoch                    current epoch + pending update counts
 //! save | snapshot          fold the WAL into a fresh snapshot file
@@ -74,6 +75,15 @@
 //! bit-identically to the pre-restart process at the same epoch. On the
 //! first boot the directory is initialized from the graph flags; on later
 //! boots the graph flags are ignored in favor of the recovered state.
+//!
+//! With `--paged` the store serves adjacency through the buffer-managed page
+//! store instead of the in-memory CSR: the graph lives in a per-epoch page
+//! file and only `--pool-pages` pages (default 4096, i.e. 16 MiB of 4 KiB
+//! pages) are resident at once — graphs larger than RAM stay servable, at
+//! page-fault cost visible in `stats` (`pool`) and the `simrank_pool_*`
+//! series. Page files are rebuildable caches (snapshot + WAL stay the
+//! durable truth); without `--data-dir` they live under the system temp
+//! directory.
 
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
@@ -90,7 +100,8 @@ use exactsim_router::{LocalShard, RemoteShard, ShardBackend, ShardRouter};
 use exactsim_service::net::{self, signal, NetOptions, ProtocolHost};
 use exactsim_service::protocol::Outcome;
 use exactsim_service::{
-    protocol, AlgorithmKind, GraphStore, Opened, ServiceConfig, SimRankService, StoreError,
+    protocol, AlgorithmKind, GraphStore, Opened, PagedOptions, ServiceConfig, SimRankService,
+    StoreError,
 };
 
 struct Options {
@@ -104,6 +115,8 @@ struct Options {
     cache_capacity: usize,
     walk_budget: u64,
     data_dir: Option<PathBuf>,
+    paged: bool,
+    pool_pages: usize,
     shards: Option<usize>,
     shard_of: Option<Vec<String>>,
     listen: Option<String>,
@@ -126,6 +139,8 @@ impl Default for Options {
             cache_capacity: 1024,
             walk_budget: 2_000_000,
             data_dir: None,
+            paged: false,
+            pool_pages: 4096,
             shards: None,
             shard_of: None,
             listen: None,
@@ -185,6 +200,15 @@ fn parse_args() -> Result<Options, String> {
             "--data-dir" => {
                 opts.data_dir = Some(PathBuf::from(next_value("--data-dir", &mut args)?));
             }
+            "--paged" => opts.paged = true,
+            "--pool-pages" => {
+                let v = next_value("--pool-pages", &mut args)?;
+                opts.pool_pages = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| format!("bad pool size `{v}`"))?;
+            }
             "--shards" => {
                 let v = next_value("--shards", &mut args)?;
                 opts.shards = Some(
@@ -242,10 +266,10 @@ fn parse_args() -> Result<Options, String> {
         return Err("--shards and --shard-of are mutually exclusive".to_string());
     }
     if opts.shard_of.is_some()
-        && (opts.dataset.is_some() || opts.ba.is_some() || opts.data_dir.is_some())
+        && (opts.dataset.is_some() || opts.ba.is_some() || opts.data_dir.is_some() || opts.paged)
     {
         return Err(
-            "--shard-of fronts remote servers; graph and --data-dir flags belong to them"
+            "--shard-of fronts remote servers; graph, --data-dir, and --paged flags belong to them"
                 .to_string(),
         );
     }
@@ -266,6 +290,10 @@ const FLAG_HELP: &str = "simrank-serve: SimRank query server (stdin REPL or TCP)
                        cap lifted or the error target will not be met)\n\
   --data-dir DIR       durable store: recover DIR on boot (or initialize it\n\
                        from the graph flags), WAL-log every commit\n\
+  --paged              serve adjacency through the buffer-managed page store\n\
+                       (graphs larger than RAM; pool stats in `stats`/metrics)\n\
+  --pool-pages N       buffer-pool capacity in 4 KiB pages (default 4096,\n\
+                       i.e. 16 MiB resident); only meaningful with --paged\n\
   --shards N           front N in-process full-replica shards with a router:\n\
                        queries route by owner, topk is scatter/gathered\n\
                        bit-identically, commits run under an epoch barrier;\n\
@@ -347,37 +375,75 @@ impl ProtocolHost for Host {
 /// initialized from the flags. Without `--data-dir` the store is in-memory.
 /// For in-process shards, each shard's directory is `DIR/shard-<i>`.
 fn build_store(opts: &Options, dir: Option<&PathBuf>) -> Result<GraphStore, String> {
-    let Some(dir) = dir else {
-        return Ok(GraphStore::new(Arc::new(build_graph(opts)?)));
-    };
-    let (store, how) = GraphStore::open_or_create(dir, || {
-        build_graph(opts)
-            .map(Arc::new)
-            .map_err(StoreError::InitFailed)
-    })
-    .map_err(|e| match e {
-        StoreError::InitFailed(msg) => msg,
-        e => format!("cannot recover {}: {e}", dir.display()),
-    })?;
-    match how {
-        Opened::Recovered => oplog::info(
-            "simrank-serve",
-            "recovered durable store",
-            &[
-                ("data_dir", dir.display().to_string().into()),
-                ("epoch", store.epoch().into()),
-                (
-                    "wal_records",
-                    store.durability().map_or(0, |info| info.wal_records).into(),
+    let store = match dir {
+        None => GraphStore::new(Arc::new(build_graph(opts)?)),
+        Some(dir) => {
+            let (store, how) = GraphStore::open_or_create(dir, || {
+                build_graph(opts)
+                    .map(Arc::new)
+                    .map_err(StoreError::InitFailed)
+            })
+            .map_err(|e| match e {
+                StoreError::InitFailed(msg) => msg,
+                e => format!("cannot recover {}: {e}", dir.display()),
+            })?;
+            match how {
+                Opened::Recovered => oplog::info(
+                    "simrank-serve",
+                    "recovered durable store",
+                    &[
+                        ("data_dir", dir.display().to_string().into()),
+                        ("epoch", store.epoch().into()),
+                        (
+                            "wal_records",
+                            store.durability().map_or(0, |info| info.wal_records).into(),
+                        ),
+                    ],
                 ),
-            ],
-        ),
-        Opened::Created => oplog::info(
-            "simrank-serve",
-            "initialized durable store",
-            &[("data_dir", dir.display().to_string().into())],
-        ),
+                Opened::Created => oplog::info(
+                    "simrank-serve",
+                    "initialized durable store",
+                    &[("data_dir", dir.display().to_string().into())],
+                ),
+            }
+            store
+        }
+    };
+    if !opts.paged {
+        return Ok(store);
     }
+    // Page files are rebuildable caches, so an in-memory store may keep them
+    // in the system temp directory (unique per store: in-process shards each
+    // build their own). A durable store keeps them next to its truth.
+    let pages_dir = match dir {
+        Some(dir) => dir.join("pages"),
+        None => {
+            static NEXT_PAGES_DIR: std::sync::atomic::AtomicUsize =
+                std::sync::atomic::AtomicUsize::new(0);
+            std::env::temp_dir().join(format!(
+                "simrank-pages-{}-{}",
+                std::process::id(),
+                NEXT_PAGES_DIR.fetch_add(1, Ordering::Relaxed)
+            ))
+        }
+    };
+    let store = store
+        .with_paging(
+            &pages_dir,
+            PagedOptions {
+                pool_pages: opts.pool_pages,
+                ..PagedOptions::default()
+            },
+        )
+        .map_err(|e| format!("cannot enable paging in {}: {e}", pages_dir.display()))?;
+    oplog::info(
+        "simrank-serve",
+        "paged backend enabled",
+        &[
+            ("pages_dir", pages_dir.display().to_string().into()),
+            ("pool_pages", opts.pool_pages.into()),
+        ],
+    );
     Ok(store)
 }
 

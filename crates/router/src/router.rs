@@ -260,6 +260,9 @@ impl ShardRouter {
                 kernel_threads: 0,
                 shards: self.num_shards(),
             },
+            // A router holds no pages itself; each shard reports its own
+            // pool through its own `stats` verb.
+            None,
         );
         let us = |v: Option<u64>| v.map_or("null".to_string(), |v| v.to_string());
         let per_shard: Vec<String> = self
@@ -353,6 +356,7 @@ impl ShardRouter {
             }
             Request::AddEdge { u, v } => self.fan_update(true, *u, *v),
             Request::DelEdge { u, v } => self.fan_update(false, *u, *v),
+            Request::AddNode { count } => self.fan_add_nodes(*count),
             Request::Commit => self.commit(),
             Request::Epoch => self.gather_epoch(),
             Request::Save => self.fan_save(),
@@ -609,6 +613,45 @@ impl ShardRouter {
             // that is the answer, not a router failure.
             (None, Some(reply)) => Outcome::Reply(reply),
             (None, None) => self.internal_reply("update fan-out failed without a cause".into()),
+        }
+    }
+
+    /// `addnode` fans out to every replica: like edge updates, node-id-space
+    /// growth must land on all of them or the next commit publishes
+    /// divergent graphs. Unlike `addedge` there is no inverse verb, so a
+    /// partial stage cannot be compensated here; the error is surfaced and
+    /// the divergence stays operator-visible in each shard's own `epoch`
+    /// reply (`pending_nodes`) until the lagging replicas are reconciled
+    /// directly (or roll back by restart).
+    fn fan_add_nodes(&self, count: u64) -> Outcome {
+        let line = Request::AddNode { count }.to_line();
+        let lines: Vec<String> = (0..self.num_shards()).map(|_| line.clone()).collect();
+        let _epoch_stable = self.read_barrier();
+        self.inner
+            .counters
+            .fanout
+            .update
+            .add(self.num_shards() as u64);
+        let replies = self.scatter(&lines);
+        let mut first: Option<String> = None;
+        for reply in replies {
+            match reply {
+                Ok(reply) => {
+                    if wire::error_code(&reply).is_some() {
+                        // Replicas share one id space; the same rejection
+                        // (e.g. u32 overflow) comes back from each, and the
+                        // first speaks for all.
+                        self.inner.counters.errors.inc();
+                        return Outcome::Reply(reply);
+                    }
+                    first.get_or_insert(reply);
+                }
+                Err(e) => return self.shard_error_reply(&e),
+            }
+        }
+        match first {
+            Some(reply) => Outcome::Reply(reply),
+            None => self.internal_reply("addnode fan-out produced no reply".into()),
         }
     }
 

@@ -110,5 +110,6 @@ pub use stats::{ServiceStats, ServingShape, StatsSnapshot};
 // Re-exported so protocol front-ends can drive updates and persistence
 // without naming the store crate themselves.
 pub use exactsim_store::{
-    CommitReport, DurabilityInfo, GraphSnapshot, GraphStore, Opened, Staged, StoreError,
+    CommitReport, DurabilityInfo, GraphHandle, GraphSnapshot, GraphStore, Opened, PagedOptions,
+    PoolStats, Staged, StoreError,
 };

@@ -21,6 +21,11 @@
 //! | `simrank_net_requests_total` | counter | — |
 //! | `simrank_net_bytes_total` | counter | `direction` ∈ `in\|out` |
 //! | `simrank_requests_per_connection` | histogram | — (unit: requests, not µs) |
+//! | `simrank_pool_pages` | gauge | — (frame capacity; paged stores only) |
+//! | `simrank_pool_resident_pages` | gauge | — (paged stores only) |
+//! | `simrank_pool_pinned_pages` | gauge | — (paged stores only) |
+//! | `simrank_pool_fetches_total` | counter | `result` ∈ `hit\|miss` (paged stores only) |
+//! | `simrank_pool_evictions_total` | counter | — (paged stores only) |
 //! | `simrank_kernel_scratch_checkouts_total` | counter | `result` ∈ `hit\|miss` |
 //! | `simrank_kernel_solver_iterations_total` | counter | — |
 //! | `simrank_kernel_mc_walks_total` | counter | — |
@@ -182,6 +187,60 @@ impl ServiceMetrics {
             &[],
             move || epoch_store.epoch() as f64,
         );
+
+        // Buffer-pool series exist only on paged stores: the backend is
+        // fixed at boot, so absence cleanly signals "in-memory" to scrapers
+        // (the eager-registration rule covers series that *can* move). The
+        // hit/miss/eviction counters are monotonic across epochs because the
+        // pool outlives every per-epoch page file.
+        if store.is_paged() {
+            type PoolReader = fn(&exactsim_store::PoolStats) -> u64;
+            let pool_gauges: [(&str, &str, PoolReader); 3] = [
+                (
+                    "simrank_pool_pages",
+                    "Buffer-pool frame capacity in pages",
+                    |p| p.capacity,
+                ),
+                (
+                    "simrank_pool_resident_pages",
+                    "Buffer-pool frames currently holding a page",
+                    |p| p.resident,
+                ),
+                (
+                    "simrank_pool_pinned_pages",
+                    "Buffer-pool frames pinned by live neighbor guards",
+                    |p| p.pinned,
+                ),
+            ];
+            for (name, help, read) in pool_gauges {
+                let pool_store = Arc::clone(store);
+                registry.gauge_fn(name, help, &[], move || {
+                    pool_store.pool_stats().map_or(0, |p| read(&p)) as f64
+                });
+            }
+            for (result, read) in [
+                (
+                    "hit",
+                    (|p: &exactsim_store::PoolStats| p.hits) as PoolReader,
+                ),
+                ("miss", |p: &exactsim_store::PoolStats| p.misses),
+            ] {
+                let pool_store = Arc::clone(store);
+                registry.counter_fn(
+                    "simrank_pool_fetches_total",
+                    "Buffer-pool page fetches, by hit/miss",
+                    &[("result", result)],
+                    move || pool_store.pool_stats().map_or(0, |p| read(&p)),
+                );
+            }
+            let pool_store = Arc::clone(store);
+            registry.counter_fn(
+                "simrank_pool_evictions_total",
+                "Resident pages evicted by the clock replacer",
+                &[],
+                move || pool_store.pool_stats().map_or(0, |p| p.evictions),
+            );
+        }
 
         // Connection/byte counters are bumped on ServiceStats by the net
         // listener; expose them as scrape-time reads so there is exactly one

@@ -8,14 +8,15 @@
 //! lets all of them share one parser and one error-code vocabulary.
 //!
 //! ```text
-//! request   = query | topk | shardtopk | addedge | deledge | commit | epoch
-//!           | save | stats | metrics | slowlog | trace | help | quit
-//!           | shutdown
+//! request   = query | topk | shardtopk | addedge | deledge | addnode
+//!           | commit | epoch | save | stats | metrics | slowlog | trace
+//!           | help | quit | shutdown
 //! query     = "query" node [algo]
 //! topk      = "topk" node k [algo]
 //! shardtopk = "shardtopk" node k shard num_shards [algo]
 //! addedge   = "addedge" node node
 //! deledge   = "deledge" node node
+//! addnode   = "addnode" [count]       count = u64 (>= 1, default 1)
 //! slowlog   = "slowlog" [n]
 //! trace     = "trace" (query | topk | commit)
 //! node      = u32        k = usize      algo = "exactsim" | "prsim" | "mc"
@@ -143,6 +144,14 @@ pub enum Request {
         /// Edge head.
         v: u32,
     },
+    /// `addnode [count]` — stage the growth of the node-id space by `count`
+    /// (default 1) fresh, initially isolated nodes at the top of the id
+    /// space. Staged edges may reference the new ids immediately; the growth
+    /// publishes with the next `commit`.
+    AddNode {
+        /// How many node ids to add (>= 1).
+        count: u64,
+    },
     /// `commit` — publish staged updates as a new graph epoch.
     Commit,
     /// `epoch` — current epoch plus pending update counts.
@@ -219,6 +228,7 @@ impl fmt::Display for Request {
             } => write!(f, "shardtopk {node} {k} {shard} {num_shards} {a}"),
             Request::AddEdge { u, v } => write!(f, "addedge {u} {v}"),
             Request::DelEdge { u, v } => write!(f, "deledge {u} {v}"),
+            Request::AddNode { count } => write!(f, "addnode {count}"),
             Request::Commit => f.write_str("commit"),
             Request::Epoch => f.write_str("epoch"),
             Request::Save => f.write_str("save"),
@@ -292,12 +302,15 @@ impl From<StoreError> for ProtoError {
         let code = match &e {
             StoreError::NodeOutOfRange { .. } => codes::OUT_OF_RANGE,
             StoreError::SelfLoop(_) => codes::BAD_REQUEST,
+            StoreError::NodeSpaceExhausted { .. } => codes::BAD_REQUEST,
             StoreError::NotDurable => codes::NOT_DURABLE,
             StoreError::Io { .. } => codes::IO,
             // Recovery-time corruption classes; a running server only sees
             // these if the disk goes bad underneath it.
             StoreError::SnapshotCorrupt { .. }
             | StoreError::WalCorrupt { .. }
+            | StoreError::PageCorrupt { .. }
+            | StoreError::PoolExhausted { .. }
             | StoreError::UnsupportedVersion { .. }
             | StoreError::NoSnapshot { .. }
             | StoreError::StoreExists { .. }
@@ -321,6 +334,7 @@ shardtopk <node> <k> <shard> <num_shards> [algo]
                          in a num_shards-way partition (router-facing)
 addedge <u> <v>          stage the insertion of edge u -> v
 deledge <u> <v>          stage the deletion of edge u -> v
+addnode [count]          stage count (default 1) new isolated node ids
 commit                   publish staged updates as a new graph epoch
 epoch                    current epoch + pending update counts
 save | snapshot          fold the WAL into a fresh snapshot file
@@ -445,6 +459,19 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ProtoError> {
             } else {
                 Request::DelEdge { u, v }
             }
+        }
+        "addnode" => {
+            arity(2, "addnode [count]")?;
+            let count = match parts.get(1) {
+                Some(count) => count
+                    .parse::<u64>()
+                    .map_err(|_| ProtoError::bad_request(format!("bad count `{count}`")))?,
+                None => 1,
+            };
+            if count == 0 {
+                return Err(ProtoError::bad_request("count must be >= 1"));
+            }
+            Request::AddNode { count }
         }
         // Bare commands are as strict as the argument-taking ones: `commit 5`
         // or `shutdown now` is a typo to reject, not a request to execute.
@@ -604,8 +631,9 @@ pub fn execute(
         }
         Request::Epoch => {
             let (ins, del) = service.store().pending_counts();
+            let nodes = service.store().pending_nodes();
             Outcome::Reply(format!(
-                "{{\"epoch\":{},\"pending_insertions\":{ins},\"pending_deletions\":{del}}}",
+                "{{\"epoch\":{},\"pending_insertions\":{ins},\"pending_deletions\":{del},\"pending_nodes\":{nodes}}}",
                 service.epoch(),
             ))
         }
@@ -631,15 +659,25 @@ pub fn execute(
                 Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
             }
         }
+        Request::AddNode { count } => match service.store().stage_add_nodes(*count) {
+            Ok(pending_nodes) => {
+                crate::stats::ServiceStats::bump(&service.raw_stats().updates_staged);
+                Outcome::Reply(format!(
+                    "{{\"op\":\"addnode\",\"staged\":\"pending\",\"added\":{count},\"pending_nodes\":{pending_nodes}}}"
+                ))
+            }
+            Err(e) => Outcome::Reply(ProtoError::from(e).to_json()),
+        },
         Request::Commit => match service.commit() {
             Ok(report) => {
                 crate::stats::ServiceStats::bump(&service.raw_stats().commit_requests);
                 Outcome::Reply(format!(
-                "{{\"op\":\"commit\",\"epoch\":{},\"advanced\":{},\"edges_inserted\":{},\"edges_deleted\":{},\"num_edges\":{},\"build_us\":{}}}",
+                "{{\"op\":\"commit\",\"epoch\":{},\"advanced\":{},\"edges_inserted\":{},\"edges_deleted\":{},\"nodes_added\":{},\"num_edges\":{},\"build_us\":{}}}",
                 report.epoch,
                 report.advanced(),
                 report.edges_inserted,
                 report.edges_deleted,
+                report.nodes_added,
                 report.num_edges,
                 report.build_time.as_micros(),
                 ))

@@ -45,6 +45,7 @@ use exactsim::SimRankError;
 use exactsim_graph::{DiGraph, NodeId};
 use exactsim_obs::slowlog::SlowLog;
 use exactsim_obs::trace;
+use exactsim_store::GraphHandle;
 use exactsim_store::{CommitReport, GraphSnapshot, GraphStore, StoreError};
 
 use crate::cache::{epsilon_tier, CacheKey, ShardedLruCache};
@@ -164,7 +165,9 @@ pub struct BatchItem {
 /// the per-algorithm indices built against it.
 struct EpochState {
     epoch: u64,
-    graph: Arc<DiGraph>,
+    /// The epoch's graph behind either storage backend (in-memory CSR or
+    /// buffer-pool-paged); every algorithm is generic over it.
+    graph: GraphHandle,
     /// Lazily-built per-algorithm indices, in [`AlgorithmKind::ALL`] order.
     /// Build errors are cached too: neither the configuration nor this
     /// epoch's graph can change, so retrying an invalid combination is
@@ -189,7 +192,7 @@ impl EpochState {
     ) -> Result<AlgorithmHandle, ServiceError> {
         let cell = &self.algorithms[kind.index()];
         cell.get_or_init(|| {
-            let graph = Arc::clone(&self.graph);
+            let graph = self.graph.clone();
             Ok(match kind {
                 // ExactSim is index-free: constructing its handle is pure
                 // validation and does not count as an index build.
@@ -467,9 +470,11 @@ impl SimRankService {
         // `config.exactsim.validate()` cannot see, e.g. a
         // `DiagonalMode::Exact` vector whose length mismatches the graph —
         // without this, that error would surface on the first query and be
-        // cached for the rest of the epoch in the `OnceLock`. The store's
-        // node count is fixed, so the check holds for every later epoch.
-        exactsim::exactsim::ExactSim::new(snapshot.graph.as_ref(), config.exactsim.clone())?;
+        // cached for the rest of the epoch in the `OnceLock`. (A later
+        // `addnode` commit can still grow the node space past an exact
+        // diagonal's length; that epoch's build error is then cached like
+        // any other per-epoch failure.)
+        exactsim::exactsim::ExactSim::new(snapshot.graph.clone(), config.exactsim.clone())?;
         config.prsim.validate()?;
         config.mc.validate()?;
         let workers = if config.workers == 0 {
@@ -499,11 +504,12 @@ impl SimRankService {
         })
     }
 
-    /// The graph snapshot this service is currently serving queries about.
-    /// After a store commit this reflects the new epoch once the service has
-    /// refreshed (which also happens lazily on the next query).
-    pub fn graph(&self) -> Arc<DiGraph> {
-        Arc::clone(&self.inner.current_state().graph)
+    /// The graph this service is currently serving queries about, behind
+    /// its storage backend ([`GraphHandle`]). After a store commit this
+    /// reflects the new epoch once the service has refreshed (which also
+    /// happens lazily on the next query).
+    pub fn graph(&self) -> GraphHandle {
+        self.inner.current_state().graph.clone()
     }
 
     /// The dynamic graph store backing this service. Stage updates with
@@ -692,6 +698,7 @@ impl SimRankService {
                 kernel_threads: self.inner.config.exactsim.simrank.threads,
                 shards: 1,
             },
+            self.inner.store.pool_stats(),
         )
     }
 
@@ -903,6 +910,64 @@ mod tests {
         let via_b = b.query(AlgorithmKind::ExactSim, 0).unwrap();
         assert_eq!(via_a.scores, via_b.scores);
         assert!(a.graph().has_edge(0, 39));
+    }
+
+    /// A service over a paged store surfaces the buffer pool everywhere an
+    /// operator looks: `stats().pool`, the stats JSON, and `simrank_pool_*`
+    /// Prometheus series (which an in-memory service must not register).
+    #[test]
+    fn paged_service_reports_pool_stats_and_metrics() {
+        let dir = std::env::temp_dir().join(format!(
+            "exactsim-service-paged-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let graph = Arc::new(barabasi_albert(60, 3, true, 23).unwrap());
+        let store = Arc::new(
+            GraphStore::new(graph)
+                .with_paging(
+                    &dir,
+                    exactsim_store::PagedOptions {
+                        pool_pages: 4,
+                        page_bytes: 64,
+                    },
+                )
+                .unwrap(),
+        );
+        let service = SimRankService::with_store(store, ServiceConfig::fast_demo()).unwrap();
+        service.query(AlgorithmKind::ExactSim, 0).unwrap();
+
+        let snap = service.stats();
+        let pool = snap.pool.expect("paged service must report pool stats");
+        assert_eq!(pool.capacity, 4);
+        assert!(pool.misses > 0, "a 4-frame pool cannot hold the graph");
+        assert!(pool.evictions > 0, "{pool:?}");
+        assert!(
+            snap.to_json().contains("\"pool\":{\"pages\":4,"),
+            "{snap:?}"
+        );
+
+        let metrics = service.metrics_text();
+        assert!(
+            metrics.contains("# TYPE simrank_pool_pages gauge"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("simrank_pool_fetches_total{result=\"miss\"}"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("# TYPE simrank_pool_evictions_total counter"),
+            "{metrics}"
+        );
+
+        // An in-memory service reports no pool and registers no pool series.
+        let unpaged = demo_service(20, 5);
+        assert!(unpaged.stats().pool.is_none());
+        assert!(unpaged.stats().to_json().contains("\"pool\":null"));
+        assert!(!unpaged.metrics_text().contains("simrank_pool_"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

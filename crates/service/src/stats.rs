@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use exactsim_store::DurabilityInfo;
+use exactsim_store::{DurabilityInfo, PoolStats};
 
 // The histogram primitive and the JSON escaping helper both moved to the
 // workspace-wide `exactsim-obs` crate (so the store, the kernels, and the
@@ -114,6 +114,7 @@ impl ServiceStats {
         durability: Option<DurabilityInfo>,
         index_memory_bytes: [Option<u64>; 3],
         shape: ServingShape,
+        pool: Option<PoolStats>,
     ) -> StatsSnapshot {
         let queries = self.queries.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
@@ -123,6 +124,7 @@ impl ServiceStats {
         StatsSnapshot {
             epoch,
             shape,
+            pool,
             data_dir: durability
                 .as_ref()
                 .map(|d| d.data_dir.display().to_string()),
@@ -174,6 +176,10 @@ pub struct StatsSnapshot {
     /// shard count) — explicit so operators read it instead of inferring it
     /// from the boot flags.
     pub shape: ServingShape,
+    /// Buffer-pool counters of the paged storage backend (`None` when the
+    /// store serves from the in-memory CSR). `hits`/`misses`/`evictions` are
+    /// monotonic across epochs — the pool outlives page files.
+    pub pool: Option<PoolStats>,
     /// Data directory of the backing store (`None` for in-memory stores).
     pub data_dir: Option<String>,
     /// Delta records currently in the write-ahead log (`None` when not
@@ -268,6 +274,23 @@ impl StatsSnapshot {
             Some(dir) => format!("\"{}\"", escape_json(dir)),
             None => "null".to_string(),
         };
+        let pool = match &self.pool {
+            Some(p) => format!(
+                concat!(
+                    "{{\"pages\":{},\"resident\":{},\"pinned\":{},",
+                    "\"hits\":{},\"misses\":{},\"evictions\":{},",
+                    "\"pool_hit_rate\":{:.4}}}"
+                ),
+                p.capacity,
+                p.resident,
+                p.pinned,
+                p.hits,
+                p.misses,
+                p.evictions,
+                p.hit_rate(),
+            ),
+            None => "null".to_string(),
+        };
         format!(
             concat!(
                 "{{\"epoch\":{},\"shards\":{},\"workers\":{},\"kernel_threads\":{},",
@@ -282,6 +305,7 @@ impl StatsSnapshot {
                 "\"connections_accepted\":{},\"connections_closed\":{},",
                 "\"connections_rejected\":{},\"shed_rate\":{:.4},\"net_requests\":{},",
                 "\"bytes_in\":{},\"bytes_out\":{},\"requests_per_conn_p50\":{},",
+                "\"pool\":{},",
                 "\"data_dir\":{},\"wal_len\":{},\"last_snapshot_epoch\":{}}}"
             ),
             self.epoch,
@@ -315,6 +339,7 @@ impl StatsSnapshot {
             self.bytes_in,
             self.bytes_out,
             opt_u64(self.requests_per_conn_p50),
+            pool,
             data_dir,
             opt_u64(self.wal_len),
             opt_u64(self.last_snapshot_epoch),
@@ -386,6 +411,17 @@ impl fmt::Display for StatsSnapshot {
                 self.bytes_in, self.bytes_out
             )?;
         }
+        if let Some(p) = &self.pool {
+            writeln!(
+                f,
+                "buffer pool:        {}/{} pages resident ({} pinned), {:.1}% hit rate, {} evictions",
+                p.resident,
+                p.capacity,
+                p.pinned,
+                p.hit_rate() * 100.0,
+                p.evictions
+            )?;
+        }
         match (&self.data_dir, self.wal_len, self.last_snapshot_epoch) {
             (Some(dir), Some(wal), Some(snap)) => writeln!(
                 f,
@@ -450,7 +486,7 @@ mod tests {
 
         let stats = ServiceStats::new();
         stats.latency.record(Duration::from_micros(u64::MAX));
-        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None);
         assert_eq!(snap.latency_saturated, 1);
         assert!(snap.to_json().contains("\"latency_saturated\":1"));
         assert!(snap.to_string().contains("latency saturated:  1"));
@@ -463,7 +499,7 @@ mod tests {
         stats.connections_closed.store(3, Ordering::Relaxed);
         stats.connections_rejected.store(2, Ordering::Relaxed);
         stats.net_requests.store(40, Ordering::Relaxed);
-        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None);
         assert_eq!(snap.connections_accepted, 5);
         assert_eq!(snap.net_requests, 40);
         let json = snap.to_json();
@@ -480,7 +516,7 @@ mod tests {
         );
         // A stdin-only server never shows the TCP line.
         let quiet = ServiceStats::new()
-            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default())
+            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None)
             .to_string();
         assert!(!quiet.contains("tcp connections"));
     }
@@ -495,7 +531,7 @@ mod tests {
         // Two finished connections: 3 requests and 5 requests.
         stats.requests_per_conn.record_value(3);
         stats.requests_per_conn.record_value(5);
-        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None);
         assert_eq!(snap.bytes_in, 120);
         assert_eq!(snap.bytes_out, 4096);
         // p50 of {3, 5} resolves to the upper bound of 3's bucket [2, 4).
@@ -513,7 +549,7 @@ mod tests {
         // the Display suffix is omitted.
         let fresh = ServiceStats::new();
         fresh.connections_accepted.store(1, Ordering::Relaxed);
-        let early = fresh.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
+        let early = fresh.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None);
         assert!(early.to_json().contains("\"requests_per_conn_p50\":null"));
         assert!(early
             .to_string()
@@ -525,7 +561,7 @@ mod tests {
         let stats = ServiceStats::new();
         stats.updates_staged.store(12, Ordering::Relaxed);
         stats.commit_requests.store(3, Ordering::Relaxed);
-        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
+        let snap = stats.snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None);
         assert_eq!(snap.updates_staged, 12);
         assert_eq!(snap.commit_requests, 3);
         let json = snap.to_json();
@@ -537,7 +573,8 @@ mod tests {
             "{snap}"
         );
         // A read-only server omits the Display line and sheds nothing.
-        let quiet = ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], Default::default());
+        let quiet =
+            ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], Default::default(), None);
         assert!(!quiet.to_string().contains("writes:"));
         assert_eq!(quiet.shed_rate, 0.0);
         assert!(quiet.to_json().contains("\"shed_rate\":0.0000"));
@@ -554,6 +591,7 @@ mod tests {
             None,
             [Some(0), Some(4096), None],
             ServingShape::default(),
+            None,
         );
         let json = snap.to_json();
         assert!(
@@ -583,6 +621,7 @@ mod tests {
             None,
             [Some(0), Some(1024), None],
             ServingShape::default(),
+            None,
         );
         assert!((snap.hit_rate - 0.9).abs() < 1e-12);
         assert_eq!(snap.cached_entries, 5);
@@ -598,8 +637,16 @@ mod tests {
 
     #[test]
     fn zero_queries_mean_zero_hit_rate() {
-        let snap =
-            ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default());
+        let snap = ServiceStats::new().snapshot(
+            0,
+            0,
+            0,
+            0,
+            None,
+            [None; 3],
+            ServingShape::default(),
+            None,
+        );
         assert_eq!(snap.hit_rate, 0.0);
         assert_eq!(snap.p50, None);
     }
@@ -611,7 +658,7 @@ mod tests {
         stats.cache_hits.store(2, Ordering::Relaxed);
         stats.latency.record(Duration::from_micros(100));
         let json = stats
-            .snapshot(3, 1, 0, 2, None, [None; 3], ServingShape::default())
+            .snapshot(3, 1, 0, 2, None, [None; 3], ServingShape::default(), None)
             .to_json();
         assert!(json.starts_with("{\"epoch\":3,"));
         assert!(json.contains("\"queries\":4"));
@@ -624,7 +671,7 @@ mod tests {
         assert!(json.contains("\"last_snapshot_epoch\":null"));
         // Before any query, quantiles serialize as null.
         let empty = ServiceStats::new()
-            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default())
+            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None)
             .to_json();
         assert!(empty.contains("\"p99_us\":null"));
     }
@@ -636,7 +683,7 @@ mod tests {
             kernel_threads: 2,
             shards: 3,
         };
-        let snap = ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], shape);
+        let snap = ServiceStats::new().snapshot(0, 0, 0, 0, None, [None; 3], shape, None);
         let json = snap.to_json();
         // Shape rides immediately after the epoch so scrapers that read a
         // prefix still see it.
@@ -648,9 +695,60 @@ mod tests {
         assert!(rendered.contains("3 shard(s), 4 workers, 2 kernel thread(s)"));
         // The single-process default reports one shard.
         let plain = ServiceStats::new()
-            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default())
+            .snapshot(0, 0, 0, 0, None, [None; 3], ServingShape::default(), None)
             .to_json();
         assert!(plain.contains("\"shards\":1"), "{plain}");
+    }
+
+    #[test]
+    fn pool_stats_surface_in_json_and_display() {
+        let pool = PoolStats {
+            capacity: 64,
+            resident: 64,
+            pinned: 2,
+            hits: 900,
+            misses: 100,
+            evictions: 36,
+        };
+        let snap = ServiceStats::new().snapshot(
+            0,
+            0,
+            0,
+            0,
+            None,
+            [None; 3],
+            ServingShape::default(),
+            Some(pool),
+        );
+        let json = snap.to_json();
+        assert!(
+            json.contains(concat!(
+                "\"pool\":{\"pages\":64,\"resident\":64,\"pinned\":2,",
+                "\"hits\":900,\"misses\":100,\"evictions\":36,",
+                "\"pool_hit_rate\":0.9000}"
+            )),
+            "{json}"
+        );
+        assert!(
+            snap.to_string().contains(
+                "buffer pool:        64/64 pages resident (2 pinned), 90.0% hit rate, 36 evictions"
+            ),
+            "{snap}"
+        );
+        // An in-memory (unpaged) store reports no pool at all — scrapers can
+        // key backend detection on the null.
+        let unpaged = ServiceStats::new().snapshot(
+            0,
+            0,
+            0,
+            0,
+            None,
+            [None; 3],
+            ServingShape::default(),
+            None,
+        );
+        assert!(unpaged.to_json().contains("\"pool\":null"));
+        assert!(!unpaged.to_string().contains("buffer pool:"));
     }
 
     #[test]
@@ -661,7 +759,16 @@ mod tests {
             wal_records: 12,
             last_snapshot_epoch: 3,
         };
-        let snap = stats.snapshot(5, 0, 0, 0, Some(info), [None; 3], ServingShape::default());
+        let snap = stats.snapshot(
+            5,
+            0,
+            0,
+            0,
+            Some(info),
+            [None; 3],
+            ServingShape::default(),
+            None,
+        );
         assert_eq!(snap.wal_len, Some(12));
         assert_eq!(snap.last_snapshot_epoch, Some(3));
         let json = snap.to_json();

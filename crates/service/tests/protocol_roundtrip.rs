@@ -83,6 +83,8 @@ fn every_command_parses_to_its_request() {
         ),
         ("addedge 1 2", Request::AddEdge { u: 1, v: 2 }),
         ("deledge 1 2", Request::DelEdge { u: 1, v: 2 }),
+        ("addnode", Request::AddNode { count: 1 }), // count defaults to 1
+        ("addnode 5", Request::AddNode { count: 5 }),
         ("commit", Request::Commit),
         ("epoch", Request::Epoch),
         ("save", Request::Save),
@@ -159,6 +161,8 @@ fn every_request_formats_to_a_line_that_round_trips() {
         },
         Request::AddEdge { u: 3, v: 4 },
         Request::DelEdge { u: 4, v: 3 },
+        Request::AddNode { count: 1 },
+        Request::AddNode { count: 1_000_000 },
         Request::Commit,
         Request::Epoch,
         Request::Save,
@@ -202,6 +206,9 @@ fn malformed_lines_map_to_stable_codes() {
         ("addedge 1", codes::BAD_REQUEST), // missing head
         ("addedge a b", codes::BAD_REQUEST),
         ("deledge 1", codes::BAD_REQUEST),
+        ("addnode x", codes::BAD_REQUEST),   // count must be a u64
+        ("addnode 0", codes::BAD_REQUEST),   // zero growth is a typo
+        ("addnode 1 2", codes::BAD_REQUEST), // at most one argument
         // Bare commands reject trailing tokens too: `commit 5` is a typo,
         // not a commit.
         ("commit 5", codes::BAD_REQUEST),
@@ -273,6 +280,14 @@ fn every_error_variant_maps_to_its_documented_code() {
             codes::OUT_OF_RANGE,
         ),
         (StoreError::SelfLoop(3), codes::BAD_REQUEST),
+        (
+            // Client-caused: asked for more node ids than the u32 space has.
+            StoreError::NodeSpaceExhausted {
+                requested: u64::from(u32::MAX),
+                num_nodes: 3,
+            },
+            codes::BAD_REQUEST,
+        ),
         (StoreError::NotDurable, codes::NOT_DURABLE),
         (
             StoreError::Io {
@@ -290,6 +305,14 @@ fn every_error_variant_maps_to_its_documented_code() {
             codes::STORAGE,
         ),
         (StoreError::InitFailed("nope".into()), codes::STORAGE),
+        (
+            StoreError::PageCorrupt {
+                path: "/tmp/epoch-0.pages".into(),
+                detail: "bad page checksum".into(),
+            },
+            codes::STORAGE,
+        ),
+        (StoreError::PoolExhausted { capacity: 4 }, codes::STORAGE),
     ];
     for (error, code) in store_table {
         let mapped = ProtoError::from(error.clone());
@@ -495,6 +518,76 @@ fn execute_answers_each_command_with_its_wire_shape() {
         execute(&service, AlgorithmKind::ExactSim, &Request::Shutdown),
         Outcome::Shutdown(reply) if reply.contains("\"op\":\"shutdown\"")
     ));
+}
+
+/// The `addnode` verb end to end: stage growth, watch it in `epoch`, publish
+/// it with `commit`, and query one of the new (isolated) ids.
+#[test]
+fn addnode_grows_the_served_graph_through_the_wire_protocol() {
+    let service = demo_service();
+    let n = 60; // demo_service graph size
+
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::AddNode { count: 2 },
+    ) {
+        Outcome::Reply(json) => {
+            assert!(json.contains("\"op\":\"addnode\""), "{json}");
+            assert!(json.contains("\"added\":2"), "{json}");
+            assert!(json.contains("\"pending_nodes\":2"), "{json}");
+        }
+        other => panic!("addnode -> {other:?}"),
+    }
+    // Staged edges may target the new ids before the commit publishes them.
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::AddEdge { u: 0, v: n + 1 },
+    ) {
+        Outcome::Reply(json) => assert!(json.contains("\"staged\":\"pending\""), "{json}"),
+        other => panic!("addedge to new id -> {other:?}"),
+    }
+    match execute(&service, AlgorithmKind::ExactSim, &Request::Epoch) {
+        Outcome::Reply(json) => assert!(json.contains("\"pending_nodes\":2"), "{json}"),
+        other => panic!("epoch -> {other:?}"),
+    }
+    match execute(&service, AlgorithmKind::ExactSim, &Request::Commit) {
+        Outcome::Reply(json) => {
+            assert!(json.contains("\"epoch\":1"), "{json}");
+            assert!(json.contains("\"nodes_added\":2"), "{json}");
+        }
+        other => panic!("commit -> {other:?}"),
+    }
+    // The new top id is now queryable (born isolated except the staged edge).
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::Query {
+            node: n + 1,
+            algo: None,
+        },
+    ) {
+        Outcome::Reply(json) => {
+            assert!(json.contains(&format!("\"source\":{}", n + 1)), "{json}");
+            assert!(json.contains("\"epoch\":1"), "{json}");
+        }
+        other => panic!("query new id -> {other:?}"),
+    }
+    // Growth past the u32 id space is a typed client error, not a panic.
+    match execute(
+        &service,
+        AlgorithmKind::ExactSim,
+        &Request::AddNode {
+            count: u64::from(u32::MAX),
+        },
+    ) {
+        Outcome::Reply(json) => assert!(
+            json.contains(&format!("\"code\":\"{}\"", codes::BAD_REQUEST)),
+            "{json}"
+        ),
+        other => panic!("overflowing addnode -> {other:?}"),
+    }
 }
 
 #[test]

@@ -10,10 +10,13 @@
 
 use std::collections::BTreeSet;
 
-use exactsim_graph::{DiGraph, NodeId};
+use exactsim_graph::{NeighborAccess, NodeId};
+
+#[cfg(test)]
+use exactsim_graph::DiGraph;
 
 /// A sorted, duplicate-free edge list, as produced by [`DeltaBuffer::drain`]
-/// and consumed by [`DiGraph::apply_delta`].
+/// and consumed by [`exactsim_graph::DiGraph::apply_delta`].
 pub type EdgeList = Vec<(NodeId, NodeId)>;
 
 /// What staging one edge update did to the buffer.
@@ -36,11 +39,16 @@ impl Staged {
     }
 }
 
-/// Pending, deduplicated edge updates against a base graph.
+/// Pending, deduplicated edge updates against a base graph, plus pending
+/// node-id-space growth (`addnode`).
 #[derive(Clone, Debug, Default)]
 pub struct DeltaBuffer {
     insertions: BTreeSet<(NodeId, NodeId)>,
     deletions: BTreeSet<(NodeId, NodeId)>,
+    /// Nodes to append at the top of the id space on the next commit. New
+    /// nodes are born isolated; staged insertions may reference them (their
+    /// ids are `base_n .. base_n + added_nodes`).
+    added_nodes: u64,
 }
 
 impl DeltaBuffer {
@@ -49,26 +57,47 @@ impl DeltaBuffer {
         Self::default()
     }
 
+    /// `true` iff `base` has the edge `u → v`. Endpoints beyond `base`'s
+    /// node space (legal when they point at staged-but-uncommitted new
+    /// nodes) are never present.
+    fn base_has_edge<G: NeighborAccess>(base: &G, u: NodeId, v: NodeId) -> bool {
+        let n = base.num_nodes() as u64;
+        u64::from(u) < n && u64::from(v) < n && base.has_edge(u, v)
+    }
+
     /// Stages the insertion of `u → v` against `base`.
-    pub fn stage_insert(&mut self, base: &DiGraph, u: NodeId, v: NodeId) -> Staged {
+    pub fn stage_insert<G: NeighborAccess>(&mut self, base: &G, u: NodeId, v: NodeId) -> Staged {
         if self.deletions.remove(&(u, v)) {
             return Staged::Cancelled;
         }
-        if base.has_edge(u, v) || !self.insertions.insert((u, v)) {
+        if Self::base_has_edge(base, u, v) || !self.insertions.insert((u, v)) {
             return Staged::NoOp;
         }
         Staged::Pending
     }
 
     /// Stages the deletion of `u → v` against `base`.
-    pub fn stage_delete(&mut self, base: &DiGraph, u: NodeId, v: NodeId) -> Staged {
+    pub fn stage_delete<G: NeighborAccess>(&mut self, base: &G, u: NodeId, v: NodeId) -> Staged {
         if self.insertions.remove(&(u, v)) {
             return Staged::Cancelled;
         }
-        if !base.has_edge(u, v) || !self.deletions.insert((u, v)) {
+        if !Self::base_has_edge(base, u, v) || !self.deletions.insert((u, v)) {
             return Staged::NoOp;
         }
         Staged::Pending
+    }
+
+    /// Stages the growth of the node-id space by `count` nodes, returning
+    /// the total pending growth. Range validation against `NodeId` happens
+    /// in the store, which knows the base node count.
+    pub fn stage_add_nodes(&mut self, count: u64) -> u64 {
+        self.added_nodes += count;
+        self.added_nodes
+    }
+
+    /// Total nodes pending addition.
+    pub fn added_nodes(&self) -> u64 {
+        self.added_nodes
     }
 
     /// Number of pending insertions.
@@ -83,18 +112,21 @@ impl DeltaBuffer {
 
     /// `true` if nothing is staged.
     pub fn is_empty(&self) -> bool {
-        self.insertions.is_empty() && self.deletions.is_empty()
+        self.insertions.is_empty() && self.deletions.is_empty() && self.added_nodes == 0
     }
 
-    /// Drops every staged update.
+    /// Drops every staged update (including pending node growth).
     pub fn clear(&mut self) {
         self.insertions.clear();
         self.deletions.clear();
+        self.added_nodes = 0;
     }
 
     /// Drains the buffer into sorted, duplicate-free `(insertions, deletions)`
-    /// edge lists ready for [`DiGraph::apply_delta`].
+    /// edge lists ready for [`exactsim_graph::DiGraph::apply_delta`]. Pending node growth is
+    /// reset too (read it first with [`DeltaBuffer::added_nodes`]).
     pub fn drain(&mut self) -> (EdgeList, EdgeList) {
+        self.added_nodes = 0;
         (
             std::mem::take(&mut self.insertions).into_iter().collect(),
             std::mem::take(&mut self.deletions).into_iter().collect(),

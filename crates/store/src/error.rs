@@ -68,6 +68,32 @@ pub enum StoreError {
         /// What exactly failed.
         detail: String,
     },
+    /// A page file (the paged backend's on-disk CSR cache) failed
+    /// validation: bad magic, a directory that disagrees with its header, or
+    /// a page whose checksum or node range does not match.
+    PageCorrupt {
+        /// The offending page file.
+        path: PathBuf,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// Every frame of the buffer pool is pinned, so a page fetch found no
+    /// evictable victim after two full clock sweeps. The pool is sized too
+    /// small for the number of concurrently live neighbor guards (the
+    /// contract is a few guards per thread — size the pool to at least
+    /// `threads + 1` pages).
+    PoolExhausted {
+        /// The pool's frame capacity.
+        capacity: usize,
+    },
+    /// Growing the node-id space would push the node count past `NodeId`
+    /// range (`u32`).
+    NodeSpaceExhausted {
+        /// Nodes requested by the staged growth.
+        requested: u64,
+        /// The current node count the growth was staged against.
+        num_nodes: u64,
+    },
     /// [`crate::GraphStore::open`] found no snapshot file in the directory.
     NoSnapshot {
         /// The directory that was searched.
@@ -128,6 +154,22 @@ impl fmt::Display for StoreError {
                 f,
                 "corrupt WAL record at byte {offset} of {}: {detail}",
                 path.display()
+            ),
+            StoreError::PageCorrupt { path, detail } => {
+                write!(f, "corrupt page file {}: {detail}", path.display())
+            }
+            StoreError::PoolExhausted { capacity } => write!(
+                f,
+                "buffer pool exhausted: all {capacity} frames pinned (pool too small \
+                 for the number of live neighbor guards)"
+            ),
+            StoreError::NodeSpaceExhausted {
+                requested,
+                num_nodes,
+            } => write!(
+                f,
+                "adding {requested} nodes to a store with {num_nodes} would overflow \
+                 the u32 node-id space"
             ),
             StoreError::NoSnapshot { dir } => {
                 write!(f, "no snapshot file found in {}", dir.display())

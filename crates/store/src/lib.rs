@@ -14,12 +14,16 @@
 //!
 //! | type | role |
 //! |---|---|
-//! | [`GraphStore`] | owns the published `Arc<DiGraph>` + epoch, stages updates, commits |
-//! | [`DeltaBuffer`] | sorted, deduplicated pending insert/delete sets |
+//! | [`GraphStore`] | owns the published [`GraphHandle`] + epoch, stages updates, commits |
+//! | [`GraphHandle`] | the published graph behind either backend: in-memory CSR or paged |
+//! | [`DeltaBuffer`] | sorted, deduplicated pending insert/delete sets + staged node growth |
 //! | [`GraphSnapshot`] | a consistent `(graph, epoch)` pair readers pin |
 //! | [`CommitReport`] | what a commit materialized (epoch, counts, build time) |
 //! | [`CommitTimings`] | per-stage commit breakdown (staging, CSR merge, WAL append, fsync, publish) |
 //! | [`persist`] | snapshot files + delta WAL: formats, recovery, compaction |
+//! | [`pages`] | the paged backend's on-disk page-file format |
+//! | [`BufferPool`] | pinning clock-replacement page cache shared across epochs |
+//! | [`PagedGraph`] | `NeighborAccess` backend streaming adjacency through the pool |
 //! | [`DurabilityInfo`] | operator-visible durable state (data dir, WAL length, snapshot epoch) |
 //!
 //! ## Guarantees
@@ -34,9 +38,9 @@
 //!   the epoch as an invalidation generation.
 //! * **Deltas have set semantics.** Inserting a present edge or deleting an
 //!   absent one is a no-op; opposite updates to the same edge cancel;
-//!   endpoints are validated against the fixed node-id space and self-loops
-//!   are rejected (matching the dataset preprocessing used throughout the
-//!   reproduction).
+//!   endpoints are validated against the node-id space (including staged
+//!   [`GraphStore::stage_add_nodes`] growth) and self-loops are rejected
+//!   (matching the dataset preprocessing used throughout the reproduction).
 //! * **Durable commits survive restarts.** On a store with a data directory
 //!   ([`GraphStore::create`] / [`GraphStore::open`]), a commit appends its
 //!   delta to an fsynced write-ahead log *before* publishing, and recovery
@@ -69,6 +73,17 @@
 //! assert!(!before.graph.has_edge(0, 1));
 //! ```
 //!
+//! ## Storage backends
+//!
+//! The store publishes each epoch behind a [`GraphHandle`]: either the
+//! in-memory CSR (`Mem`, the default zero-overhead path) or a *paged*
+//! backend ([`GraphStore::with_paging`]) that images the epoch as a page
+//! file and streams adjacency through a pinning [`BufferPool`] — serving
+//! graphs whose CSR exceeds RAM. Pages hold exactly the same sorted
+//! neighbor lists as the in-memory CSR, so solver output is bit-identical
+//! across backends. Page files are rebuildable caches; durability rests
+//! solely on the snapshot + WAL.
+//!
 //! ## Durable example
 //!
 //! ```
@@ -94,14 +109,23 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(clippy::all)]
 
+pub mod buffer;
 pub mod delta;
 pub mod error;
+pub mod handle;
+pub mod paged;
+pub mod pages;
 pub mod persist;
 pub mod store;
 
+pub use buffer::{BufferPool, PinnedPage, PoolStats};
 pub use delta::{DeltaBuffer, Staged};
 pub use error::StoreError;
+pub use handle::{GraphHandle, HandleNeighbors};
+pub use paged::{PagedGraph, PagedNeighbors};
+pub use pages::DEFAULT_PAGE_BYTES;
 pub use persist::DurabilityInfo;
 pub use store::{
-    CommitReport, CommitTimings, GraphSnapshot, GraphStore, Opened, DEFAULT_COMPACT_EVERY,
+    CommitReport, CommitTimings, GraphSnapshot, GraphStore, Opened, PagedOptions,
+    DEFAULT_COMPACT_EVERY,
 };

@@ -1,0 +1,272 @@
+//! [`PagedGraph`]: a [`NeighborAccess`] backend that streams adjacency from
+//! a page file through a pinning [`BufferPool`].
+//!
+//! Only the global offsets arrays, the page directory, and up to
+//! `pool_pages` decoded pages are resident; everything else stays on disk.
+//! A solver generic over `G: NeighborAccess` runs against this backend
+//! unchanged and — because pages store exactly the same sorted neighbor
+//! lists as the in-memory CSR — produces bit-identical score vectors, which
+//! the in-memory-vs-paged equivalence tests pin across all five solvers.
+//!
+//! ## Panics
+//!
+//! `NeighborAccess` has no error channel (the in-memory fast path must stay
+//! a plain slice return), so I/O failures and pool exhaustion inside
+//! `out_neighbors`/`in_neighbors` panic with the underlying [`StoreError`].
+//! Both are deployment faults, not data states: a page file is a rebuildable
+//! cache of a durably-stored epoch, and pool exhaustion means the pool was
+//! sized below `threads + 1` pages.
+
+use std::ops::{Deref, Range};
+use std::path::Path;
+use std::sync::Arc;
+
+use exactsim_graph::{CsrAdjacency, DiGraph, NeighborAccess, NodeId};
+
+use crate::buffer::{BufferPool, PinnedPage, PoolStats};
+use crate::error::StoreError;
+use crate::pages::{write_page_file, FileManager, PageData};
+
+/// A graph served from a page file through a shared buffer pool.
+#[derive(Debug)]
+pub struct PagedGraph {
+    fm: FileManager,
+    pool: Arc<BufferPool>,
+}
+
+impl PagedGraph {
+    /// Writes the page-file image of `graph` at `epoch` to `path`. See
+    /// [`crate::pages::write_page_file`].
+    pub fn build(
+        path: &Path,
+        graph: &DiGraph,
+        epoch: u64,
+        page_bytes: usize,
+    ) -> Result<(), StoreError> {
+        write_page_file(path, graph, epoch, page_bytes)
+    }
+
+    /// Opens a page file and serves it through `pool`. The pool may be
+    /// shared with other epochs' paged graphs; page keys never collide.
+    pub fn open(path: &Path, pool: Arc<BufferPool>) -> Result<Self, StoreError> {
+        Ok(PagedGraph {
+            fm: FileManager::open(path)?,
+            pool,
+        })
+    }
+
+    /// The epoch this page file images.
+    pub fn epoch(&self) -> u64 {
+        self.fm.epoch()
+    }
+
+    /// Total pages across both orientations.
+    pub fn num_pages(&self) -> usize {
+        self.fm.num_pages()
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Current buffer-pool statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// The underlying page file's path.
+    pub fn path(&self) -> &Path {
+        self.fm.path()
+    }
+
+    /// Rebuilds the full in-memory [`DiGraph`] by streaming every page once,
+    /// bypassing the pool (a sequential scan must not wipe the working set).
+    /// This is the commit path's transient materialization — it costs
+    /// `O(graph)` memory for its duration.
+    pub fn materialize(&self) -> Result<DiGraph, StoreError> {
+        let m = self.fm.num_edges();
+        let narrow =
+            |offsets: &[u64]| -> Vec<usize> { offsets.iter().map(|&o| o as usize).collect() };
+        let mut out_targets: Vec<NodeId> = Vec::with_capacity(m);
+        let mut in_targets: Vec<NodeId> = Vec::with_capacity(m);
+        for page_no in 0..self.fm.num_pages() as u32 {
+            let page = self.fm.read_page(page_no)?;
+            // Pages are laid out in node order, out orientation first, so
+            // straight concatenation reproduces both target arrays.
+            if (page_no as usize) < self.fm.num_out_pages() {
+                out_targets.extend_from_slice(&page.targets);
+            } else {
+                in_targets.extend_from_slice(&page.targets);
+            }
+        }
+        let out = CsrAdjacency::from_raw_parts(narrow(self.fm.out_offsets()), out_targets);
+        let in_ = CsrAdjacency::from_raw_parts(narrow(self.fm.in_offsets()), in_targets);
+        Ok(DiGraph::from_csr(out, in_))
+    }
+
+    fn neighbors(&self, page_no: u32, range: Range<usize>) -> PagedNeighbors<'_> {
+        if range.is_empty() {
+            return PagedNeighbors { page: None, range };
+        }
+        let file = self.fm.id();
+        // Fast path: the thread's last page. Adjacency reads have strong run
+        // locality — consecutive nodes share a page — and a memo hit is a
+        // TLS compare plus an `Arc` bump instead of a pool round-trip. The
+        // memoized payload is held alive by its own `Arc`, so a concurrent
+        // eviction of the underlying frame cannot invalidate it; the pool's
+        // hit/miss counters only see the accesses that actually reach it.
+        let memo = LAST_PAGE.with(|m| {
+            m.borrow()
+                .as_ref()
+                .and_then(|(f, p, data)| ((*f, *p) == (file, page_no)).then(|| Arc::clone(data)))
+        });
+        if let Some(data) = memo {
+            return PagedNeighbors {
+                page: Some(PageRef::Memo(data)),
+                range,
+            };
+        }
+        let guard = self
+            .pool
+            .fetch(&self.fm, page_no)
+            .unwrap_or_else(|e| panic!("paged graph adjacency read failed: {e}"));
+        LAST_PAGE.with(|m| {
+            *m.borrow_mut() = Some((file, page_no, Arc::clone(guard.data())));
+        });
+        PagedNeighbors {
+            page: Some(PageRef::Pinned(guard)),
+            range,
+        }
+    }
+}
+
+thread_local! {
+    /// The thread's most recently fetched page: `(file id, page no,
+    /// payload)`. One entry is deliberate — it serves the same-page runs of
+    /// sequential adjacency scans, and any reuse beyond that is the buffer
+    /// pool's job.
+    static LAST_PAGE: std::cell::RefCell<Option<(u64, u32, Arc<PageData>)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// How a [`PagedNeighbors`] guard holds its page.
+enum PageRef<'a> {
+    /// Fetched from the pool this access; pins the frame until drop.
+    Pinned(PinnedPage<'a>),
+    /// Served from the thread's last-page memo; the payload outlives any
+    /// eviction because the memo shares ownership of it.
+    Memo(Arc<PageData>),
+}
+
+/// The guard returned by [`PagedGraph`]'s neighbor accessors: keeps its page
+/// alive (pinning the pool frame when it came from the pool) for the guard's
+/// lifetime and derefs to the node's slice of the page. Empty neighbor lists
+/// skip the pool entirely.
+pub struct PagedNeighbors<'a> {
+    page: Option<PageRef<'a>>,
+    range: Range<usize>,
+}
+
+impl Deref for PagedNeighbors<'_> {
+    type Target = [NodeId];
+
+    #[inline]
+    fn deref(&self) -> &[NodeId] {
+        match &self.page {
+            Some(PageRef::Pinned(guard)) => &guard.data().targets[self.range.clone()],
+            Some(PageRef::Memo(data)) => &data.targets[self.range.clone()],
+            None => &[],
+        }
+    }
+}
+
+impl NeighborAccess for PagedGraph {
+    type Neighbors<'a> = PagedNeighbors<'a>;
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.fm.num_nodes()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.fm.num_edges()
+    }
+
+    #[inline]
+    fn out_degree(&self, v: NodeId) -> usize {
+        let offsets = self.fm.out_offsets();
+        (offsets[v as usize + 1] - offsets[v as usize]) as usize
+    }
+
+    #[inline]
+    fn in_degree(&self, v: NodeId) -> usize {
+        let offsets = self.fm.in_offsets();
+        (offsets[v as usize + 1] - offsets[v as usize]) as usize
+    }
+
+    fn out_neighbors(&self, v: NodeId) -> PagedNeighbors<'_> {
+        let (page_no, range) = self.fm.locate_out(v);
+        self.neighbors(page_no, range)
+    }
+
+    fn in_neighbors(&self, v: NodeId) -> PagedNeighbors<'_> {
+        let (page_no, range) = self.fm.locate_in(v);
+        self.neighbors(page_no, range)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.fm.resident_bytes() + self.pool.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exactsim_graph::generators::barabasi_albert;
+    use std::path::PathBuf;
+
+    fn paged(tag: &str, pool_pages: usize) -> (PathBuf, DiGraph, PagedGraph) {
+        let dir = std::env::temp_dir().join(format!("exactsim-paged-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("epoch-0.pages");
+        let graph = barabasi_albert(400, 4, true, 23).unwrap();
+        PagedGraph::build(&path, &graph, 0, 64).unwrap();
+        let paged = PagedGraph::open(&path, Arc::new(BufferPool::new(pool_pages))).unwrap();
+        (dir, graph, paged)
+    }
+
+    #[test]
+    fn adjacency_matches_the_in_memory_graph_exactly() {
+        let (dir, graph, paged) = paged("match", 8);
+        assert_eq!(NeighborAccess::num_nodes(&paged), graph.num_nodes());
+        assert_eq!(NeighborAccess::num_edges(&paged), graph.num_edges());
+        for v in 0..graph.num_nodes() as NodeId {
+            assert_eq!(paged.out_degree(v), graph.out_degree(v));
+            assert_eq!(paged.in_degree(v), graph.in_degree(v));
+            assert_eq!(&*paged.out_neighbors(v), graph.out_neighbors(v));
+            assert_eq!(&*paged.in_neighbors(v), graph.in_neighbors(v));
+            assert_eq!(
+                NeighborAccess::has_edge(&paged, v, (v + 1) % graph.num_nodes() as NodeId),
+                graph.has_edge(v, (v + 1) % graph.num_nodes() as NodeId)
+            );
+        }
+        // A pool far smaller than the page count must have evicted.
+        assert!(paged.num_pages() > 8);
+        assert!(paged.pool_stats().evictions > 0);
+        assert!(paged.resident_bytes() < graph.memory_bytes());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn materialize_round_trips_bit_identically() {
+        let (dir, graph, paged) = paged("mat", 4);
+        let rebuilt = paged.materialize().unwrap();
+        assert_eq!(rebuilt.out_csr(), graph.out_csr());
+        assert_eq!(rebuilt.in_csr(), graph.in_csr());
+        assert!(rebuilt.validate());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

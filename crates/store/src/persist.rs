@@ -8,7 +8,7 @@
 //!   wal.log                 edge deltas committed after that snapshot
 //! ```
 //!
-//! ## Snapshot file format (version 1, little-endian)
+//! ## Snapshot file format (version 2, little-endian)
 //!
 //! ```text
 //! magic        "ESSN"                       4 bytes
@@ -23,7 +23,7 @@
 //! into place (and the directory fsynced), so a crash mid-write never leaves
 //! a half-visible snapshot — only an ignored temp file.
 //!
-//! ## WAL format (version 1, little-endian)
+//! ## WAL format (version 2, little-endian)
 //!
 //! An 8-byte file header (`"ESWL"` + `u32` version) followed by
 //! length-prefixed, checksummed records:
@@ -33,11 +33,16 @@
 //! crc32        u32 over the payload
 //! payload:
 //!   epoch      u64      the epoch this commit published
+//!   added      u64      nodes appended to the id space by this commit
 //!   n_ins      u32
 //!   n_del      u32
 //!   insertions (u32, u32) × n_ins   sorted by (source, target)
 //!   deletions  (u32, u32) × n_del   sorted by (source, target)
 //! ```
+//!
+//! (Version 2 added the `added` field for `addnode` id-space growth; replay
+//! grows the graph *before* applying the edge delta, so insertions may
+//! reference the new ids.)
 //!
 //! A commit appends its record and fsyncs *before* the new epoch is
 //! published — the WAL is the durability point.
@@ -76,8 +81,10 @@ use exactsim_graph::{DiGraph, NodeId};
 
 use crate::error::StoreError;
 
-/// The on-disk format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The on-disk format version this build writes and reads. Version 2 added
+/// the `added_nodes` field to WAL records (`addnode` growth); version-1
+/// files are refused with a typed [`StoreError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Snapshot file magic.
 pub const SNAPSHOT_MAGIC: &[u8; 4] = b"ESSN";
@@ -266,6 +273,9 @@ pub fn read_snapshot(path: &Path) -> Result<(DiGraph, u64), StoreError> {
 pub struct WalRecord {
     /// The epoch this commit published.
     pub epoch: u64,
+    /// Nodes appended to the id space by this commit (applied before the
+    /// edge delta on replay).
+    pub added_nodes: u64,
     /// Sorted, duplicate-free edge insertions.
     pub insertions: Vec<(NodeId, NodeId)>,
     /// Sorted, duplicate-free edge deletions.
@@ -274,8 +284,9 @@ pub struct WalRecord {
 
 impl WalRecord {
     fn encode_payload(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + 8 * (self.insertions.len() + self.deletions.len()));
+        let mut out = Vec::with_capacity(24 + 8 * (self.insertions.len() + self.deletions.len()));
         out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.added_nodes.to_le_bytes());
         out.extend_from_slice(&(self.insertions.len() as u32).to_le_bytes());
         out.extend_from_slice(&(self.deletions.len() as u32).to_le_bytes());
         for &(u, v) in self.insertions.iter().chain(&self.deletions) {
@@ -286,13 +297,14 @@ impl WalRecord {
     }
 
     fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
-        if payload.len() < 16 {
+        if payload.len() < 24 {
             return Err(format!("payload of {} bytes is too short", payload.len()));
         }
         let epoch = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
-        let n_ins = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
-        let n_del = u32::from_le_bytes(payload[12..16].try_into().expect("4 bytes")) as usize;
-        let expected = 16 + 8 * (n_ins + n_del);
+        let added_nodes = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let n_ins = u32::from_le_bytes(payload[16..20].try_into().expect("4 bytes")) as usize;
+        let n_del = u32::from_le_bytes(payload[20..24].try_into().expect("4 bytes")) as usize;
+        let expected = 24 + 8 * (n_ins + n_del);
         if payload.len() != expected {
             return Err(format!(
                 "payload length {} does not match declared {n_ins} insertions + {n_del} deletions",
@@ -310,8 +322,8 @@ impl WalRecord {
                 })
                 .collect()
         };
-        let insertions = read_pairs(16, n_ins);
-        let deletions = read_pairs(16 + 8 * n_ins, n_del);
+        let insertions = read_pairs(24, n_ins);
+        let deletions = read_pairs(24 + 8 * n_ins, n_del);
         for (name, list) in [("insertions", &insertions), ("deletions", &deletions)] {
             if list.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(format!("{name} are not strictly sorted"));
@@ -319,6 +331,7 @@ impl WalRecord {
         }
         Ok(WalRecord {
             epoch,
+            added_nodes,
             insertions,
             deletions,
         })
@@ -620,6 +633,11 @@ impl DurableLog {
                     ),
                 });
             }
+            // Id-space growth applies before the edge delta, so insertions
+            // in the same record may reference the new ids.
+            if record.added_nodes > 0 {
+                graph = graph.grow(record.added_nodes as usize);
+            }
             // Endpoints must fit this graph's node space: apply_delta only
             // debug-asserts ranges, and in release an out-of-range id (a
             // WAL from a different store, or damage that survived CRC32)
@@ -778,6 +796,7 @@ mod tests {
     fn wal_record_payload_round_trips() {
         let record = WalRecord {
             epoch: 7,
+            added_nodes: 2,
             insertions: vec![(0, 1), (2, 3)],
             deletions: vec![(1, 0)],
         };
@@ -789,6 +808,7 @@ mod tests {
     fn wal_record_rejects_malformed_payloads() {
         let record = WalRecord {
             epoch: 1,
+            added_nodes: 0,
             insertions: vec![(0, 1)],
             deletions: vec![],
         };
@@ -798,6 +818,7 @@ mod tests {
         // Unsorted insertions are structural corruption.
         let bad = WalRecord {
             epoch: 1,
+            added_nodes: 0,
             insertions: vec![(2, 3), (0, 1)],
             deletions: vec![],
         };

@@ -5,10 +5,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use std::path::PathBuf;
+
 use exactsim_graph::{DiGraph, NodeId};
 
+use crate::buffer::{BufferPool, PoolStats};
 use crate::delta::{DeltaBuffer, Staged};
 use crate::error::StoreError;
+use crate::handle::GraphHandle;
+use crate::paged::PagedGraph;
+use crate::pages::{write_page_file, DEFAULT_PAGE_BYTES};
 use crate::persist::{DurabilityInfo, DurableLog, WalRecord};
 
 /// Default WAL auto-compaction threshold: once this many delta records
@@ -27,12 +33,14 @@ pub enum Opened {
 /// A consistent `(graph, epoch)` pair published by a [`GraphStore`].
 ///
 /// The two fields are captured under one lock, so the epoch always describes
-/// exactly this graph. Holding a snapshot pins its graph in memory (it is an
-/// `Arc`); later commits publish new snapshots without disturbing it.
+/// exactly this graph. Holding a snapshot keeps its backend alive (the
+/// handle is `Arc`-backed); later commits publish new snapshots without
+/// disturbing it.
 #[derive(Clone, Debug)]
 pub struct GraphSnapshot {
-    /// The immutable graph of this epoch.
-    pub graph: Arc<DiGraph>,
+    /// The immutable graph of this epoch: in-memory or paged (see
+    /// [`GraphHandle`]).
+    pub graph: GraphHandle,
     /// The monotonic epoch the graph was published under (the initial graph
     /// is epoch 0).
     pub epoch: u64,
@@ -68,6 +76,8 @@ pub struct CommitReport {
     pub edges_inserted: usize,
     /// Edge deletions materialized by this commit.
     pub edges_deleted: usize,
+    /// Nodes appended to the id space by this commit.
+    pub nodes_added: usize,
     /// Node count of the published graph.
     pub num_nodes: usize,
     /// Edge count of the published graph.
@@ -82,13 +92,45 @@ pub struct CommitReport {
 impl CommitReport {
     /// `true` iff this commit published a new epoch.
     pub fn advanced(&self) -> bool {
-        self.edges_inserted + self.edges_deleted > 0
+        self.edges_inserted + self.edges_deleted + self.nodes_added > 0
     }
 }
 
 struct Published {
-    graph: Arc<DiGraph>,
+    graph: GraphHandle,
     epoch: u64,
+}
+
+/// Configuration of the paged serving mode (see [`GraphStore::with_paging`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagedOptions {
+    /// Buffer-pool capacity in pages. Must be at least `threads + 1` for the
+    /// pin contract; the default suits the bench graphs.
+    pub pool_pages: usize,
+    /// Regular-page target capacity in bytes.
+    pub page_bytes: usize,
+}
+
+impl Default for PagedOptions {
+    fn default() -> Self {
+        PagedOptions {
+            pool_pages: 256,
+            page_bytes: DEFAULT_PAGE_BYTES,
+        }
+    }
+}
+
+/// Live state of the paged mode: where epoch page files go and the pool
+/// shared across epochs (so hit/miss/eviction counters stay monotonic).
+struct PagedMode {
+    dir: PathBuf,
+    page_bytes: usize,
+    pool: Arc<BufferPool>,
+}
+
+/// The page file imaging `epoch` inside the paged-mode directory.
+fn page_file_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("epoch-{epoch}.pages"))
 }
 
 /// A dynamic graph store with epoch-based snapshot publication and optional
@@ -117,8 +159,20 @@ struct Published {
 /// WAL into a fresh snapshot; commits also do this automatically once the
 /// WAL exceeds a threshold ([`GraphStore::set_auto_compaction`]).
 ///
-/// The node-id space is fixed at construction; updates change the edge set
-/// only (growing the node space is a planned follow-up).
+/// ## Node-space growth
+///
+/// The node-id space grows through [`GraphStore::stage_add_nodes`]: new
+/// nodes are appended at the top of the id space on commit (recorded in the
+/// WAL before the edge delta), and staged insertions may already reference
+/// them.
+///
+/// ## Paged mode
+///
+/// [`GraphStore::with_paging`] converts the published handle to the paged
+/// backend: each epoch is imaged as a page file served through a shared
+/// pinning [`BufferPool`], so queries stream adjacency instead of holding
+/// the whole CSR in RAM. The page file is a rebuildable cache — durability
+/// still rests solely on the snapshot + WAL.
 pub struct GraphStore {
     published: RwLock<Published>,
     /// Mirrors `published.epoch` for lock-free epoch polls on hot paths.
@@ -130,6 +184,8 @@ pub struct GraphStore {
     /// and save both hold `pending` first), so the order is consistent.
     durable: Mutex<Option<DurableLog>>,
     commits: AtomicU64,
+    /// `Some` once [`GraphStore::with_paging`] ran; immutable afterwards.
+    paged: Option<PagedMode>,
 }
 
 impl std::fmt::Debug for GraphStore {
@@ -192,25 +248,90 @@ impl GraphStore {
 
     fn assemble(graph: Arc<DiGraph>, epoch: u64, log: Option<DurableLog>) -> Self {
         GraphStore {
-            published: RwLock::new(Published { graph, epoch }),
+            published: RwLock::new(Published {
+                graph: GraphHandle::Mem(graph),
+                epoch,
+            }),
             epoch: AtomicU64::new(epoch),
             pending: Mutex::new(DeltaBuffer::new()),
             durable: Mutex::new(log),
             commits: AtomicU64::new(0),
+            paged: None,
         }
+    }
+
+    /// Converts the store to the paged serving mode: images the current
+    /// epoch as a page file under `dir`, opens it over a fresh
+    /// [`BufferPool`] of `opts.pool_pages` frames, and republishes the
+    /// snapshot as [`GraphHandle::Paged`]. Every later commit images its new
+    /// epoch the same way (removing the superseded file) through the *same*
+    /// pool, so pool counters are monotonic across epochs.
+    ///
+    /// Call at construction time, before the store is shared:
+    ///
+    /// ```ignore
+    /// let store = GraphStore::open(&data_dir)?
+    ///     .with_paging(data_dir.join("pages"), PagedOptions::default())?;
+    /// ```
+    pub fn with_paging<P: AsRef<Path>>(
+        mut self,
+        dir: P,
+        opts: PagedOptions,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, "create_dir", e))?;
+        let snapshot = self.snapshot();
+        let graph = snapshot.graph.materialize()?;
+        let path = page_file_path(&dir, snapshot.epoch);
+        write_page_file(&path, &graph, snapshot.epoch, opts.page_bytes)?;
+        let pool = Arc::new(BufferPool::new(opts.pool_pages));
+        let paged_graph = PagedGraph::open(&path, Arc::clone(&pool))?;
+        {
+            let mut published = self.published.write().expect("published snapshot poisoned");
+            published.graph = GraphHandle::Paged(Arc::new(paged_graph));
+        }
+        // Stale page files from previous runs (other epochs) are dead weight.
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                if entry.path() != path
+                    && entry
+                        .file_name()
+                        .to_str()
+                        .is_some_and(|n| n.starts_with("epoch-") && n.ends_with(".pages"))
+                {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        self.paged = Some(PagedMode {
+            dir,
+            page_bytes: opts.page_bytes,
+            pool,
+        });
+        Ok(self)
+    }
+
+    /// `true` iff the store serves through the paged backend.
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// Buffer-pool statistics (`None` unless paged).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.paged.as_ref().map(|mode| mode.pool.stats())
     }
 
     /// The current consistent `(graph, epoch)` pair.
     pub fn snapshot(&self) -> GraphSnapshot {
         let published = self.published.read().expect("published snapshot poisoned");
         GraphSnapshot {
-            graph: Arc::clone(&published.graph),
+            graph: published.graph.clone(),
             epoch: published.epoch,
         }
     }
 
-    /// The currently published graph.
-    pub fn graph(&self) -> Arc<DiGraph> {
+    /// The currently published graph handle.
+    pub fn graph(&self) -> GraphHandle {
         self.snapshot().graph
     }
 
@@ -220,9 +341,9 @@ impl GraphStore {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// The store's fixed node count.
+    /// Node count of the currently published snapshot (grows when `addnode`
+    /// commits land).
     pub fn num_nodes(&self) -> usize {
-        // The node-id space never changes, so any snapshot answers this.
         self.snapshot().graph.num_nodes()
     }
 
@@ -248,8 +369,9 @@ impl GraphStore {
         }
     }
 
-    fn validate(base: &DiGraph, u: NodeId, v: NodeId) -> Result<(), StoreError> {
-        let n = base.num_nodes() as u64;
+    /// Validates an edge's endpoints against a node space of `n` ids (the
+    /// published count plus any staged-but-uncommitted `addnode` growth).
+    fn validate(n: u64, u: NodeId, v: NodeId) -> Result<(), StoreError> {
         for node in [u, v] {
             if u64::from(node) >= n {
                 return Err(StoreError::NodeOutOfRange {
@@ -276,8 +398,36 @@ impl GraphStore {
         // dedup share the same base snapshot (stable while `pending` is
         // held, since commits serialize on it).
         let base = self.graph();
-        Self::validate(&base, u, v)?;
+        Self::validate(base.num_nodes() as u64 + pending.added_nodes(), u, v)?;
         Ok(pending.stage_insert(&base, u, v))
+    }
+
+    /// Stages the growth of the node-id space by `count` nodes for the next
+    /// commit and returns the total pending growth. The new ids are
+    /// `n .. n + total` (appended at the top of the id space, born
+    /// isolated); staged insertions may reference them immediately. Fails
+    /// only if the growth would overflow the `u32` node-id space.
+    pub fn stage_add_nodes(&self, count: u64) -> Result<u64, StoreError> {
+        let mut pending = self.pending.lock().expect("pending delta poisoned");
+        let base_n = self.graph().num_nodes() as u64;
+        let total = base_n
+            .checked_add(pending.added_nodes())
+            .and_then(|t| t.checked_add(count));
+        if total.is_none_or(|t| t > u64::from(u32::MAX)) {
+            return Err(StoreError::NodeSpaceExhausted {
+                requested: count,
+                num_nodes: base_n,
+            });
+        }
+        Ok(pending.stage_add_nodes(count))
+    }
+
+    /// Total nodes staged for addition by the next commit.
+    pub fn pending_nodes(&self) -> u64 {
+        self.pending
+            .lock()
+            .expect("pending delta poisoned")
+            .added_nodes()
     }
 
     /// Stages the deletion of `u → v` for the next commit. Deleting an edge
@@ -286,7 +436,7 @@ impl GraphStore {
     pub fn stage_delete(&self, u: NodeId, v: NodeId) -> Result<Staged, StoreError> {
         let mut pending = self.pending.lock().expect("pending delta poisoned");
         let base = self.graph();
-        Self::validate(&base, u, v)?;
+        Self::validate(base.num_nodes() as u64 + pending.added_nodes(), u, v)?;
         Ok(pending.stage_delete(&base, u, v))
     }
 
@@ -334,6 +484,7 @@ impl GraphStore {
                 epoch: snapshot.epoch,
                 edges_inserted: 0,
                 edges_deleted: 0,
+                nodes_added: 0,
                 num_nodes: snapshot.graph.num_nodes(),
                 num_edges: snapshot.graph.num_edges(),
                 build_time: Duration::ZERO,
@@ -350,20 +501,45 @@ impl GraphStore {
             exactsim_obs::trace::record("stage", stage_start, timings.staging);
             lists
         };
+        let added_nodes = pending.added_nodes();
         // The pending lock serializes commits, so the published graph cannot
         // change between this read and the swap below.
         let base = self.snapshot();
         let merge_start = Instant::now();
-        let next = Arc::new(base.graph.apply_delta(&insertions, &deletions));
+        // The paged backend materializes transiently; `Mem` hands back its
+        // existing `Arc` (no copy).
+        let base_graph = base.graph.materialize()?;
+        let merge_base = if added_nodes > 0 {
+            // Growth first, so staged insertions may reference the new ids.
+            Arc::new(base_graph.grow(added_nodes as usize))
+        } else {
+            base_graph
+        };
+        let next = Arc::new(merge_base.apply_delta(&insertions, &deletions));
         timings.csr_merge = merge_start.elapsed();
         exactsim_obs::trace::record("csr_merge", merge_start, timings.csr_merge);
         let next_epoch = base.epoch + 1;
+
+        // Image the new epoch as a page file *before* the WAL append: a
+        // failed image leaves at worst an orphan file (overwritten on
+        // retry), whereas failing after the append would strand a durable
+        // epoch that was never published.
+        let next_handle = match &self.paged {
+            None => GraphHandle::Mem(Arc::clone(&next)),
+            Some(mode) => {
+                let path = page_file_path(&mode.dir, next_epoch);
+                write_page_file(&path, &next, next_epoch, mode.page_bytes)?;
+                let paged = PagedGraph::open(&path, Arc::clone(&mode.pool))?;
+                GraphHandle::Paged(Arc::new(paged))
+            }
+        };
 
         let mut durable = self.durable.lock().expect("durable log poisoned");
         if let Some(log) = durable.as_mut() {
             let append_start = Instant::now();
             let (wal_append, fsync) = log.append(&WalRecord {
                 epoch: next_epoch,
+                added_nodes,
                 insertions: insertions.clone(),
                 deletions: deletions.clone(),
             })?;
@@ -378,13 +554,20 @@ impl GraphStore {
         let epoch = {
             let mut published = self.published.write().expect("published snapshot poisoned");
             published.epoch = next_epoch;
-            published.graph = Arc::clone(&next);
+            published.graph = next_handle;
             self.epoch.store(published.epoch, Ordering::Release);
             published.epoch
         };
         timings.publish = publish_start.elapsed();
         exactsim_obs::trace::record("publish", publish_start, timings.publish);
         self.commits.fetch_add(1, Ordering::Relaxed);
+
+        // The superseded epoch's page file is dead once no snapshot holds
+        // it; removal is best-effort (an open handle keeps the inode alive
+        // on Unix, and a leftover file is only disk, not correctness).
+        if let Some(mode) = &self.paged {
+            let _ = std::fs::remove_file(page_file_path(&mode.dir, base.epoch));
+        }
 
         if let Some(log) = durable.as_mut() {
             if log.should_compact() {
@@ -398,6 +581,7 @@ impl GraphStore {
             epoch,
             edges_inserted: insertions.len(),
             edges_deleted: deletions.len(),
+            nodes_added: added_nodes as usize,
             num_nodes: next.num_nodes(),
             num_edges: next.num_edges(),
             build_time: start.elapsed(),
@@ -416,7 +600,8 @@ impl GraphStore {
         let mut durable = self.durable.lock().expect("durable log poisoned");
         let log = durable.as_mut().ok_or(StoreError::NotDurable)?;
         let snapshot = self.snapshot();
-        log.compact(&snapshot.graph, snapshot.epoch)?;
+        let graph = snapshot.graph.materialize()?;
+        log.compact(&graph, snapshot.epoch)?;
         Ok(snapshot.epoch)
     }
 }
@@ -593,5 +778,142 @@ mod tests {
         }
         assert_eq!(store.epoch(), 8);
         assert_eq!(store.graph().num_edges(), 12);
+    }
+
+    #[test]
+    fn addnode_grows_the_id_space_and_accepts_edges_to_new_ids() {
+        let store = store();
+        assert_eq!(store.num_nodes(), 4);
+        // Edges to not-yet-added ids are still rejected.
+        assert_eq!(
+            store.stage_insert(0, 4),
+            Err(StoreError::NodeOutOfRange {
+                node: 4,
+                num_nodes: 4
+            })
+        );
+        assert_eq!(store.stage_add_nodes(2).unwrap(), 2);
+        assert_eq!(store.pending_nodes(), 2);
+        // Staged growth widens the id space visible to staging immediately.
+        store.stage_insert(0, 4).unwrap();
+        store.stage_insert(5, 1).unwrap();
+        assert_eq!(
+            store.stage_insert(0, 6),
+            Err(StoreError::NodeOutOfRange {
+                node: 6,
+                num_nodes: 6
+            })
+        );
+        let report = store.commit().unwrap();
+        assert!(report.advanced());
+        assert_eq!(report.nodes_added, 2);
+        assert_eq!(report.num_nodes, 6);
+        assert_eq!(store.num_nodes(), 6);
+        let graph = store.graph();
+        assert!(graph.has_edge(0, 4));
+        assert!(graph.has_edge(5, 1));
+        assert!(graph.validate());
+        assert_eq!(store.pending_nodes(), 0);
+    }
+
+    #[test]
+    fn addnode_alone_advances_the_epoch() {
+        let store = store();
+        store.stage_add_nodes(3).unwrap();
+        let report = store.commit().unwrap();
+        assert!(report.advanced());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.nodes_added, 3);
+        assert_eq!(report.edges_inserted, 0);
+        assert_eq!(store.num_nodes(), 7);
+        assert_eq!(store.graph().num_edges(), 4);
+    }
+
+    #[test]
+    fn addnode_rejects_u32_overflow() {
+        let store = store();
+        assert!(matches!(
+            store.stage_add_nodes(u64::from(u32::MAX)),
+            Err(StoreError::NodeSpaceExhausted { .. })
+        ));
+        // The failed staging left nothing pending.
+        assert_eq!(store.pending_nodes(), 0);
+    }
+
+    #[test]
+    fn rollback_discards_staged_node_growth() {
+        let store = store();
+        store.stage_add_nodes(5).unwrap();
+        store.rollback();
+        assert_eq!(store.pending_nodes(), 0);
+        assert!(!store.commit().unwrap().advanced());
+        assert_eq!(store.num_nodes(), 4);
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("exactsim-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn paged_store_serves_the_same_graph_and_counts_pool_traffic() {
+        let dir = temp_dir("paged");
+        let store = store()
+            .with_paging(
+                dir.join("pages"),
+                PagedOptions {
+                    pool_pages: 2,
+                    page_bytes: 8,
+                },
+            )
+            .unwrap();
+        assert!(store.is_paged());
+        let handle = store.graph();
+        assert!(handle.as_paged().is_some());
+        assert_eq!(handle.num_nodes(), 4);
+        assert!(handle.has_edge(0, 2));
+        assert!(handle.validate());
+        assert!(store.pool_stats().unwrap().misses > 0);
+
+        // Commits re-image through the same pool; staged growth works too.
+        store.stage_add_nodes(1).unwrap();
+        store.stage_insert(4, 0).unwrap();
+        let report = store.commit().unwrap();
+        assert_eq!(report.nodes_added, 1);
+        let after = store.graph();
+        assert!(after.as_paged().is_some());
+        assert!(after.has_edge(4, 0));
+        assert!(after.validate());
+        // The superseded epoch's page file is gone; the new epoch's exists.
+        assert!(!dir.join("pages/epoch-0.pages").exists());
+        assert!(dir.join("pages/epoch-1.pages").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_paged_store_recovers_addnode_commits() {
+        let dir = temp_dir("durable-paged");
+        {
+            let store = GraphStore::create(
+                &dir,
+                Arc::new(DiGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3), (3, 0)])),
+            )
+            .unwrap()
+            .with_paging(dir.join("pages"), PagedOptions::default())
+            .unwrap();
+            store.stage_add_nodes(2).unwrap();
+            store.stage_insert(0, 5).unwrap();
+            store.commit().unwrap();
+        }
+        let store = GraphStore::open(&dir)
+            .unwrap()
+            .with_paging(dir.join("pages"), PagedOptions::default())
+            .unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.num_nodes(), 6);
+        assert!(store.graph().has_edge(0, 5));
+        assert!(store.graph().validate());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -80,13 +80,13 @@ fn round_trip_recovers_epoch_and_graph_bit_identically() {
     store.commit().unwrap();
     let (graph_before, epoch_before) = {
         let snap = store.snapshot();
-        (snap.graph, snap.epoch)
+        (snap.graph.materialize().unwrap(), snap.epoch)
     };
     drop(store); // crash: nothing is flushed at drop — the WAL already has it
 
     let recovered = GraphStore::open(dir.path()).unwrap();
     assert_eq!(recovered.epoch(), epoch_before);
-    let graph_after = recovered.graph();
+    let graph_after = recovered.graph().materialize().unwrap();
     // Bit-identical CSR arrays, not just the same edge set.
     assert_eq!(graph_after.out_csr(), graph_before.out_csr());
     assert_eq!(graph_after.in_csr(), graph_before.in_csr());
@@ -203,11 +203,14 @@ fn save_compacts_the_wal_into_a_fresh_snapshot() {
     assert!(snap.ends_with("snapshot-4.snap"));
 
     // Recovery from the compacted state alone.
-    let graph_before = store.graph();
+    let graph_before = store.graph().materialize().unwrap();
     drop(store);
     let recovered = GraphStore::open(dir.path()).unwrap();
     assert_eq!(recovered.epoch(), 4);
-    assert_eq!(recovered.graph().out_csr(), graph_before.out_csr());
+    assert_eq!(
+        recovered.graph().materialize().unwrap().out_csr(),
+        graph_before.out_csr()
+    );
 }
 
 #[test]
@@ -336,7 +339,7 @@ fn corrupt_newest_snapshot_never_silently_rolls_back_to_an_older_one() {
     let dir = TempDir::new("no-silent-rollback");
     let store = GraphStore::create(dir.path(), base_graph()).unwrap();
     commit_rounds(&store, 2); // snapshot-0 + WAL records for epochs 1, 2
-    let graph = store.graph();
+    let graph = store.graph().materialize().unwrap();
     // Simulate a compaction that wrote its snapshot but crashed before
     // truncating the WAL or deleting snapshot-0.
     exactsim_store::persist::write_snapshot(dir.path(), &graph, 2).unwrap();
@@ -353,7 +356,10 @@ fn corrupt_newest_snapshot_never_silently_rolls_back_to_an_older_one() {
     // re-reaches the newest proven epoch: recovery succeeds, nothing lost.
     let recovered = GraphStore::open(dir.path()).unwrap();
     assert_eq!(recovered.epoch(), 2);
-    assert_eq!(recovered.graph().out_csr(), graph.out_csr());
+    assert_eq!(
+        recovered.graph().materialize().unwrap().out_csr(),
+        graph.out_csr()
+    );
     drop(recovered);
 
     // Now empty the WAL (as a completed compaction would have) while the
@@ -415,7 +421,7 @@ fn wrong_snapshot_version_header_is_a_typed_error() {
             found, supported, ..
         }) => {
             assert_eq!(found, 99);
-            assert_eq!(supported, 1);
+            assert_eq!(supported, 2);
         }
         other => panic!("expected UnsupportedVersion, got {other:?}"),
     }
@@ -465,7 +471,7 @@ fn stale_wal_records_below_the_snapshot_epoch_replay_as_noops() {
     let dir = TempDir::new("stale-records");
     let store = GraphStore::create(dir.path(), base_graph()).unwrap();
     commit_rounds(&store, 2);
-    let graph = store.graph();
+    let graph = store.graph().materialize().unwrap();
     exactsim_store::persist::write_snapshot(dir.path(), &graph, 2).unwrap();
     // Remove the epoch-0 snapshot so recovery must use the epoch-2 one.
     std::fs::remove_file(dir.path().join("snapshot-0.snap")).unwrap();
@@ -473,7 +479,10 @@ fn stale_wal_records_below_the_snapshot_epoch_replay_as_noops() {
 
     let recovered = GraphStore::open(dir.path()).unwrap();
     assert_eq!(recovered.epoch(), 2);
-    assert_eq!(recovered.graph().out_csr(), graph.out_csr());
+    assert_eq!(
+        recovered.graph().materialize().unwrap().out_csr(),
+        graph.out_csr()
+    );
     let info = recovered.durability().unwrap();
     assert_eq!(info.last_snapshot_epoch, 2);
 }

@@ -11,6 +11,7 @@ use std::time::Instant;
 
 use exactsim::exactsim::ExactSimConfig;
 use exactsim_graph::generators::barabasi_albert;
+use exactsim_graph::NeighborAccess;
 use exactsim_service::{AlgorithmKind, BatchRequest, ServiceConfig, SimRankService};
 
 fn main() {

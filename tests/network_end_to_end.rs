@@ -166,6 +166,7 @@ fn concurrent_sockets_racing_a_commit_see_one_epoch_per_answer_bit_identical_to_
     // Ground truth per epoch, from direct library calls on each graph.
     let post_graph = service.store().graph();
     assert!(post_graph.has_edge(0, 219), "commit landed");
+    let post_graph = post_graph.as_mem().expect("store is in-memory");
     let expected: Vec<Vec<String>> = [pre_graph.as_ref(), post_graph.as_ref()]
         .into_iter()
         .enumerate()
