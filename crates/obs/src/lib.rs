@@ -10,6 +10,7 @@
 //!
 //! | module | role |
 //! |---|---|
+//! | [`fault`] | deterministic fault-injection registry (named sites, scripted triggers) |
 //! | [`metrics`] | labeled counter/gauge/histogram registry + Prometheus text exposition |
 //! | [`trace`] | thread-local tracing spans and drop-guard stage timers |
 //! | [`log`] | leveled operational logger (text or one-JSON-object-per-line) |
@@ -33,6 +34,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 #![warn(clippy::all)]
 
+pub mod fault;
 pub mod json;
 pub mod log;
 pub mod metrics;

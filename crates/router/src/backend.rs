@@ -137,18 +137,35 @@ impl RemoteShard {
         )
         .map_err(|e| ShardError::Unavailable(format!("shard {}: {e}", self.addr)))
     }
+
+    /// Verbs that mutate shard state. A failed round trip is ambiguous —
+    /// the request may have been delivered and applied with only the reply
+    /// lost — so these are attempted at most once per
+    /// [`ShardBackend::request`] call: a silent re-send could double-apply
+    /// (a `commit` whose reply was lost would run again as a second
+    /// commit). Reads are idempotent against a published epoch and safe to
+    /// re-ask; any retry policy beyond the single stale-socket reconnect
+    /// lives in the router's breaker/failover layer, where it is
+    /// observable.
+    fn is_write(line: &str) -> bool {
+        matches!(
+            line.split_whitespace().next().unwrap_or(""),
+            "addedge" | "deledge" | "addnode" | "commit" | "save" | "snapshot" | "shutdown"
+        )
+    }
 }
 
 impl ShardBackend for RemoteShard {
     fn request(&self, line: &str) -> Result<String, ShardError> {
         let mut guard = self.conn.lock().expect("remote shard lock poisoned");
         // A cached connection may be stale (the shard restarted between
-        // requests); one reconnect-and-retry heals that. A *fresh*
-        // connection failing is the shard being down — fail typed, fast, and
-        // without retrying: the one ambiguous case (send acked, reply lost)
-        // is safe to re-ask anyway because every protocol op is idempotent
-        // at the store level (re-staging an already-pending edge is a no-op,
-        // an empty commit does not advance the epoch).
+        // requests); for idempotent reads, one reconnect-and-retry heals
+        // that. A *fresh* connection failing is the shard being down — fail
+        // typed, fast, and without retrying. Writes are never re-sent at
+        // all: after a failed round trip on the stale socket there is no
+        // telling whether the shard received (and applied) the request
+        // before the connection died, and a silent re-send could
+        // double-apply it — see [`RemoteShard::is_write`].
         let had_conn = guard.is_some();
         if guard.is_none() {
             *guard = Some(self.connect()?);
@@ -161,7 +178,7 @@ impl ShardBackend for RemoteShard {
             Ok(reply) => Ok(reply),
             Err(first) => {
                 *guard = None;
-                if !had_conn {
+                if !had_conn || Self::is_write(line) {
                     return Err(ShardError::Unavailable(format!(
                         "shard {}: {first}",
                         self.addr

@@ -170,7 +170,9 @@ fn parse_args() -> Result<Options, String> {
                     eprintln!(
                         "built-in scenarios: {}\noverride keys: requests, conns, sources, \
                          topk, zipf, read_mix, rate, burst_factor, burst_period, burst_len, \
-                         commit_every, seed, algos (kind:weight/kind:weight)",
+                         commit_every, seed, algos (kind:weight/kind:weight), \
+                         outage_start, outage_len (fractions of the plan; the window \
+                         is read-only and entered on a forced commit)",
                         scenario::builtin_names().join(", ")
                     );
                     std::process::exit(0);

@@ -9,6 +9,7 @@
 //!               [--shards N | --shard-of ADDR,ADDR,...]
 //!               [--listen ADDR] [--max-conns N] [--addr-file PATH]
 //!               [--log-json] [--slowlog-threshold-ms N]
+//!               [--fault-spec SPEC]
 //! ```
 //!
 //! Without `--listen`, the server is the original stdin/stdout REPL: one
@@ -95,6 +96,7 @@ use std::time::Duration;
 use exactsim::exactsim::ExactSimConfig;
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::DiGraph;
+use exactsim_obs::fault;
 use exactsim_obs::log::{self as oplog, LogFormat};
 use exactsim_router::{LocalShard, RemoteShard, ShardBackend, ShardRouter};
 use exactsim_service::net::{self, signal, NetOptions, ProtocolHost};
@@ -124,6 +126,7 @@ struct Options {
     addr_file: Option<PathBuf>,
     log_json: bool,
     slowlog_threshold_ms: u64,
+    fault_spec: Option<String>,
 }
 
 impl Default for Options {
@@ -148,6 +151,7 @@ impl Default for Options {
             addr_file: None,
             log_json: false,
             slowlog_threshold_ms: 100,
+            fault_spec: None,
         }
     }
 }
@@ -244,6 +248,9 @@ fn parse_args() -> Result<Options, String> {
                 opts.addr_file = Some(PathBuf::from(next_value("--addr-file", &mut args)?));
             }
             "--log-json" => opts.log_json = true,
+            "--fault-spec" => {
+                opts.fault_spec = Some(next_value("--fault-spec", &mut args)?);
+            }
             "--slowlog-threshold-ms" => {
                 let v = next_value("--slowlog-threshold-ms", &mut args)?;
                 opts.slowlog_threshold_ms =
@@ -307,6 +314,11 @@ const FLAG_HELP: &str = "simrank-serve: SimRank query server (stdin REPL or TCP)
   --log-json           operational stderr messages as one JSON object/line\n\
   --slowlog-threshold-ms N  record queries at least N ms slow in the\n\
                        slowlog ring (default 100; 0 records every query)\n\
+  --fault-spec SPEC    enable deterministic fault injection (testing only):\n\
+                       `;`-separated SITE=TRIGGER[:N][:ACTION[:ARG]] rules,\n\
+                       e.g. `wal.fsync=every:7:torn;page.read=prob:0.01`;\n\
+                       the FAULT_SPEC env var is read when the flag is\n\
+                       absent (see exactsim_obs::fault for the grammar)\n\
 protocol:";
 
 fn help_text() -> String {
@@ -496,6 +508,7 @@ fn build_host(opts: &Options) -> Result<Host, String> {
             .map(|addr| Box::new(RemoteShard::new(addr.clone())) as Box<dyn ShardBackend>)
             .collect();
         let router = ShardRouter::new(backends)?;
+        router.start_health_probes();
         oplog::info(
             "simrank-serve",
             "routing over remote shards",
@@ -516,6 +529,7 @@ fn build_host(opts: &Options) -> Result<Host, String> {
             backends.push(Box::new(LocalShard::new(service)));
         }
         let router = ShardRouter::new(backends)?;
+        router.start_health_probes();
         oplog::info(
             "simrank-serve",
             "routing over in-process shards",
@@ -546,6 +560,23 @@ fn main() -> ExitCode {
     };
     if opts.log_json {
         oplog::set_format(LogFormat::Json);
+    }
+    // Fault injection arms before any store/network code runs, so recovery
+    // at boot is faultable too. The flag wins over the FAULT_SPEC env var.
+    let armed = match &opts.fault_spec {
+        Some(spec) => fault::configure(spec),
+        None => fault::configure_from_env(),
+    };
+    if let Err(msg) = armed {
+        oplog::error("simrank-serve", &format!("bad fault spec: {msg}"), &[]);
+        return ExitCode::FAILURE;
+    }
+    if fault::enabled() {
+        oplog::warn(
+            "simrank-serve",
+            "deterministic fault injection is ENABLED (testing mode)",
+            &[],
+        );
     }
     let host = match build_host(&opts) {
         Ok(host) => host,

@@ -6,6 +6,7 @@
 //! | module | role |
 //! |---|---|
 //! | [`backend`] | [`ShardBackend`]: one shard the router can ask — [`LocalShard`] wraps an in-process [`exactsim_service::SimRankService`], [`RemoteShard`] speaks the unmodified TCP line protocol to a `simrank-serve --listen` process with connect/read deadlines |
+//! | [`health`] | per-shard closed → open → half-open circuit breakers (exponential backoff + jitter) behind every request and the background `ping` prober |
 //! | [`router`] | [`ShardRouter`]: routes `query` to the owning shard, scatter/gathers `topk` via the `shardtopk` verb (bit-identical merge), fans out updates with compensation and commits under a write barrier, and answers `stats`/`metrics` with fan-out, barrier, and per-shard series |
 //! | [`scenario`] | workload scenarios for `simrank-client --scenario`: Zipfian source popularity, read/write/algorithm mixes, open-loop Poisson arrivals with burst phases, expanded into deterministic operation plans |
 //! | `wire` (private) | field scanners for the protocol's flat JSON reply lines |
@@ -47,9 +48,11 @@
 #![warn(clippy::all)]
 
 pub mod backend;
+pub mod health;
 pub mod router;
 pub mod scenario;
 pub(crate) mod wire;
 
 pub use backend::{LocalShard, RemoteShard, ShardBackend, ShardError};
+pub use health::{Breaker, BreakerConfig, BreakerState};
 pub use router::ShardRouter;

@@ -37,6 +37,26 @@
 //! commit leaves shards divergent but heals on retry: an already-committed
 //! shard answers the retry with an empty commit (`advanced:false`, epoch
 //! unchanged) while the lagging shard catches up.
+//!
+//! ## Failure handling: breakers, retries, degraded reads
+//!
+//! Every shard has a [`crate::health::Breaker`]. Requests consult it before
+//! touching the backend, so a down shard costs a memory read, not a connect
+//! timeout; a background prober ([`ShardRouter::start_health_probes`])
+//! `ping`s each shard so breakers open within a probe interval of an outage
+//! and close shortly after recovery, independent of client traffic.
+//!
+//! Retry policy is verb-shaped. **Reads** (`query`, `topk` slices,
+//! `shardtopk`) are idempotent against a published epoch, and every backend
+//! is a full replica whose `shardtopk` answer is a pure function of the
+//! request line — so when a preferred shard is unavailable the router simply
+//! re-asks a live replica and the answer is bit-identical to the healthy
+//! path. Such replies (and gathers containing one) carry `"degraded":true`
+//! and count into `simrank_router_degraded_total`. **Writes** (`addedge`,
+//! `deledge`, `addnode`, `commit`, `save`) are attempted exactly once per
+//! shard and never silently re-sent — a failed fan-out surfaces as a typed
+//! `shard_unavailable` reply and staged work is compensated where possible,
+//! so at-most-once semantics hold end to end.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -52,6 +72,7 @@ use exactsim_service::protocol::{self, codes, Outcome, ProtoError, Request};
 use exactsim_service::{AlgorithmKind, ServiceStats, ServingShape, TopKResponse};
 
 use crate::backend::{ShardBackend, ShardError};
+use crate::health::{Breaker, BreakerConfig};
 use crate::wire;
 
 /// Per-verb fan-out counters: how many shard requests each verb caused.
@@ -77,6 +98,13 @@ struct Counters {
     shard_latency: Vec<Arc<Histogram>>,
     barrier_wait: Arc<Histogram>,
     mixed_epoch_retries: Arc<Counter>,
+    /// Reads answered by a non-preferred replica because the preferred
+    /// shard was unavailable (the reply carried `degraded:true`).
+    degraded: Arc<Counter>,
+    /// Requests failed fast by an open breaker, per shard (never sent).
+    breaker_fastfail: Vec<Arc<Counter>>,
+    /// Background health probes sent, per shard.
+    probes: Vec<Arc<Counter>>,
 }
 
 struct Inner {
@@ -87,6 +115,10 @@ struct Inner {
     net_stats: ServiceStats,
     metrics: Registry,
     counters: Counters,
+    /// One circuit breaker per shard (indexes match `shards`). Shared with
+    /// the metrics gauges, hence the `Arc`.
+    health: Arc<Vec<Breaker>>,
+    breaker_config: BreakerConfig,
 }
 
 /// The sharded serving tier: implements [`ProtocolHost`], so the same TCP
@@ -150,9 +182,17 @@ impl ShardRouter {
                 &[("verb", verb)],
             )
         };
+        let breaker_config = BreakerConfig::from_env();
+        let health: Arc<Vec<Breaker>> = Arc::new(
+            (0..shards.len())
+                .map(|i| Breaker::new(breaker_config, i as u64))
+                .collect(),
+        );
         let mut shard_requests = Vec::with_capacity(shards.len());
         let mut shard_errors = Vec::with_capacity(shards.len());
         let mut shard_latency = Vec::with_capacity(shards.len());
+        let mut breaker_fastfail = Vec::with_capacity(shards.len());
+        let mut probes = Vec::with_capacity(shards.len());
         for i in 0..shards.len() {
             let label = i.to_string();
             let labels: &[(&str, &str)] = &[("shard", label.as_str())];
@@ -171,6 +211,23 @@ impl ShardRouter {
                 "Per-shard request latency as observed by the router",
                 labels,
             ));
+            breaker_fastfail.push(metrics.counter(
+                "simrank_router_breaker_fastfail_total",
+                "Requests failed fast by an open circuit breaker (never sent)",
+                labels,
+            ));
+            probes.push(metrics.counter(
+                "simrank_router_probes_total",
+                "Background health probes sent to each shard",
+                labels,
+            ));
+            let gauge_health = Arc::clone(&health);
+            metrics.gauge_fn(
+                "simrank_router_breaker_state",
+                "Circuit breaker state per shard (0 closed, 1 half-open, 2 open)",
+                labels,
+                move || gauge_health[i].state().gauge(),
+            );
         }
         let counters = Counters {
             queries: metrics.counter(
@@ -194,6 +251,13 @@ impl ShardRouter {
             shard_requests,
             shard_errors,
             shard_latency,
+            degraded: metrics.counter(
+                "simrank_router_degraded_total",
+                "Reads answered by a failover replica instead of the preferred shard",
+                &[],
+            ),
+            breaker_fastfail,
+            probes,
             barrier_wait: metrics.histogram(
                 "simrank_router_barrier_wait_us",
                 "Time spent acquiring the epoch barrier",
@@ -215,8 +279,54 @@ impl ShardRouter {
                 net_stats: ServiceStats::default(),
                 metrics,
                 counters,
+                health,
+                breaker_config,
             }),
         })
+    }
+
+    /// Starts the background health prober: one thread that `ping`s every
+    /// shard each [`BreakerConfig::probe_interval`]. Probes flow through the
+    /// same breakers as client traffic, so an outage opens a shard's breaker
+    /// within a probe interval even when the router is idle, and an open
+    /// breaker gets its half-open trial (and recloses) from here once the
+    /// shard is back — recovery needs no client request to notice it. The
+    /// thread holds only a weak reference and exits when the router drops.
+    pub fn start_health_probes(&self) {
+        let weak = Arc::downgrade(&self.inner);
+        let interval = self.inner.breaker_config.probe_interval;
+        std::thread::Builder::new()
+            .name("shard-health-probe".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let Some(inner) = weak.upgrade() else { return };
+                ShardRouter { inner }.probe_once();
+            })
+            .expect("spawning the shard health prober");
+    }
+
+    /// One probe round: `ping` every shard whose breaker admits it. Public
+    /// so tests (and operators via a debugger) can drive probing
+    /// deterministically; the background thread just calls this in a loop.
+    pub fn probe_once(&self) {
+        for shard in 0..self.num_shards() {
+            if !self.inner.health[shard].allow() {
+                continue;
+            }
+            self.inner.counters.probes[shard].inc();
+            match self.inner.shards[shard].request("ping") {
+                Ok(_) => self.inner.health[shard].record_success(),
+                Err(ShardError::Unavailable(_)) => self.inner.health[shard].record_failure(),
+                // A malformed reply proves the process is up; health-wise
+                // that is a success even though gathers would reject it.
+                Err(ShardError::Malformed(_)) => self.inner.health[shard].record_success(),
+            }
+        }
+    }
+
+    /// The breaker state of one shard (for stats and tests).
+    pub fn shard_health(&self, shard: usize) -> crate::health::BreakerState {
+        self.inner.health[shard].state()
     }
 
     /// How many shards the router fans out over.
@@ -274,12 +384,16 @@ impl ShardRouter {
                 format!(
                     concat!(
                         "{{\"shard\":{},\"backend\":\"{}\",\"requests\":{},",
-                        "\"errors\":{},\"p50_us\":{},\"p99_us\":{}}}"
+                        "\"errors\":{},\"health\":\"{}\",\"fastfail\":{},",
+                        "\"probes\":{},\"p50_us\":{},\"p99_us\":{}}}"
                     ),
                     i,
                     escape_json(&shard.describe()),
                     c.shard_requests[i].get(),
                     c.shard_errors[i].get(),
+                    self.inner.health[i].state().name(),
+                    c.breaker_fastfail[i].get(),
+                    c.probes[i].get(),
                     us(c.shard_latency[i].quantile_value(0.50)),
                     us(c.shard_latency[i].quantile_value(0.99)),
                 )
@@ -288,6 +402,7 @@ impl ShardRouter {
         format!(
             concat!(
                 "{{\"epoch\":{},\"shards\":{},\"queries\":{},\"errors\":{},",
+                "\"degraded\":{},",
                 "\"fanout\":{{\"query\":{},\"topk\":{},\"update\":{},",
                 "\"commit\":{},\"epoch\":{},\"save\":{}}},",
                 "\"mixed_epoch_retries\":{},",
@@ -301,6 +416,7 @@ impl ShardRouter {
             self.num_shards(),
             c.queries.get(),
             c.errors.get(),
+            c.degraded.get(),
             c.fanout.query.get(),
             c.fanout.topk.get(),
             c.fanout.update.get(),
@@ -358,6 +474,12 @@ impl ShardRouter {
             Request::DelEdge { u, v } => self.fan_update(false, *u, *v),
             Request::AddNode { count } => self.fan_add_nodes(*count),
             Request::Commit => self.commit(),
+            // `ping` answers from the router's own published state — no
+            // fan-out, no barrier — so it stays a pure liveness probe even
+            // when every shard is down or a commit is in flight.
+            Request::Ping => {
+                Outcome::Reply(format!("{{\"op\":\"ping\",\"epoch\":{}}}", self.epoch()))
+            }
             Request::Epoch => self.gather_epoch(),
             Request::Save => self.fan_save(),
         }
@@ -381,14 +503,60 @@ impl ShardRouter {
 
     fn timed_request(&self, shard: usize, line: &str) -> Result<String, ShardError> {
         let c = &self.inner.counters;
+        let breaker = &self.inner.health[shard];
+        if !breaker.allow() {
+            c.breaker_fastfail[shard].inc();
+            return Err(ShardError::Unavailable(format!(
+                "shard {shard} ({}): circuit open",
+                self.inner.shards[shard].describe()
+            )));
+        }
         c.shard_requests[shard].inc();
         let started = Instant::now();
         let result = self.inner.shards[shard].request(line);
         c.shard_latency[shard].record(started.elapsed());
-        if result.is_err() {
-            c.shard_errors[shard].inc();
+        match &result {
+            // Any reply — even a protocol error reply — proves the shard is
+            // alive and serving.
+            Ok(_) => breaker.record_success(),
+            Err(ShardError::Unavailable(_)) => {
+                c.shard_errors[shard].inc();
+                breaker.record_failure();
+            }
+            // A malformed reply is a bug to surface, not an outage to trip
+            // the breaker over.
+            Err(ShardError::Malformed(_)) => c.shard_errors[shard].inc(),
         }
         result
+    }
+
+    /// Re-asks a read `line` of the replicas other than `failed` (every
+    /// backend holds the full graph and read answers are pure functions of
+    /// the line, so any live replica answers bit-identically). Only used
+    /// for idempotent reads — writes are never re-sent.
+    fn failover_read(&self, failed: usize, line: &str) -> Result<String, ShardError> {
+        let width = self.num_shards();
+        let mut last: Option<ShardError> = None;
+        for offset in 1..width {
+            let shard = (failed + offset) % width;
+            match self.timed_request(shard, line) {
+                Ok(reply) => return Ok(reply),
+                Err(e @ ShardError::Unavailable(_)) => last = Some(e),
+                // Don't mask a malformed-reply bug by trying elsewhere.
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last
+            .unwrap_or_else(|| ShardError::Unavailable("no replica available for failover".into())))
+    }
+
+    /// Appends `"degraded":true` to a flat JSON object reply, marking an
+    /// answer that a failover replica produced.
+    fn mark_degraded(reply: &str) -> String {
+        match reply.trim_end().strip_suffix('}') {
+            Some(body) => format!("{body},\"degraded\":true}}"),
+            None => reply.to_string(),
+        }
     }
 
     /// One request line to every shard, concurrently (scoped threads — the
@@ -449,6 +617,13 @@ impl ShardRouter {
         self.inner.counters.fanout.query.inc();
         match self.timed_request(owner, &line) {
             Ok(reply) => Outcome::Reply(reply),
+            Err(ShardError::Unavailable(_)) => match self.failover_read(owner, &line) {
+                Ok(reply) => {
+                    self.inner.counters.degraded.inc();
+                    Outcome::Reply(Self::mark_degraded(&reply))
+                }
+                Err(e) => self.shard_error_reply(&e),
+            },
             Err(e) => self.shard_error_reply(&e),
         }
     }
@@ -479,6 +654,13 @@ impl ShardRouter {
         self.inner.counters.fanout.query.inc();
         match self.timed_request(backend, &line) {
             Ok(reply) => Outcome::Reply(reply),
+            Err(ShardError::Unavailable(_)) => match self.failover_read(backend, &line) {
+                Ok(reply) => {
+                    self.inner.counters.degraded.inc();
+                    Outcome::Reply(Self::mark_degraded(&reply))
+                }
+                Err(e) => self.shard_error_reply(&e),
+            },
             Err(e) => self.shard_error_reply(&e),
         }
     }
@@ -507,10 +689,32 @@ impl ShardRouter {
             if attempt > 0 {
                 self.inner.counters.mixed_epoch_retries.inc();
             }
-            let replies = {
+            let (replies, degraded) = {
                 let _epoch_stable = self.read_barrier();
                 self.inner.counters.fanout.topk.add(width as u64);
-                self.scatter(&lines)
+                let scattered = self.scatter(&lines);
+                // Failover pass, still under the barrier: a dead shard's
+                // slice is re-asked of a live replica — ownership is a pure
+                // function of the line, so the answer is bit-identical to
+                // what the dead shard would have said.
+                let mut degraded = false;
+                let mut replies = Vec::with_capacity(width);
+                for (slice, reply) in scattered.into_iter().enumerate() {
+                    match reply {
+                        Err(ShardError::Unavailable(_)) => {
+                            match self.failover_read(slice, &lines[slice]) {
+                                Ok(recovered) => {
+                                    degraded = true;
+                                    self.inner.counters.degraded.inc();
+                                    replies.push(Ok(recovered));
+                                }
+                                Err(e) => replies.push(Err(e)),
+                            }
+                        }
+                        other => replies.push(other),
+                    }
+                }
+                (replies, degraded)
             };
             let mut oks = Vec::with_capacity(width);
             for reply in replies {
@@ -545,7 +749,12 @@ impl ShardRouter {
                     entries: merge_top_k(lists, k),
                     query_time: started.elapsed(),
                 };
-                return Outcome::Reply(response.to_json());
+                let json = response.to_json();
+                return Outcome::Reply(if degraded {
+                    Self::mark_degraded(&json)
+                } else {
+                    json
+                });
             }
             last_epochs = epochs;
         }

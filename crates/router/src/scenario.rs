@@ -33,8 +33,18 @@
 //! name     = one of the names in `builtin_names()`
 //! key      = requests | conns | sources | topk | zipf | read_mix | rate
 //!          | burst_factor | burst_period | burst_len | commit_every
-//!          | seed | algos
+//!          | seed | algos | outage_start | outage_len
 //! ```
+//!
+//! `outage_start`/`outage_len` (fractions of the plan, `fault_storm`'s
+//! defaults are `0.3`/`0.45`) carve a *shard-outage window* out of the
+//! middle of the run: the plan forces a `commit` at the window's start (so
+//! a shard killed inside it takes no staged-but-unpublished writes down
+//! with it) and issues only reads inside the window — the operations that
+//! stay correct, via replica failover, while a shard is dead. The harness
+//! (CI's `fault-smoke` job) kills a shard once the window opens and
+//! restarts it before the window closes; the client's zero-error gate then
+//! proves degraded reads kept flowing and writes resumed after recovery.
 //!
 //! `algos` weights are `/`-separated `kind:weight` pairs (the comma is taken
 //! by the override separator), e.g. `algos=exactsim:2/mc:1`. `rate=0`
@@ -94,6 +104,12 @@ pub struct ScenarioSpec {
     pub commit_every: u64,
     /// Seed for every random draw the scenario makes.
     pub seed: u64,
+    /// Where the shard-outage window opens, as a fraction of the plan.
+    pub outage_start: f64,
+    /// Window length as a fraction of the plan; `0` = no outage window.
+    /// Inside the window the plan is read-only and a `commit` is forced at
+    /// entry, so killing a shard mid-window loses no staged writes.
+    pub outage_len: f64,
 }
 
 impl Default for ScenarioSpec {
@@ -111,6 +127,8 @@ impl Default for ScenarioSpec {
             burst: None,
             commit_every: 16,
             seed: 2020,
+            outage_start: 0.0,
+            outage_len: 0.0,
         }
     }
 }
@@ -124,6 +142,7 @@ pub fn builtin_names() -> &'static [&'static str] {
         "write_heavy",
         "bursty_open_loop",
         "algo_mix",
+        "fault_storm",
     ]
 }
 
@@ -172,6 +191,23 @@ pub fn builtin(name: &str) -> Option<ScenarioSpec> {
                 burst_len: 25,
             }),
             commit_every: 8,
+            ..base
+        },
+        // Read-mostly open-loop load with a mid-run shard-outage window
+        // (ops 30%..75% of the plan are read-only, entered on a forced
+        // commit): the degradation bench. At 120 req/s the window is wide
+        // enough for a harness to kill a shard, watch the router's breaker
+        // open and reads degrade to the surviving replica, restart the
+        // shard, and see the breaker reclose — all inside one scenario run
+        // that still gates on zero errored requests.
+        "fault_storm" => ScenarioSpec {
+            requests: 1800,
+            zipf_exponent: 1.0,
+            read_mix: 0.9,
+            rate: Some(120.0),
+            commit_every: 8,
+            outage_start: 0.3,
+            outage_len: 0.45,
             ..base
         },
         // Reads split across all three served algorithms, so one run
@@ -289,6 +325,17 @@ pub fn parse_scenario(spec: &str) -> Result<ScenarioSpec, String> {
                 }
             }
             "seed" => scenario.seed = num(key, value)?,
+            "outage_start" | "outage_len" => {
+                let fraction: f64 = num(key, value)?;
+                if !(0.0..=1.0).contains(&fraction) {
+                    return Err(format!("{key} {value} out of [0, 1]"));
+                }
+                if key == "outage_start" {
+                    scenario.outage_start = fraction;
+                } else {
+                    scenario.outage_len = fraction;
+                }
+            }
             "algos" => {
                 let mut mix = Vec::new();
                 for pair in value.split('/') {
@@ -314,6 +361,12 @@ pub fn parse_scenario(spec: &str) -> Result<ScenarioSpec, String> {
     // needs at least two ids to choose from.
     if scenario.read_mix < 1.0 && scenario.sources < 2 {
         return Err("a write-bearing scenario (read_mix < 1) needs sources >= 2".into());
+    }
+    if scenario.outage_start + scenario.outage_len > 1.0 + 1e-9 {
+        return Err(format!(
+            "outage window exceeds the plan (start {} + len {} > 1)",
+            scenario.outage_start, scenario.outage_len
+        ));
     }
     Ok(scenario)
 }
@@ -429,10 +482,22 @@ pub fn build_plan(spec: &ScenarioSpec) -> Vec<Op> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let zipf = ZipfSampler::new(spec.sources, spec.zipf_exponent);
     let algo_total: f64 = spec.algo_mix.iter().map(|(_, w)| w).sum();
+    // The shard-outage window in request indices: `[outage_from, outage_to)`
+    // issues only reads (they stay answerable, degraded, with a shard down),
+    // and the window is entered on a forced commit so a kill inside it
+    // cannot take staged-but-unpublished writes along.
+    let has_outage = spec.outage_len > 0.0;
+    let outage_from = (spec.outage_start * spec.requests as f64).round() as u64;
+    let outage_to = ((spec.outage_start + spec.outage_len) * spec.requests as f64).round() as u64;
     let mut plan = Vec::with_capacity(spec.requests as usize + 4);
     let mut staged = 0u64;
-    for _ in 0..spec.requests {
-        if rng.gen_bool(spec.read_mix) {
+    for i in 0..spec.requests {
+        let in_outage = has_outage && (outage_from..outage_to).contains(&i);
+        if has_outage && i == outage_from && staged > 0 {
+            plan.push(Op::Commit);
+            staged = 0;
+        }
+        if in_outage || rng.gen_bool(spec.read_mix) {
             let algo = if spec.algo_mix.is_empty() {
                 None
             } else {
@@ -562,6 +627,14 @@ mod tests {
             ("steady_read, conns=9 , topk=0", |s| {
                 s.conns == 9 && s.topk == 0
             }),
+            ("fault_storm", |s| {
+                s.rate.is_some()
+                    && (s.outage_start - 0.3).abs() < 1e-12
+                    && (s.outage_len - 0.45).abs() < 1e-12
+            }),
+            ("steady_read,outage_start=0.5,outage_len=0.25", |s| {
+                (s.outage_start - 0.5).abs() < 1e-12 && (s.outage_len - 0.25).abs() < 1e-12
+            }),
         ];
         for (input, check) in ok {
             let spec = parse_scenario(input).unwrap_or_else(|e| panic!("{input}: {e}"));
@@ -579,6 +652,8 @@ mod tests {
             ("steady_read,algos=warp:1", "warp"),
             ("steady_read,frobnicate=1", "unknown scenario key"),
             ("write_heavy,sources=1", "sources >= 2"),
+            ("steady_read,outage_start=1.5", "out of [0, 1]"),
+            ("fault_storm,outage_start=0.9", "exceeds the plan"),
         ];
         for (input, needle) in err {
             let msg = parse_scenario(input).unwrap_err();
@@ -655,6 +730,49 @@ mod tests {
         if writes > 0 {
             assert_eq!(plan.last(), Some(&Op::Commit));
         }
+    }
+
+    #[test]
+    fn fault_storm_outage_window_is_write_free_and_entered_committed() {
+        let spec = parse_scenario("fault_storm,requests=1000,sources=40").unwrap();
+        let plan = build_plan(&spec);
+        assert_eq!(plan, build_plan(&spec), "plan must be reproducible");
+        let from = (spec.outage_start * 1000.0).round() as u64;
+        let to = ((spec.outage_start + spec.outage_len) * 1000.0).round() as u64;
+        let mut req_idx = 0u64;
+        let mut staged = 0u64;
+        let mut checked_entry = false;
+        for op in &plan {
+            match op {
+                Op::Commit => staged = 0,
+                Op::Write { .. } => {
+                    if !checked_entry && req_idx >= from {
+                        assert_eq!(staged, 0, "staged writes survive into the window");
+                        checked_entry = true;
+                    }
+                    assert!(
+                        !(from..to).contains(&req_idx),
+                        "write at request {req_idx} inside the outage window [{from}, {to})"
+                    );
+                    staged += 1;
+                    req_idx += 1;
+                }
+                Op::Read { .. } => {
+                    if !checked_entry && req_idx >= from {
+                        assert_eq!(staged, 0, "staged writes survive into the window");
+                        checked_entry = true;
+                    }
+                    req_idx += 1;
+                }
+            }
+        }
+        assert!(checked_entry, "the plan never reached the outage window");
+        // Outside the window the 0.9 read mix still produces real writes.
+        let writes = plan
+            .iter()
+            .filter(|op| matches!(op, Op::Write { .. }))
+            .count();
+        assert!(writes > 0, "fault_storm lost its write traffic entirely");
     }
 
     #[test]

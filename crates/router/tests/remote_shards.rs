@@ -2,7 +2,8 @@
 //! speaking the **unmodified** TCP line protocol to real `net::serve`
 //! listeners — replies bit-identical to the in-process path (the f64 wire
 //! round-trip is exact), updates commit on every shard, and a shard that
-//! dies costs the router a typed `shard_unavailable` reply, never a hang.
+//! dies degrades reads to a live replica (marked `degraded:true`, never a
+//! wrong answer, never a hang) while its circuit breaker opens.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -11,7 +12,7 @@ use std::time::{Duration, Instant};
 use exactsim::exactsim::ExactSimConfig;
 use exactsim_graph::generators::barabasi_albert;
 use exactsim_graph::partition::shard_of;
-use exactsim_router::{RemoteShard, ShardBackend, ShardRouter};
+use exactsim_router::{BreakerState, RemoteShard, ShardBackend, ShardRouter};
 use exactsim_service::net::{self, NetOptions};
 use exactsim_service::protocol::{self, parse_line, Outcome};
 use exactsim_service::{AlgorithmKind, ServiceConfig, SimRankService};
@@ -102,9 +103,18 @@ fn remote_shards_serve_bit_identically_and_a_dead_shard_yields_a_typed_error_fas
     let epochs = ask(&router, "epoch");
     assert!(epochs.contains("\"epoch\":1"), "{epochs}");
 
-    // Kill shard 1. A routed request owned by it must come back as the
-    // typed shard_unavailable error — promptly (reconnect is bounded by the
-    // connect deadline), and without wedging requests shard 0 can answer.
+    // `ping` answers from the router's published state: no fan-out, so it
+    // works regardless of shard health.
+    let pong = ask(&router, "ping");
+    assert!(
+        pong.contains("\"op\":\"ping\"") && pong.contains("\"epoch\":1"),
+        "{pong}"
+    );
+
+    // Kill shard 1. Reads it owns must keep being answered — every backend
+    // is a full replica, so the router re-asks shard 0 and marks the reply
+    // `degraded` — promptly (reconnect is bounded by the connect deadline),
+    // and with zero wrong answers.
     shard1.request_shutdown();
     shard1.join();
     let owned_by_dead = (0..120u32)
@@ -115,37 +125,122 @@ fn remote_shards_serve_bit_identically_and_a_dead_shard_yields_a_typed_error_fas
         .expect("some node maps to shard 0");
 
     let started = Instant::now();
-    let dead = ask(&router, &format!("query {owned_by_dead}"));
-    assert!(
-        dead.contains("\"error\"") && dead.contains("\"code\":\"shard_unavailable\""),
-        "{dead}"
-    );
+    let failed_over = ask(&router, &format!("query {owned_by_dead}"));
+    assert!(!failed_over.contains("\"error\""), "{failed_over}");
+    assert!(failed_over.contains("\"degraded\":true"), "{failed_over}");
+    assert!(failed_over.contains("\"epoch\":1"), "{failed_over}");
     assert!(
         started.elapsed() < Duration::from_secs(5),
-        "dead shard must fail fast, took {:?}",
+        "failover must be fast, took {:?}",
         started.elapsed()
     );
 
-    // A gather needs every shard, so it degrades to the same typed error...
-    let gathered = ask(&router, &format!("topk {owned_by_live} 5"));
-    assert!(
-        gathered.contains("\"code\":\"shard_unavailable\""),
-        "{gathered}"
+    // The failover answer is the *same* answer the healthy replica gives —
+    // degraded means re-routed, never different. Ask shard 0 directly over
+    // the wire with the router's canonical line and compare byte-for-byte
+    // (modulo timing and the degraded marker).
+    let canonical = protocol::Request::Query {
+        node: owned_by_dead,
+        algo: Some(AlgorithmKind::ExactSim),
+    }
+    .to_line();
+    let mut direct_conn = exactsim_service::net::LineClient::connect(shard0.local_addr()).unwrap();
+    let direct = direct_conn.round_trip(&canonical).unwrap();
+    assert_eq!(
+        strip_query_time(&failed_over).replace(",\"degraded\":true", ""),
+        strip_query_time(&direct),
+        "failover reply must be bit-identical to the live replica's answer"
     );
-    // ...while single-shard routes to the surviving replica still serve.
+
+    // A gather's dead slice fails over the same way: the merged topk is
+    // served, marked degraded, bit-identical in its results.
+    let gathered = ask(&router, &format!("topk {owned_by_live} 5"));
+    assert!(!gathered.contains("\"error\""), "{gathered}");
+    assert!(gathered.contains("\"degraded\":true"), "{gathered}");
+    assert!(gathered.contains("\"results\":["), "{gathered}");
+    // ...while single-shard routes to the surviving replica serve normally.
     let live = ask(&router, &format!("query {owned_by_live}"));
     assert!(!live.contains("\"error\""), "{live}");
+    assert!(!live.contains("\"degraded\""), "{live}");
     assert!(live.contains("\"epoch\":1"), "{live}");
 
-    // The stats breakdown names both backends and counts the failures.
+    // Two failures are on the books for shard 1 (query + gather slice); the
+    // default breaker threshold is 3, so one probe round tips it open.
+    assert_eq!(router.shard_health(0), BreakerState::Closed);
+    router.probe_once();
+    assert_eq!(router.shard_health(1), BreakerState::Open);
+    assert_eq!(router.shard_health(0), BreakerState::Closed);
+
+    // With the breaker open, reads owned by the dead shard fail over
+    // without paying the connect timeout (fast-fail, still degraded).
+    let fastfail = ask(&router, &format!("query {owned_by_dead}"));
+    assert!(fastfail.contains("\"degraded\":true"), "{fastfail}");
+
+    // Writes are never silently retried or failed over: the fan-out
+    // surfaces the dead shard as a typed error instead of double-applying.
+    let write = ask(&router, "addedge 1 118");
+    assert!(write.contains("\"code\":\"shard_unavailable\""), "{write}");
+
+    // The stats breakdown names both backends, counts the failures, and
+    // exposes breaker state and the degraded-read counter.
     let stats = router.stats_json();
     assert!(stats.contains("\"per_shard\":["), "{stats}");
     assert!(stats.contains(&shard0.local_addr().to_string()), "{stats}");
     assert!(stats.contains("\"errors\":"), "{stats}");
+    assert!(stats.contains("\"health\":\"open\""), "{stats}");
+    assert!(stats.contains("\"health\":\"closed\""), "{stats}");
+    assert!(!stats.contains("\"degraded\":0,"), "{stats}");
+    let metrics = router.metrics_text();
+    assert!(
+        metrics.contains("simrank_router_degraded_total"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("simrank_router_breaker_state"),
+        "{metrics}"
+    );
 
     router.drain();
     shard0.request_shutdown();
     shard0.join();
+}
+
+#[test]
+fn every_shard_down_still_fails_typed_after_failover_exhausts() {
+    let graph = Arc::new(barabasi_albert(60, 3, true, 11).unwrap());
+    let serve = |graph: &Arc<exactsim_graph::DiGraph>| {
+        let service = SimRankService::new(Arc::clone(graph), test_config()).unwrap();
+        net::serve(service, "127.0.0.1:0", NetOptions::default()).expect("bind shard listener")
+    };
+    let shard0 = serve(&graph);
+    let shard1 = serve(&graph);
+    let tight = |addr: std::net::SocketAddr| {
+        Box::new(
+            RemoteShard::new(addr.to_string())
+                .with_timeouts(Duration::from_millis(300), Duration::from_secs(5)),
+        ) as Box<dyn ShardBackend>
+    };
+    let router =
+        ShardRouter::new(vec![tight(shard0.local_addr()), tight(shard1.local_addr())]).unwrap();
+
+    shard0.request_shutdown();
+    shard0.join();
+    shard1.request_shutdown();
+    shard1.join();
+
+    // No replica left to fail over to: the read comes back as the typed
+    // error, promptly — degradation never fabricates an answer.
+    let started = Instant::now();
+    let reply = ask(&router, "query 3");
+    assert!(reply.contains("\"code\":\"shard_unavailable\""), "{reply}");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "exhausted failover must still be fast, took {:?}",
+        started.elapsed()
+    );
+    // The router itself stays alive and pingable.
+    let pong = ask(&router, "ping");
+    assert!(pong.contains("\"op\":\"ping\""), "{pong}");
 }
 
 #[test]

@@ -8,6 +8,17 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use exactsim_obs::fault;
+
+/// Evaluates a network fault site, mapping an injected failure onto the
+/// `io::Error` the real operation would have produced.
+fn injected(site: &str) -> io::Result<()> {
+    match fault::check(site) {
+        Some(_) => Err(fault::injected_io_error(site)),
+        None => Ok(()),
+    }
+}
+
 /// A blocking line-protocol session over one TCP connection: send one
 /// request line, read one JSON reply line (see [`crate::protocol`] for the
 /// grammar and [`crate::net`] for the framing).
@@ -19,6 +30,7 @@ pub struct LineClient {
 impl LineClient {
     /// Connects to a `simrank-serve --listen` server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<LineClient> {
+        injected(fault::sites::NET_CONNECT)?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(LineClient {
@@ -37,6 +49,7 @@ impl LineClient {
         connect_timeout: Duration,
         read_timeout: Option<Duration>,
     ) -> io::Result<LineClient> {
+        injected(fault::sites::NET_CONNECT)?;
         let mut last_err = None;
         for candidate in addr.to_socket_addrs()? {
             match TcpStream::connect_timeout(&candidate, connect_timeout) {
@@ -58,6 +71,7 @@ impl LineClient {
 
     /// Sends one request line (the newline is appended here).
     pub fn send(&mut self, request: &str) -> io::Result<()> {
+        injected(fault::sites::NET_WRITE)?;
         writeln!(self.writer, "{request}")?;
         self.writer.flush()
     }
@@ -67,6 +81,7 @@ impl LineClient {
     /// [`io::ErrorKind::UnexpectedEof`] means the server closed the
     /// connection.
     pub fn receive(&mut self) -> io::Result<String> {
+        injected(fault::sites::NET_READ)?;
         let mut line = String::new();
         match self.reader.read_line(&mut line)? {
             0 => Err(io::Error::new(

@@ -9,8 +9,8 @@
 //!
 //! ```text
 //! request   = query | topk | shardtopk | addedge | deledge | addnode
-//!           | commit | epoch | save | stats | metrics | slowlog | trace
-//!           | help | quit | shutdown
+//!           | commit | epoch | ping | save | stats | metrics | slowlog
+//!           | trace | help | quit | shutdown
 //! query     = "query" node [algo]
 //! topk      = "topk" node k [algo]
 //! shardtopk = "shardtopk" node k shard num_shards [algo]
@@ -156,6 +156,12 @@ pub enum Request {
     Commit,
     /// `epoch` — current epoch plus pending update counts.
     Epoch,
+    /// `ping` — liveness probe. Answers from already-published state (one
+    /// atomic epoch read), never touches the store or the commit barrier, so
+    /// it stays cheap and non-blocking even mid-commit — which is exactly
+    /// what a health checker needs: a hung `ping` means the process is sick,
+    /// not that a commit is in flight.
+    Ping,
     /// `save` (alias `snapshot`) — fold the WAL into a fresh snapshot.
     Save,
     /// `stats` — serving counters as one JSON line.
@@ -231,6 +237,7 @@ impl fmt::Display for Request {
             Request::AddNode { count } => write!(f, "addnode {count}"),
             Request::Commit => f.write_str("commit"),
             Request::Epoch => f.write_str("epoch"),
+            Request::Ping => f.write_str("ping"),
             Request::Save => f.write_str("save"),
             Request::Stats => f.write_str("stats"),
             Request::Metrics => f.write_str("metrics"),
@@ -337,6 +344,8 @@ deledge <u> <v>          stage the deletion of edge u -> v
 addnode [count]          stage count (default 1) new isolated node ids
 commit                   publish staged updates as a new graph epoch
 epoch                    current epoch + pending update counts
+ping                     liveness probe; replies from published state only
+                         (no store access, no commit barrier)
 save | snapshot          fold the WAL into a fresh snapshot file
 stats                    serving counters (hit rate, p50/p99, epoch,
                          connections, durability state) as JSON
@@ -483,6 +492,10 @@ pub fn parse_line(line: &str) -> Result<Option<Request>, ProtoError> {
             arity(1, "epoch")?;
             Request::Epoch
         }
+        "ping" => {
+            arity(1, "ping")?;
+            Request::Ping
+        }
         "save" | "snapshot" => {
             arity(1, "save")?;
             Request::Save
@@ -628,6 +641,9 @@ pub fn execute(
                 // Reply; anything else passes through untouched.
                 other => other,
             }
+        }
+        Request::Ping => {
+            Outcome::Reply(format!("{{\"op\":\"ping\",\"epoch\":{}}}", service.epoch(),))
         }
         Request::Epoch => {
             let (ins, del) = service.store().pending_counts();

@@ -87,6 +87,7 @@ fn every_command_parses_to_its_request() {
         ("addnode 5", Request::AddNode { count: 5 }),
         ("commit", Request::Commit),
         ("epoch", Request::Epoch),
+        ("ping", Request::Ping),
         ("save", Request::Save),
         ("snapshot", Request::Save), // alias
         ("stats", Request::Stats),
@@ -165,6 +166,7 @@ fn every_request_formats_to_a_line_that_round_trips() {
         Request::AddNode { count: 1_000_000 },
         Request::Commit,
         Request::Epoch,
+        Request::Ping,
         Request::Save,
         Request::Stats,
         Request::Metrics,
@@ -213,6 +215,7 @@ fn malformed_lines_map_to_stable_codes() {
         // not a commit.
         ("commit 5", codes::BAD_REQUEST),
         ("epoch now", codes::BAD_REQUEST),
+        ("ping now", codes::BAD_REQUEST),
         ("save please", codes::BAD_REQUEST),
         ("snapshot x", codes::BAD_REQUEST),
         ("stats -v", codes::BAD_REQUEST),
@@ -403,6 +406,13 @@ fn execute_answers_each_command_with_its_wire_shape() {
     match execute(&service, AlgorithmKind::ExactSim, &Request::Epoch) {
         Outcome::Reply(json) => assert!(json.contains("\"pending_insertions\":1"), "{json}"),
         other => panic!("epoch -> {other:?}"),
+    }
+    match execute(&service, AlgorithmKind::ExactSim, &Request::Ping) {
+        Outcome::Reply(json) => assert!(
+            json.contains("\"op\":\"ping\"") && json.contains("\"epoch\":0"),
+            "{json}"
+        ),
+        other => panic!("ping -> {other:?}"),
     }
     match execute(&service, AlgorithmKind::ExactSim, &Request::Commit) {
         Outcome::Reply(json) => assert!(

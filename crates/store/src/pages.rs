@@ -57,6 +57,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use exactsim_graph::{DiGraph, NodeId};
+use exactsim_obs::fault;
 
 use crate::error::StoreError;
 use crate::persist::crc32;
@@ -502,6 +503,13 @@ impl FileManager {
             .get(page_no as usize)
             .copied()
             .ok_or_else(|| corrupt(&self.path, format!("page {page_no} out of range")))?;
+        if fault::check(fault::sites::PAGE_READ).is_some() {
+            return Err(StoreError::io(
+                &self.path,
+                "read",
+                fault::injected_io_error(fault::sites::PAGE_READ),
+            ));
+        }
         let mut buf = vec![0u8; meta.byte_len as usize];
         self.file
             .read_exact_at(&mut buf, meta.file_offset)
@@ -512,6 +520,12 @@ impl FileManager {
         let body_end = buf.len() - 4;
         let stored = u32::from_le_bytes(buf[body_end..].try_into().expect("4 bytes"));
         let computed = crc32(&buf[..body_end]);
+        if fault::check(fault::sites::PAGE_CRC).is_some() {
+            return Err(corrupt(
+                &self.path,
+                format!("page {page_no} checksum mismatch (injected bit-rot)"),
+            ));
+        }
         if stored != computed {
             return Err(corrupt(
                 &self.path,

@@ -78,6 +78,7 @@ use std::path::{Path, PathBuf};
 
 use exactsim_graph::binfmt::{decode_digraph, encode_digraph, encoded_len};
 use exactsim_graph::{DiGraph, NodeId};
+use exactsim_obs::fault;
 
 use crate::error::StoreError;
 
@@ -190,6 +191,13 @@ pub fn write_snapshot(dir: &Path, graph: &DiGraph, epoch: u64) -> Result<PathBuf
     let checksum = crc32(&bytes);
     bytes.extend_from_slice(&checksum.to_le_bytes());
 
+    if fault::check(fault::sites::SNAPSHOT_WRITE).is_some() {
+        return Err(StoreError::io(
+            &tmp_path,
+            "create",
+            fault::injected_io_error(fault::sites::SNAPSHOT_WRITE),
+        ));
+    }
     let mut file = File::create(&tmp_path).map_err(|e| StoreError::io(&tmp_path, "create", e))?;
     file.write_all(&bytes)
         .map_err(|e| StoreError::io(&tmp_path, "write", e))?;
@@ -697,18 +705,57 @@ impl DurableLog {
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
+        let base_len = self
+            .wal
+            .metadata()
+            .map_err(|e| StoreError::io(&self.wal_path, "stat", e))?
+            .len();
+        if let Some(failure) = fault::check(fault::sites::WAL_FSYNC) {
+            if failure == fault::Failure::Torn {
+                // Power loss mid-append: a strict prefix of the frame reaches
+                // disk and the process is presumed dead. Deliberately NOT
+                // rolled back — reopening the store must go through the
+                // torn-tail truncation in `DurableLog::open`.
+                let _ = self.wal.write_all(&framed[..framed.len() / 2]);
+                let _ = self.wal.sync_data();
+            } else {
+                // Fsync failure: the frame made it into the page cache but
+                // never became durable. Roll the buffered write back so an
+                // in-process retry starts from a clean frame boundary.
+                let _ = self.wal.write_all(&framed);
+                self.rollback_append(base_len);
+            }
+            return Err(StoreError::io(
+                &self.wal_path,
+                "sync",
+                fault::injected_io_error(fault::sites::WAL_FSYNC),
+            ));
+        }
         let write_start = std::time::Instant::now();
-        self.wal
-            .write_all(&framed)
-            .map_err(|e| StoreError::io(&self.wal_path, "write", e))?;
+        if let Err(e) = self.wal.write_all(&framed) {
+            self.rollback_append(base_len);
+            return Err(StoreError::io(&self.wal_path, "write", e));
+        }
         let write_time = write_start.elapsed();
         let sync_start = std::time::Instant::now();
-        self.wal
-            .sync_data()
-            .map_err(|e| StoreError::io(&self.wal_path, "sync", e))?;
+        if let Err(e) = self.wal.sync_data() {
+            self.rollback_append(base_len);
+            return Err(StoreError::io(&self.wal_path, "sync", e));
+        }
         let fsync_time = sync_start.elapsed();
         self.wal_records += 1;
         Ok((write_time, fsync_time))
+    }
+
+    /// Best-effort undo of a failed append: truncate back to the pre-append
+    /// length and restore the end-of-file cursor, so a retried commit cannot
+    /// stack a duplicate-epoch frame on top of a half-written one (the scan
+    /// would reject that whole tail as corrupt). If the rollback itself
+    /// fails, the torn tail is truncated by the next `DurableLog::open`.
+    fn rollback_append(&mut self, base_len: u64) {
+        let _ = self.wal.set_len(base_len);
+        let _ = self.wal.seek(SeekFrom::End(0));
+        let _ = self.wal.sync_data();
     }
 
     /// Folds the WAL into a fresh snapshot of `graph` at `epoch`: write the

@@ -1,0 +1,219 @@
+//! Crash-consistency gate: commit → injected WAL failure → kill → reopen.
+//!
+//! ```text
+//! cargo run --release -p exactsim-examples --bin fault_smoke [OUT.json] [ITERATIONS]
+//! ```
+//!
+//! Drives a durable [`GraphStore`] through `ITERATIONS` (default 50) commit
+//! cycles while a [`exactsim_obs::fault`] plan deterministically fails the
+//! WAL append — both as a clean fsync error and as a *torn* frame (power
+//! loss mid-write). Every injected failure is followed by a simulated crash
+//! (the store is dropped with its staged delta, losing all in-memory state)
+//! and a recovery via [`GraphStore::open`]. After every recovery *and* every
+//! successful commit, the durable store must be **bit-identical** — same
+//! epoch, same node count, same edge sequence — to a never-faulted
+//! in-memory control store that applied exactly the committed deltas. Any
+//! divergence is a crash-consistency bug and the gate exits non-zero.
+//!
+//! The fault plan comes from the `FAULT_SPEC` environment variable when set
+//! (the CI gate sets it explicitly); the built-in default interleaves
+//! `error` and `torn` failures on `wal.fsync`. Results land in
+//! `BENCH_faults.json` with counts of injections, recoveries, and retries.
+
+use std::sync::Arc;
+
+use exactsim_graph::{DiGraph, NodeId};
+use exactsim_obs::fault;
+use exactsim_store::GraphStore;
+
+/// Deterministic default plan: every 3rd WAL append fails with a clean
+/// fsync error, every 5th with a torn half-written frame. Rule counters are
+/// independent, so retries themselves can fail again (hit 5 torn → retry
+/// hit 6 errors → retry hit 7 lands), which is exactly the point.
+const DEFAULT_SPEC: &str = "wal.fsync=every:3;wal.fsync=every:5:torn";
+
+/// Retries per iteration before declaring the spec unrecoverable (a spec
+/// like `wal.fsync=always` can never converge; fail loudly, not forever).
+const MAX_RETRIES: u32 = 16;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One deterministic batch of distinct-endpoint edges for iteration `iter`.
+fn edge_batch(rng: &mut u64, num_nodes: u64, iter: u64) -> Vec<(NodeId, NodeId)> {
+    let count = 3 + (iter % 5) as usize;
+    let mut edges = Vec::with_capacity(count);
+    while edges.len() < count {
+        let u = (splitmix64(rng) % num_nodes) as NodeId;
+        let v = (splitmix64(rng) % num_nodes) as NodeId;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+fn stage_all(store: &GraphStore, batch: &[(NodeId, NodeId)]) {
+    for &(u, v) in batch {
+        store
+            .stage_insert(u, v)
+            .expect("staging a validated edge cannot fail");
+    }
+}
+
+/// The gate itself: epoch, node count, and the exact edge sequence must
+/// match. Both graphs are CSR-built from the same delta sequence, so any
+/// difference means recovery diverged from the never-faulted history.
+fn assert_identical(label: &str, faulted: &GraphStore, control: &GraphStore) {
+    let f = faulted.snapshot();
+    let c = control.snapshot();
+    assert_eq!(f.epoch, c.epoch, "{label}: epoch diverged");
+    let fg = f.graph.materialize().expect("materialize faulted graph");
+    let cg = c.graph.materialize().expect("materialize control graph");
+    assert_eq!(
+        fg.num_nodes(),
+        cg.num_nodes(),
+        "{label}: node count diverged"
+    );
+    assert_eq!(
+        fg.num_edges(),
+        cg.num_edges(),
+        "{label}: edge count diverged"
+    );
+    assert!(
+        fg.iter_edges().eq(cg.iter_edges()),
+        "{label}: edge sequences diverged at epoch {}",
+        f.epoch
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args
+        .next()
+        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let iterations: u64 = args
+        .next()
+        .map(|s| s.parse().expect("ITERATIONS must be an integer"))
+        .unwrap_or(50);
+
+    let spec = std::env::var("FAULT_SPEC").unwrap_or_else(|_| DEFAULT_SPEC.to_string());
+    fault::configure(&spec).expect("fault spec must parse");
+    assert!(
+        fault::enabled(),
+        "fault_smoke needs a non-empty fault plan (got '{spec}')"
+    );
+
+    let dir = std::env::temp_dir().join(format!("fault_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let num_nodes: u64 = 64;
+    let seed_graph = Arc::new(DiGraph::from_edges(
+        num_nodes as usize,
+        &[(0, 1), (1, 2), (2, 3), (3, 0)],
+    ));
+    let mut faulted =
+        Some(GraphStore::create(&dir, Arc::clone(&seed_graph)).expect("create durable store"));
+    // The control is in-memory on purpose: it has no WAL, so the process-
+    // global `wal.fsync` rules can never touch it — a genuinely never-
+    // faulted twin applying exactly the committed deltas.
+    let control = GraphStore::new(seed_graph);
+
+    let mut rng = 0x5eed_f417u64;
+    let mut injected = 0u64;
+    let mut recoveries = 0u64;
+    let mut retried_commits = 0u64;
+
+    for iter in 0..iterations {
+        let batch = edge_batch(&mut rng, num_nodes, iter);
+        let mut attempts = 0u32;
+        loop {
+            let store = faulted.as_ref().expect("store is open");
+            stage_all(store, &batch);
+            match store.commit() {
+                Ok(report) => {
+                    stage_all(&control, &batch);
+                    let control_report = control.commit().expect("in-memory commit cannot fail");
+                    assert_eq!(
+                        report.epoch, control_report.epoch,
+                        "iteration {iter}: commit epochs diverged"
+                    );
+                    assert_identical(&format!("iteration {iter} post-commit"), store, &control);
+                    break;
+                }
+                Err(e) => {
+                    let message = e.to_string();
+                    assert!(
+                        message.contains("injected fault"),
+                        "iteration {iter}: real (non-injected) failure: {message}"
+                    );
+                    injected += 1;
+                    // Satellite check: a failed WAL append must leave the
+                    // delta staged — nothing published, safe to retry.
+                    let (pending_ins, _) = store.pending_counts();
+                    assert!(
+                        pending_ins > 0,
+                        "iteration {iter}: failed commit drained the staged delta"
+                    );
+                    // Crash: drop the store (staged delta and all in-memory
+                    // state die with the process) and recover from disk.
+                    drop(faulted.take());
+                    let reopened = GraphStore::open(&dir).expect("recovery must succeed");
+                    recoveries += 1;
+                    assert_identical(
+                        &format!("iteration {iter} post-recovery"),
+                        &reopened,
+                        &control,
+                    );
+                    faulted = Some(reopened);
+                    attempts += 1;
+                    retried_commits += 1;
+                    assert!(
+                        attempts <= MAX_RETRIES,
+                        "iteration {iter}: spec '{spec}' never lets a commit land"
+                    );
+                }
+            }
+        }
+    }
+
+    // One final full crash/recovery, then compare once more.
+    drop(faulted.take());
+    let reopened = GraphStore::open(&dir).expect("final recovery must succeed");
+    recoveries += 1;
+    assert_identical("final reopen", &reopened, &control);
+    let final_epoch = reopened.epoch();
+    let final_edges = reopened.snapshot().graph.num_edges();
+    drop(reopened);
+
+    let wal_hits = fault::hits(fault::sites::WAL_FSYNC);
+    fault::reset();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        injected > 0,
+        "the plan never fired — the gate exercised nothing"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\"bench\":\"fault_smoke\",\"schema_version\":1,",
+            "\"iterations\":{},\"fault_spec\":{:?},",
+            "\"injected_failures\":{},\"recoveries\":{},\"retried_commits\":{},",
+            "\"wal_fsync_hits\":{},\"final_epoch\":{},\"final_edges\":{},\"ok\":true}}"
+        ),
+        iterations, spec, injected, recoveries, retried_commits, wal_hits, final_epoch, final_edges,
+    );
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench artifact");
+    println!("{json}");
+    eprintln!(
+        "fault_smoke: {iterations} iterations, {injected} injected failures, \
+         {recoveries} recoveries, all bit-identical; wrote {out_path}"
+    );
+}
